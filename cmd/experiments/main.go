@@ -1,0 +1,62 @@
+// Command experiments runs the full reproduction study and writes it as
+// markdown (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-o EXPERIMENTS.md] [-id E5a]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "", "output file (default stdout)")
+	id := flag.String("id", "", "run a single experiment by ID (e.g. E1, F3)")
+	flag.Parse()
+
+	var b strings.Builder
+	b.WriteString("# EXPERIMENTS — paper vs. measured\n\n")
+	b.WriteString(`Reproduction study for "Algorithms for Right-Sizing Heterogeneous Data
+Centers" (Albers & Quedenfeld, SPAA 2021). The paper is theory-only: it
+proves worst-case guarantees and prints five illustrative figures, but runs
+no experiments. Each section below therefore pairs a paper artefact — a
+figure or a theorem's bound — with what this implementation measures.
+Regenerate with:
+
+    go run ./cmd/experiments -o EXPERIMENTS.md
+
+All randomness is seeded; the study is deterministic up to machine timing
+in E5b's runtime column.
+
+`)
+	failures := 0
+	for _, rep := range experiments.All() {
+		if *id != "" && rep.ID != *id {
+			continue
+		}
+		b.WriteString(rep.Render())
+		b.WriteString("\n")
+		if !rep.Pass {
+			failures++
+			log.Printf("experiment %s FAILED its bound check", rep.ID)
+		}
+	}
+	b.WriteString(fmt.Sprintf("---\n\nSummary: every proven bound was respected: %v\n", failures == 0))
+
+	if *out == "" {
+		fmt.Print(b.String())
+	} else if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

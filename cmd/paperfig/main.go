@@ -1,0 +1,43 @@
+// Command paperfig regenerates the five figures of Albers & Quedenfeld
+// (SPAA 2021) as ASCII renderings, driven by the production algorithm
+// implementations.
+//
+// Usage:
+//
+//	paperfig           # all figures
+//	paperfig -fig 3    # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "figure number (1-5); 0 renders all")
+	flag.Parse()
+
+	renderers := map[int]func() string{
+		1: figures.RenderFigure1,
+		2: figures.RenderFigure2,
+		3: figures.RenderFigure3,
+		4: figures.RenderFigure4,
+		5: figures.RenderFigure5,
+	}
+	if *fig != 0 {
+		r, ok := renderers[*fig]
+		if !ok {
+			log.Fatalf("paperfig: no figure %d (have 1-5)", *fig)
+		}
+		fmt.Println(r())
+		return
+	}
+	for i := 1; i <= 5; i++ {
+		fmt.Println(renderers[i]())
+		fmt.Println()
+	}
+}

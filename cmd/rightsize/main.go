@@ -1,0 +1,153 @@
+// Command rightsize solves a data-center right-sizing instance described
+// as JSON (see the repository README for the schema).
+//
+// Usage:
+//
+//	rightsize -input instance.json [-mode optimal|approx|online-a|online-b|online-c]
+//	          [-eps 0.5] [-schedule] [-compare]
+//
+// Modes:
+//
+//	optimal   exact offline optimum (Section 4.1; default)
+//	approx    (1+ε)-approximation (Section 4.2)
+//	online-a  Algorithm A (time-independent costs, Section 2)
+//	online-b  Algorithm B (Section 3.1)
+//	online-c  Algorithm C (Section 3.2, uses -eps)
+//
+// -schedule prints the slot-by-slot configurations; -compare runs every
+// applicable algorithm and prints a comparison table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	rightsizing "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rightsize: ")
+
+	input := flag.String("input", "", "path to the instance JSON (required)")
+	mode := flag.String("mode", "optimal", "optimal | approx | online-a | online-b | online-c")
+	eps := flag.Float64("eps", 0.5, "accuracy parameter for approx and online-c")
+	printSched := flag.Bool("schedule", false, "print the slot-by-slot schedule")
+	render := flag.Bool("render", false, "draw the schedule as a stacked ASCII chart")
+	compare := flag.Bool("compare", false, "run all applicable algorithms and print a table")
+	flag.Parse()
+
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := rightsizing.ParseInstance(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d server types, %d time slots\n", ins.D(), ins.T())
+
+	if *compare {
+		runComparison(ins, *eps)
+		return
+	}
+
+	var sched rightsizing.Schedule
+	switch *mode {
+	case "optimal":
+		res, err := rightsizing.SolveOptimal(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = res.Schedule
+		fmt.Printf("optimal cost %.4f (operating %.4f, switching %.4f), lattice %d\n",
+			res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
+	case "approx":
+		res, err := rightsizing.SolveApprox(ins, *eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = res.Schedule
+		fmt.Printf("(1+%g)-approx cost %.4f (operating %.4f, switching %.4f), lattice %d\n",
+			*eps, res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
+	case "online-a", "online-b", "online-c":
+		var alg rightsizing.Online
+		switch *mode {
+		case "online-a":
+			alg, err = rightsizing.NewAlgorithmA(ins)
+		case "online-b":
+			alg, err = rightsizing.NewAlgorithmB(ins)
+		default:
+			alg, err = rightsizing.NewAlgorithmC(ins, *eps)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = rightsizing.Run(alg)
+		br := rightsizing.NewEvaluator(ins).Cost(sched)
+		fmt.Printf("%s cost %.4f (operating %.4f, switching %.4f)\n",
+			alg.Name(), br.Total(), br.Operating, br.Switching)
+		if opt, err := rightsizing.OptimalCost(ins); err == nil {
+			fmt.Printf("hindsight optimum %.4f -> ratio %.4f\n", opt, br.Total()/opt)
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	if err := ins.Feasible(sched); err != nil {
+		log.Fatalf("internal error: produced schedule is infeasible: %v", err)
+	}
+	if *printSched {
+		fmt.Println("\nslot  demand  configuration")
+		for t := 1; t <= ins.T(); t++ {
+			fmt.Printf("%4d  %6.2f  %v\n", t, ins.Lambda[t-1], sched[t-1])
+		}
+	}
+	if *render {
+		fmt.Println()
+		fmt.Print(sim.RenderSchedule(ins, sched, 96))
+	}
+}
+
+func runComparison(ins *rightsizing.Instance, eps float64) {
+	cmp, err := rightsizing.NewComparison(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ins.TimeIndependent() {
+		if a, err := rightsizing.NewAlgorithmA(ins); err == nil {
+			cmp.RunOnline(a)
+		}
+	}
+	if b, err := rightsizing.NewAlgorithmB(ins); err == nil {
+		cmp.RunOnline(b)
+	}
+	if c, err := rightsizing.NewAlgorithmC(ins, eps); err == nil {
+		cmp.RunOnline(c)
+	} else {
+		fmt.Printf("(Algorithm C skipped: %v)\n", err)
+	}
+	for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
+		rightsizing.NewAllOn,
+		rightsizing.NewLoadTracking,
+		rightsizing.NewSkiRental,
+	} {
+		if alg, err := mk(ins); err == nil {
+			cmp.RunOnline(alg)
+		}
+	}
+	if ins.D() == 1 {
+		if l, err := rightsizing.NewLCP(ins); err == nil {
+			cmp.RunOnline(l)
+		}
+	}
+	fmt.Println(cmp.Table())
+}

@@ -1,0 +1,89 @@
+// Command tracegen generates synthetic workload traces and complete
+// instance files for cmd/rightsize.
+//
+// Usage:
+//
+//	tracegen -kind diurnal -T 48 -peak 16 -base 2 -period 24 > trace.json
+//	tracegen -kind bursty -T 96 -peak 20 -base 3 -prob 0.15 -seed 7 -instance > instance.json
+//
+// With -instance the output is a full two-type (cpu+gpu) instance JSON;
+// otherwise it is a bare array of job volumes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	rightsizing "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	kind := flag.String("kind", "diurnal", "diurnal | bursty | steps | onoff | walk")
+	T := flag.Int("T", 48, "number of time slots")
+	base := flag.Float64("base", 2, "baseline load")
+	peak := flag.Float64("peak", 16, "peak load")
+	period := flag.Int("period", 24, "diurnal period in slots")
+	noise := flag.Float64("noise", 0, "diurnal noise fraction")
+	prob := flag.Float64("prob", 0.1, "burst probability per slot")
+	dwell := flag.Int("dwell", 6, "steps: dwell per level; onoff: phase length")
+	seed := flag.Int64("seed", 1, "random seed")
+	asInstance := flag.Bool("instance", false, "emit a complete two-type instance JSON")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var trace []float64
+	switch *kind {
+	case "diurnal":
+		if *noise > 0 {
+			trace = rightsizing.DiurnalNoisy(rng, *T, *base, *peak, *period, *noise)
+		} else {
+			trace = rightsizing.Diurnal(*T, *base, *peak, *period, 0)
+		}
+	case "bursty":
+		trace = rightsizing.Bursty(rng, *T, *base, *peak, *prob)
+	case "steps":
+		trace = rightsizing.Steps(*T, []float64{*base, *peak}, *dwell)
+	case "onoff":
+		trace = rightsizing.OnOff(*T, *peak, *base, *dwell, *dwell)
+	case "walk":
+		trace = rightsizing.RandomWalk(rng, *T, (*base+*peak)/2, (*peak-*base)/10, *base, *peak)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	if !*asInstance {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(trace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Size a two-type fleet that covers the peak with ~25% headroom.
+	cpus := int(*peak*0.75) + 1
+	gpus := int(*peak/4*0.5) + 1
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{
+			{Name: "cpu", Count: cpus, SwitchCost: 2, MaxLoad: 1,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}}},
+			{Name: "gpu", Count: gpus, SwitchCost: 12, MaxLoad: 4,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 3, Rate: 0.4}}},
+		},
+		Lambda: trace,
+	}
+	if err := ins.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := rightsizing.EncodeInstance(os.Stdout, ins); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d slots, %d cpus, %d gpus\n", *T, cpus, gpus)
+}

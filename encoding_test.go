@@ -1,0 +1,164 @@
+package rightsizing
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "types": [
+    {"name": "cpu", "count": 4, "switchCost": 2, "maxLoad": 1,
+     "cost": {"kind": "affine", "idle": 1, "rate": 1}},
+    {"name": "gpu", "count": 2, "switchCost": 8, "maxLoad": 4,
+     "cost": {"kind": "power", "idle": 3, "coef": 0.5, "exp": 2}}
+  ],
+  "lambda": [1, 4, 2, 0]
+}`
+
+func TestParseInstance(t *testing.T) {
+	ins, err := ParseInstance(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.D() != 2 || ins.T() != 4 {
+		t.Fatalf("D=%d T=%d", ins.D(), ins.T())
+	}
+	if ins.Types[1].Cost.At(1).Value(2) != 3+0.5*4 {
+		t.Error("power cost decoded wrong")
+	}
+	if _, err := SolveOptimal(ins); err != nil {
+		t.Fatalf("decoded instance unsolvable: %v", err)
+	}
+}
+
+func TestParseInstanceVariants(t *testing.T) {
+	perSlot := `{
+	  "types": [{"name": "a", "count": 1, "switchCost": 1, "maxLoad": 2,
+	    "costs": [{"kind": "constant", "c": 1}, {"kind": "constant", "c": 5}]}],
+	  "lambda": [1, 1]
+	}`
+	ins, err := ParseInstance(strings.NewReader(perSlot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Types[0].Cost.At(2).Value(0) != 5 {
+		t.Error("per-slot costs decoded wrong")
+	}
+
+	scaled := `{
+	  "types": [{"name": "a", "count": 1, "switchCost": 1, "maxLoad": 2,
+	    "cost": {"kind": "constant", "c": 2}, "scale": [1, 0.5]}],
+	  "lambda": [1, 1]
+	}`
+	ins, err = ParseInstance(strings.NewReader(scaled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Types[0].Cost.At(2).Value(0) != 1 {
+		t.Error("scale decoded wrong")
+	}
+
+	counts := `{
+	  "types": [{"name": "a", "count": 2, "switchCost": 1, "maxLoad": 2,
+	    "cost": {"kind": "constant", "c": 2}}],
+	  "lambda": [1, 1],
+	  "counts": [[2], [1]]
+	}`
+	ins, err = ParseInstance(strings.NewReader(counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.TimeVarying() || ins.CountAt(2, 0) != 1 {
+		t.Error("counts decoded wrong")
+	}
+
+	piecewise := `{
+	  "types": [{"name": "a", "count": 1, "switchCost": 1, "maxLoad": 1,
+	    "cost": {"kind": "piecewise", "z": [0, 1], "v": [1, 3]}}],
+	  "lambda": [0.5]
+	}`
+	ins, err = ParseInstance(strings.NewReader(piecewise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ins.Types[0].Cost.At(1).Value(0.5)-2) > 1e-12 {
+		t.Error("piecewise decoded wrong")
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"unknown kind": `{"types":[{"count":1,"switchCost":1,"maxLoad":1,"cost":{"kind":"cubic"}}],"lambda":[0]}`,
+		"missing cost": `{"types":[{"count":1,"switchCost":1,"maxLoad":1}],"lambda":[0]}`,
+		"both costs":   `{"types":[{"count":1,"switchCost":1,"maxLoad":1,"cost":{"kind":"constant"},"costs":[{"kind":"constant"}]}],"lambda":[0]}`,
+		"bad costs length": `{"types":[{"count":1,"switchCost":1,"maxLoad":1,
+		  "costs":[{"kind":"constant"}]}],"lambda":[0, 0]}`,
+		"bad scale length": `{"types":[{"count":1,"switchCost":1,"maxLoad":1,
+		  "cost":{"kind":"constant"},"scale":[1]}],"lambda":[0, 0]}`,
+		"unknown field": `{"nonsense": 1, "types":[], "lambda":[]}`,
+		"infeasible":    `{"types":[{"count":1,"switchCost":1,"maxLoad":1,"cost":{"kind":"constant"}}],"lambda":[5]}`,
+		"bad piecewise": `{"types":[{"count":1,"switchCost":1,"maxLoad":1,"cost":{"kind":"piecewise","z":[1],"v":[1]}}],"lambda":[0]}`,
+	}
+	for name, js := range cases {
+		if _, err := ParseInstance(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := twoType()
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := OptimalCost(ins)
+	b, _ := OptimalCost(back)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("round trip changed the instance: opt %g vs %g", a, b)
+	}
+}
+
+func TestEncodeModulatedAndVarying(t *testing.T) {
+	ins := &Instance{
+		Types: []ServerType{
+			{Name: "a", Count: 1, SwitchCost: 1, MaxLoad: 1,
+				Cost: Modulated{F: Constant{C: 2}, Scale: []float64{1, 0.5}}},
+			{Name: "b", Count: 1, SwitchCost: 1, MaxLoad: 1,
+				Cost: Varying{Fs: []CostFunc{Constant{C: 1}, Constant{C: 2}}}},
+		},
+		Lambda: []float64{1, 1},
+	}
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Types[0].Cost.At(2).Value(0) != 1 || back.Types[1].Cost.At(2).Value(0) != 2 {
+		t.Error("modulated/varying round trip broken")
+	}
+}
+
+func TestEncodeRejectsOpaqueFuncs(t *testing.T) {
+	ins := &Instance{
+		Types: []ServerType{{
+			Count: 1, SwitchCost: 1, MaxLoad: 1,
+			Cost: Static{F: Scaled{F: Constant{C: 1}, Factor: 2}},
+		}},
+		Lambda: []float64{0},
+	}
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, ins); err == nil {
+		t.Error("Scaled is not a serialisable family; expected error")
+	}
+}

@@ -1,0 +1,159 @@
+package rightsizing_test
+
+import (
+	"fmt"
+
+	rightsizing "repro"
+)
+
+// ExampleSolveOptimal solves a tiny homogeneous instance exactly: with a
+// high switching cost it is cheaper to hold the server through the idle
+// gap than to power-cycle it (the ski-rental structure behind the paper's
+// algorithms).
+func ExampleSolveOptimal() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 1, SwitchCost: 10, MaxLoad: 1,
+			Cost: rightsizing.Static{F: rightsizing.Constant{C: 1}},
+		}},
+		Lambda: []float64{1, 0, 0, 1},
+	}
+	res, err := rightsizing.SolveOptimal(ins)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.0f\n", res.Cost())
+	for t, x := range res.Schedule {
+		fmt.Printf("slot %d: %d active\n", t+1, x[0])
+	}
+	// Output:
+	// cost 14
+	// slot 1: 1 active
+	// slot 2: 1 active
+	// slot 3: 1 active
+	// slot 4: 1 active
+}
+
+// ExampleNewAlgorithmA runs the (2d+1)-competitive online algorithm and
+// verifies its guarantee against the hindsight optimum.
+func ExampleNewAlgorithmA() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{
+			{Name: "slow", Count: 4, SwitchCost: 2, MaxLoad: 1,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}}},
+			{Name: "fast", Count: 1, SwitchCost: 6, MaxLoad: 4,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 2, Rate: 0.5}}},
+		},
+		Lambda: []float64{1, 2, 4, 3, 1, 0, 2},
+	}
+	alg, err := rightsizing.NewAlgorithmA(ins)
+	if err != nil {
+		panic(err)
+	}
+	sched := rightsizing.Run(alg)
+	cost := rightsizing.NewEvaluator(ins).Cost(sched).Total()
+	opt, err := rightsizing.OptimalCost(ins)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within guarantee: %v\n", cost <= rightsizing.RatioBoundA(ins)*opt)
+	// Output:
+	// within guarantee: true
+}
+
+// ExampleSolveApprox shows the (1+ε)-approximation shrinking the
+// configuration lattice on a large fleet.
+func ExampleSolveApprox() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 1000, SwitchCost: 3, MaxLoad: 1,
+			Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: rightsizing.Diurnal(24, 50, 900, 24, 0),
+	}
+	res, err := rightsizing.SolveApprox(ins, 1.0) // γ = 1.5
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lattice %d of %d configurations\n", res.LatticeSize, 1001)
+	fmt.Printf("feasible: %v\n", ins.Feasible(res.Schedule) == nil)
+	// Output:
+	// lattice 34 of 1001 configurations
+	// feasible: true
+}
+
+// ExampleCI computes the instance constant of Theorem 13.
+func ExampleCI() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 2, SwitchCost: 8, MaxLoad: 1,
+			Cost: rightsizing.Static{F: rightsizing.Constant{C: 2}},
+		}},
+		Lambda: []float64{1, 2},
+	}
+	fmt.Printf("c(I) = %.2f, Algorithm B bound = %.2f\n",
+		rightsizing.CI(ins), rightsizing.RatioBoundB(ins))
+	// Output:
+	// c(I) = 0.25, Algorithm B bound = 3.25
+}
+
+// ExampleNewAlgorithmC shows the accuracy/effort trade-off of Section 3.2:
+// smaller ε tightens the guarantee but subdivides time slots more finely.
+func ExampleNewAlgorithmC() {
+	price := []float64{1, 3, 1, 2} // time-varying idle costs
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 2, SwitchCost: 4, MaxLoad: 1,
+			Cost: rightsizing.Modulated{F: rightsizing.Constant{C: 1}, Scale: price},
+		}},
+		Lambda: []float64{1, 2, 1, 1},
+	}
+	alg, err := rightsizing.NewAlgorithmC(ins, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	sched := rightsizing.Run(alg)
+	fmt.Printf("guarantee: %g-competitive\n", alg.RatioBound())
+	fmt.Printf("feasible: %v\n", ins.Feasible(sched) == nil)
+	// Output:
+	// guarantee: 3.5-competitive
+	// feasible: true
+}
+
+// ExampleSolveFractional measures the integrality gap on a sub-server
+// workload, where the discrete setting must run whole servers.
+func ExampleSolveFractional() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 1, SwitchCost: 2, MaxLoad: 1,
+			Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: []float64{0.5},
+	}
+	gap, discrete, frac, err := rightsizing.IntegralityGap(ins, 8, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("discrete %.1f, fractional %.1f, gap %.2f\n", discrete, frac, gap)
+	// Output:
+	// discrete 3.5, fractional 2.0, gap 1.75
+}
+
+// ExampleFoldDownCosts converts power-down fees into the paper's up-only
+// model (remark after Equation 2).
+func ExampleFoldDownCosts() {
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{{
+			Name: "srv", Count: 1, SwitchCost: 3, MaxLoad: 1,
+			Cost: rightsizing.Static{F: rightsizing.Constant{C: 1}},
+		}},
+		Lambda: []float64{1},
+	}
+	folded, err := rightsizing.FoldDownCosts(ins, []float64{2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("effective switching cost: %g\n", folded.Types[0].SwitchCost)
+	// Output:
+	// effective switching cost: 5
+}

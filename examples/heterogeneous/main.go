@@ -1,0 +1,86 @@
+// Heterogeneous sizing study: a CPU + GPU cluster under diurnal load with
+// bursts, sweeping the peak-to-mean ratio and reporting how much each
+// policy saves relative to static provisioning (AllOn) — the evaluation
+// style of the right-sizing literature the paper builds on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rightsizing "repro"
+)
+
+// cluster builds a CPU+GPU instance for the given trace. GPUs process
+// four units of volume per slot but idle expensively and cost a lot to
+// power-cycle; CPUs are cheap but slow. The convex Power cost on the CPU
+// models voltage/frequency scaling; the GPU curve is flatter.
+func cluster(trace []float64) *rightsizing.Instance {
+	return &rightsizing.Instance{
+		Types: []rightsizing.ServerType{
+			{Name: "cpu", Count: 24, SwitchCost: 2, MaxLoad: 1,
+				Cost: rightsizing.Static{F: rightsizing.Power{Idle: 1, Coef: 0.6, Exp: 2}}},
+			{Name: "gpu", Count: 6, SwitchCost: 15, MaxLoad: 4,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 4, Rate: 0.3}}},
+		},
+		Lambda: trace,
+	}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2021))
+	fmt.Println("cost savings vs. static provisioning (AllOn), 3 days, hourly slots")
+	fmt.Println()
+
+	for _, peakToMean := range []float64{2, 4, 8} {
+		peak := 40.0
+		base := peak * (2/peakToMean - 1) // mean of sinusoid = (base+peak)/2
+		if base < 0 {
+			base = 0
+		}
+		trace := rightsizing.DiurnalNoisy(rng, 72, base, peak, 24, 0.2)
+		ins := cluster(trace)
+		if err := ins.Validate(); err != nil {
+			log.Fatal(err)
+		}
+
+		cmp, err := rightsizing.NewComparison(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algA, err := rightsizing.NewAlgorithmA(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp.RunOnline(algA)
+		for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
+			rightsizing.NewAllOn,
+			rightsizing.NewLoadTracking,
+			rightsizing.NewSkiRental,
+			func(i *rightsizing.Instance) (rightsizing.Online, error) {
+				return rightsizing.NewRecedingHorizon(i, 3)
+			},
+		} {
+			alg, err := mk(ins)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cmp.RunOnline(alg)
+		}
+
+		var allOn float64
+		for _, m := range cmp.Row {
+			if m.Name == "AllOn" {
+				allOn = m.Total
+			}
+		}
+		fmt.Printf("peak-to-mean %.0fx (base %.0f, peak %.0f):\n", peakToMean, base, peak)
+		for _, m := range cmp.Row {
+			saving := (1 - m.Total/allOn) * 100
+			fmt.Printf("  %-22s cost %9.1f   saving vs AllOn %6.1f%%   ratio vs OPT %.3f\n",
+				m.Name, m.Total, saving, m.Ratio)
+		}
+		fmt.Println()
+	}
+}

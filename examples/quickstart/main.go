@@ -1,0 +1,81 @@
+// Quickstart: define a small heterogeneous data center, solve it offline,
+// run the online algorithms, and compare everything against the optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rightsizing "repro"
+)
+
+func main() {
+	// Two server types, as in the paper's introduction: slow commodity
+	// servers (capacity 1) and fast accelerator nodes that process four
+	// times the volume but idle at triple the power.
+	ins := &rightsizing.Instance{
+		Types: []rightsizing.ServerType{
+			{Name: "slow", Count: 8, SwitchCost: 3, MaxLoad: 1,
+				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}}},
+			{Name: "fast", Count: 3, SwitchCost: 12, MaxLoad: 4,
+				Cost: rightsizing.Static{F: rightsizing.Power{Idle: 3, Coef: 0.4, Exp: 2}}},
+		},
+		// Two days of diurnal load, 1-hour slots.
+		Lambda: rightsizing.Diurnal(48, 2, 16, 24, 0),
+	}
+	if err := ins.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline optimum (Section 4.1) and a (1+ε)-approximation (4.2).
+	opt, err := rightsizing.SolveOptimal(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apx, err := rightsizing.SolveApprox(ins, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline optimum: %.2f (operating %.2f + switching %.2f)\n",
+		opt.Cost(), opt.Breakdown.Operating, opt.Breakdown.Switching)
+	fmt.Printf("(1+0.5)-approx:  %.2f on a lattice of %d configurations\n\n",
+		apx.Cost(), apx.LatticeSize)
+
+	// Online algorithms and baselines, measured against the optimum.
+	cmp, err := rightsizing.NewComparison(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algA, err := rightsizing.NewAlgorithmA(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp.RunOnline(algA)
+	algB, err := rightsizing.NewAlgorithmB(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp.RunOnline(algB)
+	for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
+		rightsizing.NewAllOn,
+		rightsizing.NewLoadTracking,
+		rightsizing.NewSkiRental,
+	} {
+		alg, err := mk(ins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp.RunOnline(alg)
+	}
+	fmt.Println(cmp.Table())
+	fmt.Printf("Theorem 8 guarantee for Algorithm A: ratio <= %g\n",
+		rightsizing.RatioBoundA(ins))
+
+	// Peek at the optimal schedule around the first peak.
+	fmt.Println("\noptimal configurations around the first peak (slots 10-14):")
+	for t := 10; t <= 14; t++ {
+		x := opt.Schedule[t-1]
+		fmt.Printf("  slot %2d: load %5.1f -> %d slow + %d fast\n",
+			t, ins.Lambda[t-1], x[0], x[1])
+	}
+}

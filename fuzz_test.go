@@ -1,0 +1,44 @@
+package rightsizing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseInstance hardens the JSON decoder: arbitrary input must never
+// panic, and successfully decoded instances must validate and solve.
+func FuzzParseInstance(f *testing.F) {
+	f.Add(sampleJSON)
+	f.Add(`{"types":[],"lambda":[]}`)
+	f.Add(`{"types":[{"count":1,"switchCost":0,"maxLoad":1,"cost":{"kind":"constant","c":1}}],"lambda":[0.5]}`)
+	f.Add(`{"types":[{"count":2,"switchCost":1,"maxLoad":2,"cost":{"kind":"piecewise","z":[0,1],"v":[0,2]}}],"lambda":[1,2]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		ins, err := ParseInstance(strings.NewReader(data))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		// A decoded instance passed Validate inside ParseInstance; it
+		// must therefore be solvable unless numerically degenerate.
+		if ins.T() > 64 || ins.D() > 3 {
+			return // keep the fuzz iteration cheap
+		}
+		size := 1
+		for j := 0; j < ins.D(); j++ {
+			size *= ins.Types[j].Count + 1
+			if size > 4096 {
+				return
+			}
+		}
+		res, err := SolveOptimal(ins)
+		if err != nil {
+			t.Fatalf("validated instance failed to solve: %v", err)
+		}
+		if math.IsNaN(res.Cost()) || res.Cost() < 0 {
+			t.Fatalf("invalid optimal cost %v", res.Cost())
+		}
+		if err := ins.Feasible(res.Schedule); err != nil {
+			t.Fatalf("optimal schedule infeasible: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package adversary constructs and searches for workloads that push
+// online right-sizing algorithms toward their worst case. The predecessor
+// paper [Albers–Quedenfeld, CIAC 2021] proves a 2d lower bound for every
+// deterministic online algorithm; this package provides
+//
+//   - the analytic d = 1 ski-rental spike train whose ratio approaches 2
+//     in closed form, and
+//   - a randomized hill-climbing search over on/off traces for d >= 1,
+//     used by experiment E7 to probe how close generic adversaries get to
+//     the lower bound.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// SkiRentalSpikes builds the d = 1 adversarial instance: a single server
+// type with switching cost beta and unit idle cost, and unit demand
+// spikes spaced exactly t̄+1 slots apart, where t̄ = ⌈beta⌉ is Algorithm
+// A's timeout. Algorithm A pays ≈ 2β per spike (power-up plus a full
+// timeout of idle cost) while the optimum power-cycles for β+1, so the
+// ratio approaches 2β/(β+1) → 2 as β grows.
+func SkiRentalSpikes(beta float64, cycles int) (*model.Instance, float64) {
+	if beta < 1 || cycles < 1 {
+		panic("adversary: need beta >= 1 and at least one cycle")
+	}
+	tbar := int(math.Ceil(beta))
+	T := cycles * (tbar + 1)
+	lambda := make([]float64, T)
+	for c := 0; c < cycles; c++ {
+		lambda[c*(tbar+1)] = 1
+	}
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 1, SwitchCost: beta, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: lambda,
+	}
+	predicted := (beta + float64(tbar)) / (beta + 1)
+	return ins, predicted
+}
+
+// Config parameterises a hill-climbing search.
+type Config struct {
+	// Types of the data center under attack (counts kept small: every
+	// candidate is scored with an exact offline solve).
+	Types []model.ServerType
+	// T is the trace length.
+	T int
+	// Peak is the demand level of "on" slots ("off" slots are 0).
+	Peak float64
+	// Iters is the number of single-slot flips attempted.
+	Iters int
+	// Seed drives the search deterministically.
+	Seed int64
+	// NewAlg builds the algorithm under attack for a candidate instance.
+	NewAlg func(*model.Instance) (core.Online, error)
+}
+
+// Result is the best adversarial instance found.
+type Result struct {
+	Instance *model.Instance
+	Trace    []float64
+	Ratio    float64
+	Evals    int
+}
+
+// HillClimb performs first-improvement local search over binary traces:
+// start from a random on/off trace, flip one slot at a time, keep flips
+// that increase the algorithm's competitive ratio. The returned instance
+// is always feasible (the types must be able to cover Peak).
+func HillClimb(cfg Config) (Result, error) {
+	if cfg.T < 2 || cfg.Iters < 1 {
+		return Result{}, fmt.Errorf("adversary: need T >= 2 and Iters >= 1")
+	}
+	capacity := 0.0
+	for _, st := range cfg.Types {
+		capacity += float64(st.Count) * st.MaxLoad
+	}
+	if capacity < cfg.Peak {
+		return Result{}, fmt.Errorf("adversary: peak %g exceeds capacity %g", cfg.Peak, capacity)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trace := make([]float64, cfg.T)
+	for t := range trace {
+		if rng.Intn(2) == 0 {
+			trace[t] = cfg.Peak
+		}
+	}
+	res := Result{Trace: append([]float64(nil), trace...)}
+
+	score := func(tr []float64) (float64, *model.Instance, error) {
+		ins := &model.Instance{
+			Types:  cfg.Types,
+			Lambda: append([]float64(nil), tr...),
+		}
+		alg, err := cfg.NewAlg(ins)
+		if err != nil {
+			return 0, nil, err
+		}
+		sched := core.Run(alg)
+		if err := ins.Feasible(sched); err != nil {
+			return 0, nil, fmt.Errorf("adversary: algorithm infeasible: %w", err)
+		}
+		cost := model.NewEvaluator(ins).Cost(sched).Total()
+		opt, err := solver.OptimalCost(ins)
+		if err != nil {
+			return 0, nil, err
+		}
+		return cost / opt, ins, nil
+	}
+
+	ratio, ins, err := score(trace)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Ratio, res.Instance, res.Evals = ratio, ins, 1
+
+	for i := 0; i < cfg.Iters; i++ {
+		t := rng.Intn(cfg.T)
+		old := trace[t]
+		if old == 0 {
+			trace[t] = cfg.Peak
+		} else {
+			trace[t] = 0
+		}
+		r, cand, err := score(trace)
+		res.Evals++
+		if err != nil {
+			return Result{}, err
+		}
+		if r > res.Ratio {
+			res.Ratio = r
+			res.Instance = cand
+			copy(res.Trace, trace)
+		} else {
+			trace[t] = old // revert
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,196 @@
+// Package baseline provides comparison algorithms for the experiments:
+// the static and memoryless strategies a data-center operator might deploy
+// without the paper's machinery, plus the homogeneous lazy-capacity
+// baseline from the prior literature and a semi-online receding-horizon
+// control. All of them implement core.Online and are driven slot-by-slot.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// compile-time interface checks.
+var (
+	_ core.Online = (*AllOn)(nil)
+	_ core.Online = (*LoadTracking)(nil)
+	_ core.Online = (*SkiRental)(nil)
+	_ core.Online = (*LCP)(nil)
+	_ core.Online = (*RecedingHorizon)(nil)
+)
+
+// AllOn keeps the whole fleet powered for the entire horizon: the
+// "static provisioning" strategy right-sizing is measured against. With
+// time-varying sizes it keeps every available server powered.
+type AllOn struct {
+	ins *model.Instance
+	t   int
+}
+
+// NewAllOn builds the baseline.
+func NewAllOn(ins *model.Instance) (*AllOn, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return &AllOn{ins: ins}, nil
+}
+
+// Name implements core.Online.
+func (a *AllOn) Name() string { return "AllOn" }
+
+// Done implements core.Online.
+func (a *AllOn) Done() bool { return a.t >= a.ins.T() }
+
+// Step implements core.Online.
+func (a *AllOn) Step() model.Config {
+	if a.Done() {
+		panic("baseline: AllOn stepped past the last slot")
+	}
+	a.t++
+	x := make(model.Config, a.ins.D())
+	for j := range x {
+		x[j] = a.ins.CountAt(a.t, j)
+	}
+	return x
+}
+
+// LoadTracking picks, every slot, a configuration minimising the slot's
+// operating cost g_t(x) while ignoring switching costs entirely — the
+// memoryless instantaneous optimiser. It thrashes on bursty loads, which
+// is exactly what the experiments need it to demonstrate. Ties break
+// toward the lexicographically smallest configuration.
+type LoadTracking struct {
+	ins    *model.Instance
+	eval   *model.Evaluator
+	static *grid.Grid // cached lattice when fleet sizes are static
+	t      int
+	cfg    model.Config
+}
+
+// NewLoadTracking builds the baseline.
+func NewLoadTracking(ins *model.Instance) (*LoadTracking, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	lt := &LoadTracking{
+		ins:  ins,
+		eval: model.NewEvaluator(ins),
+		cfg:  make(model.Config, ins.D()),
+	}
+	if !ins.TimeVarying() {
+		lt.static = grid.NewFull(countsAt(ins, 1))
+	}
+	return lt, nil
+}
+
+// Name implements core.Online.
+func (l *LoadTracking) Name() string { return "LoadTracking" }
+
+// Done implements core.Online.
+func (l *LoadTracking) Done() bool { return l.t >= l.ins.T() }
+
+// Step implements core.Online.
+func (l *LoadTracking) Step() model.Config {
+	if l.Done() {
+		panic("baseline: LoadTracking stepped past the last slot")
+	}
+	l.t++
+	return l.bestConfig(l.t)
+}
+
+// bestConfig scans the slot's full lattice for the cheapest configuration.
+func (l *LoadTracking) bestConfig(t int) model.Config {
+	g := l.static
+	if g == nil {
+		g = grid.NewFull(countsAt(l.ins, t))
+	}
+	best := math.Inf(1)
+	bestIdx := -1
+	for idx := 0; idx < g.Size(); idx++ {
+		g.Decode(idx, l.cfg)
+		if v := l.eval.G(t, l.cfg); v < best {
+			best = v
+			bestIdx = idx
+		}
+	}
+	if bestIdx < 0 {
+		panic(fmt.Sprintf("baseline: no feasible configuration at slot %d", t))
+	}
+	out := make(model.Config, l.ins.D())
+	g.Decode(bestIdx, out)
+	return out
+}
+
+// SkiRental is the classic timeout heuristic: follow the load-tracking
+// target upward immediately, but keep surplus servers powered until their
+// accumulated idle cost since becoming surplus exceeds the switching cost
+// β_j (per type), then release them. It is Algorithm B's power-down rule
+// glued to a memoryless power-up rule — competitive in neither sense, but
+// the natural operator policy.
+type SkiRental struct {
+	lt  *LoadTracking
+	ins *model.Instance
+	t   int
+	x   model.Config
+	acc []float64 // accumulated idle cost while surplus, per type
+}
+
+// NewSkiRental builds the baseline.
+func NewSkiRental(ins *model.Instance) (*SkiRental, error) {
+	lt, err := NewLoadTracking(ins)
+	if err != nil {
+		return nil, err
+	}
+	return &SkiRental{
+		lt:  lt,
+		ins: ins,
+		x:   make(model.Config, ins.D()),
+		acc: make([]float64, ins.D()),
+	}, nil
+}
+
+// Name implements core.Online.
+func (s *SkiRental) Name() string { return "SkiRental" }
+
+// Done implements core.Online.
+func (s *SkiRental) Done() bool { return s.t >= s.ins.T() }
+
+// Step implements core.Online.
+func (s *SkiRental) Step() model.Config {
+	target := s.lt.Step() // advances the shared slot counter
+	s.t++
+	for j := range s.x {
+		// Respect shrinking fleets before anything else.
+		if m := s.ins.CountAt(s.t, j); s.x[j] > m {
+			s.x[j] = m
+			s.acc[j] = 0
+		}
+		switch {
+		case s.x[j] < target[j]:
+			s.x[j] = target[j]
+			s.acc[j] = 0
+		case s.x[j] == target[j]:
+			s.acc[j] = 0
+		default: // surplus servers: rent until the budget is spent
+			s.acc[j] += s.ins.Types[j].Cost.At(s.t).Value(0)
+			if s.acc[j] > s.ins.Types[j].SwitchCost {
+				s.x[j] = target[j]
+				s.acc[j] = 0
+			}
+		}
+	}
+	return s.x.Clone()
+}
+
+// countsAt materialises the per-slot fleet sizes.
+func countsAt(ins *model.Instance, t int) []int {
+	m := make([]int, ins.D())
+	for j := range m {
+		m[j] = ins.CountAt(t, j)
+	}
+	return m
+}

@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+func smallInstance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Name: "slow", Count: 3, SwitchCost: 2, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}}},
+			{Name: "fast", Count: 2, SwitchCost: 8, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Affine{Idle: 3, Rate: 0.5}}},
+		},
+		Lambda: []float64{1, 4, 2, 0, 3},
+	}
+}
+
+func homogeneousInstance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{{
+			Count: 5, SwitchCost: 3, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 0.5}},
+		}},
+		Lambda: workload.Diurnal(30, 0.5, 4.5, 10, 0),
+	}
+}
+
+func runAll(t *testing.T, ins *model.Instance, algs ...core.Online) map[string]model.Schedule {
+	t.Helper()
+	out := map[string]model.Schedule{}
+	for _, a := range algs {
+		s := core.Run(a)
+		if err := ins.Feasible(s); err != nil {
+			t.Fatalf("%s: infeasible schedule: %v", a.Name(), err)
+		}
+		out[a.Name()] = s
+	}
+	return out
+}
+
+func TestAllOnKeepsFleetUp(t *testing.T) {
+	ins := smallInstance()
+	a, err := NewAllOn(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.Run(a)
+	for tt, x := range sched {
+		if x[0] != 3 || x[1] != 2 {
+			t.Fatalf("slot %d: %v, want (3, 2)", tt+1, x)
+		}
+	}
+	if !a.Done() {
+		t.Error("should be done")
+	}
+}
+
+func TestAllOnTimeVarying(t *testing.T) {
+	ins := smallInstance()
+	ins.Counts = [][]int{{3, 2}, {2, 2}, {3, 1}, {3, 2}, {3, 2}}
+	a, _ := NewAllOn(ins)
+	sched := core.Run(a)
+	if sched[1][0] != 2 || sched[2][1] != 1 {
+		t.Error("AllOn should track available counts")
+	}
+	if err := ins.Feasible(sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTrackingMinimisesSlotCost(t *testing.T) {
+	ins := smallInstance()
+	lt, err := NewLoadTracking(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := model.NewEvaluator(ins)
+	for tt := 1; !lt.Done(); tt++ {
+		x := lt.Step()
+		got := eval.G(tt, x)
+		// Exhaustively verify optimality.
+		best := math.Inf(1)
+		for a := 0; a <= 3; a++ {
+			for b := 0; b <= 2; b++ {
+				if v := eval.G(tt, model.Config{a, b}); v < best {
+					best = v
+				}
+			}
+		}
+		if !numeric.AlmostEqual(got, best, 1e-9) {
+			t.Fatalf("slot %d: G=%g, best=%g", tt, got, best)
+		}
+	}
+}
+
+func TestLoadTrackingZeroDemandShutsDown(t *testing.T) {
+	ins := smallInstance() // slot 4 has λ=0 and positive idle costs
+	lt, _ := NewLoadTracking(ins)
+	var sched model.Schedule
+	for !lt.Done() {
+		sched = append(sched, lt.Step())
+	}
+	if !sched[3].IsZero() {
+		t.Errorf("slot 4 config %v, want all-off at zero demand", sched[3])
+	}
+}
+
+func TestSkiRentalHoldsThenReleases(t *testing.T) {
+	// One type, β=2, idle 1: surplus servers survive exactly two extra
+	// slots (accumulated idle 2 not > 2) and drop on the third.
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Count: 2, SwitchCost: 2, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: []float64{2, 0, 0, 0, 0},
+	}
+	s, err := NewSkiRental(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.Run(s)
+	want := []int{2, 2, 2, 0, 0}
+	for i := range want {
+		if sched[i][0] != want[i] {
+			t.Fatalf("trace %v, want %v", sched, want)
+		}
+	}
+}
+
+func TestSkiRentalFeasibleOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		ins := randomInstance(rng)
+		s, err := NewSkiRental(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := core.Run(s)
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSkiRentalTimeVaryingClamp(t *testing.T) {
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Count: 3, SwitchCost: 100, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: []float64{3, 1, 1},
+		Counts: [][]int{{3}, {1}, {3}},
+	}
+	s, _ := NewSkiRental(ins)
+	sched := core.Run(s)
+	if sched[1][0] != 1 {
+		t.Errorf("slot 2 keeps %d servers, fleet only has 1", sched[1][0])
+	}
+	if err := ins.Feasible(sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCPRequiresHomogeneous(t *testing.T) {
+	if _, err := NewLCP(smallInstance()); err == nil {
+		t.Error("d=2 should be rejected")
+	}
+}
+
+func TestLCPFeasibleAndReasonable(t *testing.T) {
+	ins := homogeneousInstance()
+	l, err := NewLCP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.Run(l)
+	if err := ins.Feasible(sched); err != nil {
+		t.Fatal(err)
+	}
+	// The discrete LCP is 3-competitive on homogeneous instances
+	// (Albers–Quedenfeld 2018); assert the bound empirically.
+	cost := model.NewEvaluator(ins).Cost(sched).Total()
+	opt, err := solver.OptimalCost(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.LessEqual(cost, 3*opt, 1e-9) {
+		t.Errorf("LCP cost %g exceeds 3·OPT = %g", cost, 3*opt)
+	}
+}
+
+func TestLCPLazyness(t *testing.T) {
+	// Constant demand: after the initial ramp LCP should never move.
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Count: 4, SwitchCost: 5, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: []float64{2, 2, 2, 2, 2, 2},
+	}
+	l, _ := NewLCP(ins)
+	sched := core.Run(l)
+	for tt := 1; tt < len(sched); tt++ {
+		if sched[tt][0] != sched[0][0] {
+			t.Fatalf("LCP moved on constant demand: %v", sched)
+		}
+	}
+}
+
+func TestRecedingHorizonWindowValidation(t *testing.T) {
+	if _, err := NewRecedingHorizon(smallInstance(), 0); err == nil {
+		t.Error("w=0 should be rejected")
+	}
+}
+
+func TestRecedingHorizonFullLookaheadIsOptimalPrefixWise(t *testing.T) {
+	// With w >= T the first committed decision comes from an exact solve
+	// of the entire remaining instance, so the total cost matches OPT.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		ins := randomInstance(rng)
+		rh, err := NewRecedingHorizon(ins, ins.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := core.Run(rh)
+		cost := model.NewEvaluator(ins).Cost(sched).Total()
+		opt, err := solver.OptimalCost(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(cost, opt, 1e-6) {
+			t.Fatalf("case %d: full-lookahead MPC %g != OPT %g", i, cost, opt)
+		}
+	}
+}
+
+func TestRecedingHorizonImprovesWithWindow(t *testing.T) {
+	ins := homogeneousInstance()
+	eval := model.NewEvaluator(ins)
+	costs := map[int]float64{}
+	for _, w := range []int{1, 3, ins.T()} {
+		rh, err := NewRecedingHorizon(ins, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := core.Run(rh)
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		costs[w] = eval.Cost(sched).Total()
+	}
+	if costs[ins.T()] > costs[1]*(1+1e-9) {
+		t.Errorf("full lookahead (%g) should not lose to w=1 (%g)", costs[ins.T()], costs[1])
+	}
+}
+
+func TestAllBaselinesOnHeterogeneousInstance(t *testing.T) {
+	ins := smallInstance()
+	allOn, _ := NewAllOn(ins)
+	lt, _ := NewLoadTracking(smallInstance())
+	sr, _ := NewSkiRental(smallInstance())
+	rh, _ := NewRecedingHorizon(smallInstance(), 2)
+	runAll(t, ins, allOn, lt, sr, rh)
+}
+
+func TestBaselinesPanicPastEnd(t *testing.T) {
+	ins := smallInstance()
+	algs := []core.Online{}
+	a, _ := NewAllOn(ins)
+	lt, _ := NewLoadTracking(smallInstance())
+	rh, _ := NewRecedingHorizon(smallInstance(), 2)
+	algs = append(algs, a, lt, rh)
+	for _, alg := range algs {
+		core.Run(alg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic past end", alg.Name())
+				}
+			}()
+			alg.Step()
+		}()
+	}
+}
+
+func randomInstance(rng *rand.Rand) *model.Instance {
+	d := 1 + rng.Intn(2)
+	T := 2 + rng.Intn(6)
+	types := make([]model.ServerType, d)
+	totalCap := 0.0
+	for j := range types {
+		count := 1 + rng.Intn(3)
+		capacity := 0.5 + rng.Float64()*2
+		types[j] = model.ServerType{
+			Count:      count,
+			SwitchCost: 0.5 + rng.Float64()*6,
+			MaxLoad:    capacity,
+			Cost: model.Static{F: costfn.Power{
+				Idle: 0.1 + rng.Float64(),
+				Coef: rng.Float64() * 2,
+				Exp:  1 + rng.Float64()*2,
+			}},
+		}
+		totalCap += float64(count) * capacity
+	}
+	lambda := make([]float64, T)
+	for t := range lambda {
+		lambda[t] = rng.Float64() * totalCap * 0.9
+	}
+	return &model.Instance{Types: types, Lambda: lambda}
+}
+
+func BenchmarkLoadTrackingT48(b *testing.B) {
+	ins := &model.Instance{
+		Types: []model.ServerType{
+			{Count: 16, SwitchCost: 4, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}}},
+			{Count: 8, SwitchCost: 10, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Power{Idle: 2, Coef: 1, Exp: 2}}},
+		},
+		Lambda: workload.Diurnal(48, 2, 40, 24, 0),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lt, err := NewLoadTracking(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Run(lt)
+	}
+}

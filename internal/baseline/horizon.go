@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// RecedingHorizon is model-predictive control with a lookahead window: at
+// slot t it assumes exact knowledge of the next w slots (a semi-online
+// model, strictly stronger than the paper's online model), solves the
+// window optimally starting from its current configuration, commits only
+// the first decision, and rolls forward. It quantifies how much limited
+// lookahead buys relative to the fully online algorithms.
+//
+// The window DP is the naive O(w·|M|²·d) transition; baselines run on
+// small lattices, and keeping it independent of the solver package's fast
+// sweep gives the tests another differential oracle.
+type RecedingHorizon struct {
+	ins  *model.Instance
+	w    int
+	eval *model.Evaluator
+	t    int
+	x    model.Config
+}
+
+// NewRecedingHorizon builds the baseline with lookahead window w >= 1
+// (w = 1 sees only the current slot: greedy with switching awareness).
+func NewRecedingHorizon(ins *model.Instance, w int) (*RecedingHorizon, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("baseline: lookahead window must be >= 1, got %d", w)
+	}
+	return &RecedingHorizon{
+		ins:  ins,
+		w:    w,
+		eval: model.NewEvaluator(ins),
+		x:    make(model.Config, ins.D()),
+	}, nil
+}
+
+// Name implements core.Online.
+func (r *RecedingHorizon) Name() string { return fmt.Sprintf("RecedingHorizon(w=%d)", r.w) }
+
+// Done implements core.Online.
+func (r *RecedingHorizon) Done() bool { return r.t >= r.ins.T() }
+
+// Step implements core.Online.
+func (r *RecedingHorizon) Step() model.Config {
+	if r.Done() {
+		panic("baseline: RecedingHorizon stepped past the last slot")
+	}
+	r.t++
+	end := r.t + r.w - 1
+	if end > r.ins.T() {
+		end = r.ins.T()
+	}
+
+	// Backward DP over the window: V_k[x] = g_k(x) + min_{x'} (sw(x→x') +
+	// V_{k+1}[x']). The first-slot argmin including the switch from the
+	// current configuration is the committed decision.
+	d := r.ins.D()
+	cfg := make(model.Config, d)
+	next := make(model.Config, d)
+
+	var value []float64 // V_{k+1}
+	var vGrid *grid.Grid
+	for k := end; k >= r.t; k-- {
+		g := grid.NewFull(countsAt(r.ins, k))
+		cur := make([]float64, g.Size())
+		for idx := range cur {
+			g.Decode(idx, cfg)
+			op := r.eval.G(k, cfg)
+			if math.IsInf(op, 1) {
+				cur[idx] = op
+				continue
+			}
+			future := 0.0
+			if value != nil {
+				best := math.Inf(1)
+				for nIdx := range value {
+					vGrid.Decode(nIdx, next)
+					c := value[nIdx] + r.ins.SwitchCost(cfg, next)
+					if c < best {
+						best = c
+					}
+				}
+				future = best
+			}
+			cur[idx] = op + future
+		}
+		value, vGrid = cur, g
+	}
+
+	bestIdx, bestVal := -1, math.Inf(1)
+	for idx := range value {
+		vGrid.Decode(idx, cfg)
+		c := value[idx] + r.ins.SwitchCost(r.x, cfg)
+		if c < bestVal {
+			bestVal, bestIdx = c, idx
+		}
+	}
+	if bestIdx < 0 {
+		panic(fmt.Sprintf("baseline: no feasible window plan at slot %d", r.t))
+	}
+	vGrid.Decode(bestIdx, r.x)
+	return r.x.Clone()
+}

@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/solver"
+)
+
+// LCP is discrete lazy capacity provisioning for homogeneous data centers
+// (d = 1), after Lin–Wierman–Andrew–Thereska and the discrete treatment of
+// Albers–Quedenfeld (SPAA 2018): at every slot the server count is lazily
+// clamped into the corridor [x̂_lo(t), x̂_hi(t)] spanned by the smallest
+// and largest final configurations of optimal schedules for the prefix
+// instance I_t. It serves as the strongest prior-work baseline on
+// homogeneous instances; the paper's Algorithm A generalises the idea to
+// d > 1.
+type LCP struct {
+	ins     *model.Instance
+	tracker *solver.PrefixTracker
+	x       int
+}
+
+// NewLCP builds the baseline; it requires a homogeneous instance (d = 1).
+func NewLCP(ins *model.Instance) (*LCP, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if ins.D() != 1 {
+		return nil, fmt.Errorf("baseline: LCP requires d = 1, got %d server types", ins.D())
+	}
+	tracker, err := solver.NewPrefixTracker(ins, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &LCP{ins: ins, tracker: tracker}, nil
+}
+
+// Name implements core.Online.
+func (l *LCP) Name() string { return "LCP" }
+
+// Done implements core.Online.
+func (l *LCP) Done() bool { return l.tracker.Done() }
+
+// Step implements core.Online.
+func (l *LCP) Step() model.Config {
+	l.tracker.Advance()
+	lo, hi := l.tracker.OptRange()
+	l.x = numeric.ClampInt(l.x, lo[0], hi[0])
+	return model.Config{l.x}
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/model"
+)
+
+func TestRandomizedTimeoutFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		ins := randomInstance(rng)
+		alg, err := NewRandomizedTimeout(ins, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := core.Run(alg)
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomizedTimeoutDeterministicPerSeed(t *testing.T) {
+	ins := smallInstance()
+	a, _ := NewRandomizedTimeout(ins, 42)
+	b, _ := NewRandomizedTimeout(smallInstance(), 42)
+	sa := core.Run(a)
+	sb := core.Run(b)
+	for i := range sa {
+		if !sa[i].Equal(sb[i]) {
+			t.Fatal("same seed must reproduce the schedule")
+		}
+	}
+}
+
+func TestRandomizedTimeoutBudgetDistribution(t *testing.T) {
+	// The sampled budget must lie in [0, β]. With X = β·ln(1+(e−1)U),
+	// E[X] = β·∫₀¹ ln(1+(e−1)u) du = β/(e−1) ≈ 0.582β.
+	ins := smallInstance()
+	r, _ := NewRandomizedTimeout(ins, 7)
+	const n = 20000
+	beta := 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.sampleBudget(beta)
+		if x < 0 || x > beta {
+			t.Fatalf("sample %g outside [0, %g]", x, beta)
+		}
+		sum += x
+	}
+	mean := sum / n
+	want := beta / (math.E - 1)
+	if math.Abs(mean-want) > 0.03*beta {
+		t.Errorf("sample mean %g, want ≈ %g", mean, want)
+	}
+	if r.sampleBudget(0) != 0 {
+		t.Error("β=0 should sample 0")
+	}
+}
+
+func TestRandomizedTimeoutReleasesEventually(t *testing.T) {
+	// Surplus servers must be gone once accumulated idle cost exceeds β
+	// (the sampled budget never exceeds β).
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Count: 3, SwitchCost: 2, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: []float64{3, 0, 0, 0, 0, 0},
+	}
+	alg, _ := NewRandomizedTimeout(ins, 1)
+	sched := core.Run(alg)
+	if sched[0][0] != 3 {
+		t.Fatalf("slot 1: %v", sched[0])
+	}
+	// After idle costs 1+1+1 > β = 2, the surplus must be released.
+	if sched[3][0] != 0 {
+		t.Errorf("slot 4 still has %d servers; budget <= β forces release by then", sched[3][0])
+	}
+}
+
+func TestRandomizedTimeoutMeanBehaviour(t *testing.T) {
+	// Averaged over seeds, the randomized policy should not be wildly
+	// worse than the deterministic SkiRental on a bursty trace.
+	ins := smallInstance()
+	det, _ := NewSkiRental(smallInstance())
+	detCost := model.NewEvaluator(ins).Cost(core.Run(det)).Total()
+	sum := 0.0
+	const seeds = 20
+	for s := int64(0); s < seeds; s++ {
+		alg, _ := NewRandomizedTimeout(smallInstance(), s)
+		sum += model.NewEvaluator(ins).Cost(core.Run(alg)).Total()
+	}
+	mean := sum / seeds
+	if mean > detCost*1.6 {
+		t.Errorf("randomized mean %g far above deterministic %g", mean, detCost)
+	}
+}

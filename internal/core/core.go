@@ -1,0 +1,44 @@
+// Package core implements the paper's primary contribution: the online
+// algorithms for right-sizing heterogeneous data centers.
+//
+//   - Algorithm A (Section 2): time-independent operating costs,
+//     (2d+1)-competitive; 2d when the costs are also load-independent
+//     (Corollary 9).
+//   - Algorithm B (Section 3.1): time-dependent operating costs,
+//     (2d+1+c(I))-competitive with c(I) = Σ_j max_t f_{t,j}(0)/β_j.
+//   - Algorithm C (Section 3.2): time-dependent operating costs,
+//     (2d+1+ε)-competitive for any ε > 0 via sub-slot subdivision.
+//
+// All three share the same power-up rule — never run fewer servers of any
+// type than the final configuration x̂^t_t of an optimal schedule for the
+// prefix instance I_t — and differ in their power-down rule (a ski-rental
+// style timeout measured in accumulated idle cost).
+package core
+
+import (
+	"repro/internal/model"
+)
+
+// Online is a deterministic online right-sizing algorithm. A Step consumes
+// exactly one time slot: the implementation reads only that slot's job
+// volume and cost functions, honouring the online information model.
+type Online interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Done reports whether every slot has been consumed.
+	Done() bool
+	// Step consumes the next slot and returns the configuration the
+	// algorithm keeps active during it. The returned value is a fresh
+	// copy. Step panics when Done.
+	Step() model.Config
+}
+
+// Run drives an online algorithm over its whole instance and returns the
+// resulting schedule.
+func Run(a Online) model.Schedule {
+	var out model.Schedule
+	for !a.Done() {
+		out = append(out, a.Step())
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+)
+
+// The paper's online algorithms assume static fleets; the implementation
+// extends them to time-varying sizes (Section 4.3) by releasing the newest
+// power-ups when the fleet shrinks. These tests pin the extension's
+// contract: feasibility and the x >= x̂ invariant.
+
+func timeVaryingInstance(rng *rand.Rand) *model.Instance {
+	T := 4 + rng.Intn(8)
+	types := []model.ServerType{
+		{Count: 4, SwitchCost: 1 + rng.Float64()*5, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 0.5 + rng.Float64(), Rate: rng.Float64()}}},
+		{Count: 2, SwitchCost: 1 + rng.Float64()*8, MaxLoad: 3,
+			Cost: model.Static{F: costfn.Affine{Idle: 1 + rng.Float64(), Rate: rng.Float64()}}},
+	}
+	lambda := make([]float64, T)
+	counts := make([][]int, T)
+	for t := range lambda {
+		counts[t] = []int{1 + rng.Intn(4), rng.Intn(3)}
+		cap := float64(counts[t][0]) + 3*float64(counts[t][1])
+		lambda[t] = rng.Float64() * cap * 0.9
+	}
+	return &model.Instance{Types: types, Lambda: lambda, Counts: counts}
+}
+
+func TestAlgorithmATimeVaryingFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 30; i++ {
+		ins := timeVaryingInstance(rng)
+		a, err := NewAlgorithmA(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sched model.Schedule
+		for !a.Done() {
+			x := a.Step()
+			xhat := a.PrefixOpt()
+			for j := range x {
+				if x[j] < xhat[j] {
+					t.Fatalf("case %d: invariant broken: x=%v x̂=%v", i, x, xhat)
+				}
+			}
+			sched = append(sched, x)
+		}
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestAlgorithmBTimeVaryingFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for i := 0; i < 30; i++ {
+		ins := timeVaryingInstance(rng)
+		b, err := NewAlgorithmB(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sched model.Schedule
+		for !b.Done() {
+			x := b.Step()
+			xhat := b.PrefixOpt()
+			for j := range x {
+				if x[j] < xhat[j] {
+					t.Fatalf("case %d: invariant broken: x=%v x̂=%v", i, x, xhat)
+				}
+			}
+			sched = append(sched, x)
+		}
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestTypeAClampReleasesNewestFirst(t *testing.T) {
+	s := NewTypeA(5)
+	s.Step(2) // slot 1: +2
+	s.Step(3) // slot 2: +1
+	// Clamp to 2: the slot-2 power-up goes first.
+	if got := s.ClampTo(2); got != 2 {
+		t.Fatalf("clamped to %d, want 2", got)
+	}
+	// Advance: at slot 6 the two slot-1 servers expire; nothing remains
+	// of slot 2's power-up (it was released by the clamp).
+	s.Step(0) // 3
+	s.Step(0) // 4
+	s.Step(0) // 5
+	if got := s.Step(0); got != 0 {
+		t.Errorf("slot 6 count = %d, want 0 (slot-1 pair expired, slot-2 released)", got)
+	}
+}
+
+func TestTypeBClampReleasesNewestFirst(t *testing.T) {
+	s := NewTypeB(10)
+	s.Step(1, 2) // slot 1: +2 (expire once idle cost since slot 1 > 10)
+	s.Step(1, 3) // slot 2: +1
+	if got := s.ClampTo(1); got != 1 {
+		t.Fatalf("clamped to %d, want 1", got)
+	}
+	// Accumulate idle cost 9 more (total 10 since slot 1, not > β): the
+	// remaining slot-1 server stays; then the next unit crosses.
+	for i := 0; i < 9; i++ {
+		if got := s.Step(1, 0); got != 1 {
+			t.Fatalf("step %d: %d, want 1", i, got)
+		}
+	}
+	if got := s.Step(1, 0); got != 0 {
+		t.Errorf("after crossing β: %d, want 0", got)
+	}
+}
+
+func TestClampToNoOpWhenUnderLimit(t *testing.T) {
+	s := NewTypeA(3)
+	s.Step(2)
+	if got := s.ClampTo(5); got != 2 {
+		t.Errorf("clamp above current count should be a no-op, got %d", got)
+	}
+	b := NewTypeB(3)
+	b.Step(1, 2)
+	if got := b.ClampTo(5); got != 2 {
+		t.Errorf("clamp above current count should be a no-op, got %d", got)
+	}
+}

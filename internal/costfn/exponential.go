@@ -1,0 +1,45 @@
+package costfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exponential is f(z) = Idle + Amp·(e^{Rate·z} − 1), a sharply convex
+// cost modelling thermal/cooling blow-up at high utilisation: near-linear
+// at low load, explosive near saturation. Amp and Rate must be positive.
+type Exponential struct {
+	Idle float64 // f(0)
+	Amp  float64 // amplitude of the exponential term, > 0
+	Rate float64 // growth rate, > 0
+}
+
+// Value implements Func.
+func (e Exponential) Value(z float64) float64 {
+	if z <= 0 {
+		return e.Idle
+	}
+	return e.Idle + e.Amp*(math.Exp(e.Rate*z)-1)
+}
+
+// Deriv implements Differentiable: f'(z) = Amp·Rate·e^{Rate·z}.
+func (e Exponential) Deriv(z float64) float64 {
+	if z < 0 {
+		z = 0
+	}
+	return e.Amp * e.Rate * math.Exp(e.Rate*z)
+}
+
+// InvDeriv implements Invertible: f'(z) <= ν ⇔ z <= ln(ν/(Amp·Rate))/Rate.
+func (e Exponential) InvDeriv(nu float64) float64 {
+	base := e.Amp * e.Rate
+	if nu <= base {
+		return 0
+	}
+	return math.Log(nu/base) / e.Rate
+}
+
+// String describes the function.
+func (e Exponential) String() string {
+	return fmt.Sprintf("exp(%g+%g·(e^{%g·z}-1))", e.Idle, e.Amp, e.Rate)
+}

@@ -1,0 +1,76 @@
+package costfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialBasics(t *testing.T) {
+	f := Exponential{Idle: 2, Amp: 1, Rate: 1}
+	if f.Value(0) != 2 {
+		t.Errorf("Value(0) = %g, want 2", f.Value(0))
+	}
+	want := 2 + math.E - 1
+	if math.Abs(f.Value(1)-want) > 1e-12 {
+		t.Errorf("Value(1) = %g, want %g", f.Value(1), want)
+	}
+	if f.Value(-1) != 2 {
+		t.Error("negative load clamps to idle")
+	}
+	if err := Validate(f, 3, 100); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestExponentialDerivative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		f := Exponential{Idle: rng.Float64(), Amp: 0.1 + rng.Float64(), Rate: 0.2 + rng.Float64()*2}
+		z := rng.Float64() * 3
+		h := 1e-6
+		numeric := (f.Value(z+h) - f.Value(z-h)) / (2 * h)
+		if math.Abs(numeric-f.Deriv(z)) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("derivative mismatch at z=%g: numeric %g vs analytic %g", z, numeric, f.Deriv(z))
+		}
+	}
+}
+
+func TestExponentialInvDeriv(t *testing.T) {
+	f := Exponential{Idle: 0, Amp: 2, Rate: 3} // f'(z) = 6·e^{3z}
+	if f.InvDeriv(6) != 0 {
+		t.Errorf("InvDeriv at f'(0) should be 0, got %g", f.InvDeriv(6))
+	}
+	if f.InvDeriv(1) != 0 {
+		t.Error("nu below f'(0) should give 0")
+	}
+	z := f.InvDeriv(6 * math.E) // f'(z) = 6e ⇒ z = 1/3
+	if math.Abs(z-1.0/3) > 1e-12 {
+		t.Errorf("InvDeriv(6e) = %g, want 1/3", z)
+	}
+}
+
+// Property: InvDeriv inverts Deriv exactly.
+func TestExponentialInvDerivProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Exponential{Idle: rng.Float64(), Amp: 0.1 + rng.Float64()*3, Rate: 0.2 + rng.Float64()*3}
+		z := rng.Float64() * 4
+		nu := f.Deriv(z)
+		back := f.InvDeriv(nu)
+		return math.Abs(back-z) < 1e-9*(1+z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentialIsInvertibleFamily(t *testing.T) {
+	if _, ok := AsInvertible(Exponential{Idle: 1, Amp: 1, Rate: 1}); !ok {
+		t.Error("Exponential should be invertible")
+	}
+	if (Exponential{Idle: 1, Amp: 1, Rate: 1}).String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,160 @@
+package costfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantInvDeriv(t *testing.T) {
+	c := Constant{C: 3}
+	if !math.IsInf(c.InvDeriv(0), 1) || !math.IsInf(c.InvDeriv(5), 1) {
+		t.Error("constant cost: any load has derivative 0 <= nu for nu >= 0")
+	}
+	if c.InvDeriv(-1) != 0 {
+		t.Error("negative nu should give 0")
+	}
+}
+
+func TestAffineInvDeriv(t *testing.T) {
+	a := Affine{Idle: 1, Rate: 2}
+	if a.InvDeriv(1.9) != 0 {
+		t.Error("nu below rate: 0")
+	}
+	if !math.IsInf(a.InvDeriv(2), 1) {
+		t.Error("nu at rate: +Inf")
+	}
+	if !math.IsInf(a.InvDeriv(3), 1) {
+		t.Error("nu above rate: +Inf")
+	}
+}
+
+func TestPowerInvDeriv(t *testing.T) {
+	p := Power{Idle: 0, Coef: 1, Exp: 2} // f'(z) = 2z
+	if got := p.InvDeriv(4); math.Abs(got-2) > 1e-12 {
+		t.Errorf("InvDeriv(4) = %g, want 2", got)
+	}
+	if got := p.InvDeriv(0); got != 0 {
+		t.Errorf("InvDeriv(0) = %g, want 0", got)
+	}
+	if got := p.InvDeriv(-1); got != 0 {
+		t.Errorf("negative nu: got %g, want 0", got)
+	}
+}
+
+func TestPowerInvDerivEdgeCases(t *testing.T) {
+	if !math.IsInf(Power{Idle: 1, Coef: 0, Exp: 2}.InvDeriv(1), 1) {
+		t.Error("zero coefficient behaves like constant")
+	}
+	lin := Power{Idle: 0, Coef: 3, Exp: 1}
+	if lin.InvDeriv(2) != 0 {
+		t.Error("nu below linear slope: 0")
+	}
+	if !math.IsInf(lin.InvDeriv(3), 1) {
+		t.Error("nu at linear slope: +Inf")
+	}
+}
+
+func TestPiecewiseLinearInvDeriv(t *testing.T) {
+	// slopes: 1 on [0,1), 3 on [1,2), extrapolated 3 beyond.
+	f := MustPiecewiseLinear([]float64{0, 1, 2}, []float64{0, 1, 4})
+	if got := f.InvDeriv(0.5); got != 0 {
+		t.Errorf("nu=0.5: got %g, want 0", got)
+	}
+	if got := f.InvDeriv(1); got != 1 {
+		t.Errorf("nu=1 (equal to first slope): got %g, want 1", got)
+	}
+	if got := f.InvDeriv(2); got != 1 {
+		t.Errorf("nu=2: got %g, want 1", got)
+	}
+	if !math.IsInf(f.InvDeriv(3), 1) {
+		t.Error("nu at final slope: +Inf")
+	}
+	single := MustPiecewiseLinear([]float64{0}, []float64{2})
+	if !math.IsInf(single.InvDeriv(0), 1) || single.InvDeriv(-1) != 0 {
+		t.Error("single-point curve derivative inversion")
+	}
+}
+
+func TestScaledInvDeriv(t *testing.T) {
+	f := Scaled{F: Power{Idle: 0, Coef: 1, Exp: 2}, Factor: 2} // f'(z) = 4z
+	if got := f.InvDeriv(4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("InvDeriv(4) = %g, want 1", got)
+	}
+}
+
+func TestScaledInvDerivPanicsOnOpaque(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Scaled{F: valueOnly{}, Factor: 2}.InvDeriv(1)
+}
+
+func TestAsInvertible(t *testing.T) {
+	for _, f := range []Func{
+		Constant{1}, Affine{1, 2}, Power{0, 1, 2},
+		MustPiecewiseLinear([]float64{0, 1}, []float64{0, 1}),
+		Scaled{F: Power{0, 1, 2}, Factor: 2},
+		Scaled{F: Scaled{F: Affine{0, 1}, Factor: 2}, Factor: 3},
+	} {
+		if _, ok := AsInvertible(f); !ok {
+			t.Errorf("%v should be invertible", f)
+		}
+	}
+	if _, ok := AsInvertible(valueOnly{}); ok {
+		t.Error("opaque function should not be invertible")
+	}
+	if _, ok := AsInvertible(Scaled{F: valueOnly{}, Factor: 2}); ok {
+		t.Error("scaled opaque function should not be invertible")
+	}
+}
+
+// Property: InvDeriv is consistent with Deriv — for random nu, the returned
+// z satisfies Deriv(z) <= nu (when finite) and Deriv(z + eps) "crosses" nu.
+func TestInvDerivConsistencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := []Invertible{
+			Power{Idle: rng.Float64(), Coef: rng.Float64()*4 + 0.1, Exp: 1.5 + rng.Float64()*2},
+			Affine{Idle: rng.Float64(), Rate: rng.Float64()*4 + 0.1},
+			MustPiecewiseLinear(
+				[]float64{0, 0.5, 1, 2},
+				[]float64{0, 0.25, 1, 4},
+			),
+		}
+		nu := rng.Float64() * 6
+		for _, f := range fs {
+			z := f.InvDeriv(nu)
+			if math.IsInf(z, 1) {
+				// Derivative never exceeds nu: check a large sample point.
+				if f.Deriv(1e6) > nu+1e-9 {
+					return false
+				}
+				continue
+			}
+			if z > 0 && f.Deriv(z*(1-1e-9)) > nu+1e-9 {
+				return false
+			}
+			if f.Deriv(z+1e-6) < nu-1e-3 && f.Deriv(z+1) < nu-1e-9 {
+				// z should be (near) the largest point with Deriv <= nu;
+				// if well beyond z the derivative is still below nu, the
+				// inversion under-shot.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPowerInvDeriv(b *testing.B) {
+	p := Power{Idle: 1, Coef: 2, Exp: 2.7}
+	for i := 0; i < b.N; i++ {
+		_ = p.InvDeriv(float64(i%17) / 3)
+	}
+}

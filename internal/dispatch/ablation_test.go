@@ -1,0 +1,77 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costfn"
+)
+
+// Ablation: the same quadratic cost exposed through each capability tier —
+// Invertible (closed-form dual step), Differentiable (derivative
+// bisection) and opaque (golden-section) — must agree numerically, and the
+// benchmarks quantify what each fast path buys.
+
+// derivOnly wraps Power hiding InvDeriv.
+type derivOnly struct{ p costfn.Power }
+
+func (d derivOnly) Value(z float64) float64 { return d.p.Value(z) }
+func (d derivOnly) Deriv(z float64) float64 { return d.p.Deriv(z) }
+
+// valueOnlyQuad wraps Power hiding both derivatives.
+type valueOnlyQuad struct{ p costfn.Power }
+
+func (v valueOnlyQuad) Value(z float64) float64 { return v.p.Value(z) }
+
+func ablationServers(wrap func(costfn.Power) costfn.Func) []Server {
+	q1 := costfn.Power{Idle: 1, Coef: 1, Exp: 2}
+	q2 := costfn.Power{Idle: 2, Coef: 0.5, Exp: 2}
+	return []Server{
+		{Active: 6, Cap: 1, F: wrap(q1)},
+		{Active: 3, Cap: 4, F: wrap(q2)},
+	}
+}
+
+func TestDispatchTiersAgree(t *testing.T) {
+	inv := ablationServers(func(p costfn.Power) costfn.Func { return p })
+	diff := ablationServers(func(p costfn.Power) costfn.Func { return derivOnly{p} })
+	opaque := ablationServers(func(p costfn.Power) costfn.Func { return valueOnlyQuad{p} })
+	for _, lambda := range []float64{0.5, 3, 7.7, 12} {
+		a := Assign(inv, lambda).Cost
+		b := Assign(diff, lambda).Cost
+		c := Assign(opaque, lambda).Cost
+		if math.Abs(a-b) > 1e-6*(1+a) {
+			t.Errorf("λ=%g: invertible %g vs differentiable %g", lambda, a, b)
+		}
+		if math.Abs(a-c) > 1e-4*(1+a) {
+			t.Errorf("λ=%g: invertible %g vs opaque %g", lambda, a, c)
+		}
+	}
+}
+
+func BenchmarkDispatchTierInvertible(b *testing.B) {
+	servers := ablationServers(func(p costfn.Power) costfn.Func { return p })
+	var sv Solver
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sv.Cost(servers, 7.7)
+	}
+}
+
+func BenchmarkDispatchTierDifferentiable(b *testing.B) {
+	servers := ablationServers(func(p costfn.Power) costfn.Func { return derivOnly{p} })
+	var sv Solver
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sv.Cost(servers, 7.7)
+	}
+}
+
+func BenchmarkDispatchTierOpaque(b *testing.B) {
+	servers := ablationServers(func(p costfn.Power) costfn.Func { return valueOnlyQuad{p} })
+	var sv Solver
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sv.Cost(servers, 7.7)
+	}
+}

@@ -1,0 +1,251 @@
+// Package dispatch solves the intra-slot load-assignment problem of the
+// right-sizing model: given the numbers of active servers per type, split
+// the arriving job volume λ across the types so the total operating cost is
+// minimal. This evaluates the paper's Equation (1),
+//
+//	g_t(x_1, …, x_d) = min_{z ∈ Z} Σ_j g_{t,j}(x_j, z_j),
+//
+// where Z is the probability simplex over the d types and
+// g_{t,j}(x, z) = x·f_{t,j}(λ_t z / x). By Lemma 2 (Jensen), jobs assigned
+// to a type are spread evenly over its active servers, which is what the
+// x·f(λz/x) form encodes.
+//
+// Substituting y_j = λ z_j turns the problem into a separable convex
+// program with one coupling constraint:
+//
+//	min Σ_j φ_j(y_j)   s.t.  Σ_j y_j = λ,  0 ≤ y_j ≤ x_j·zmax_j,
+//	φ_j(y) = x_j · f_j(y / x_j).
+//
+// The solver performs water-filling on the dual: for a multiplier ν, each
+// type's optimal volume y_j(ν) is the largest y with φ'_j(y) ≤ ν, clamped
+// to its capacity; Σ_j y_j(ν) is non-decreasing in ν, so an outer bisection
+// finds the ν* that meets the demand. Cost functions implementing
+// costfn.Invertible give y_j(ν) in closed form; differentiable functions
+// use derivative bisection; opaque functions fall back to golden-section
+// search on the Lagrangian.
+package dispatch
+
+import (
+	"math"
+
+	"repro/internal/costfn"
+	"repro/internal/numeric"
+)
+
+// Server describes one server type's state within a single time slot.
+type Server struct {
+	Active int         // number of active servers x_j (>= 0)
+	Cap    float64     // per-server capacity zmax_j (> 0)
+	F      costfn.Func // operating-cost function f_{t,j} for this slot
+}
+
+// Assignment is the result of an optimal load split.
+type Assignment struct {
+	// Cost is g_t(x): the minimal total operating cost. It is +Inf when
+	// the active servers cannot absorb the demand (infeasible slot) and 0
+	// only if every type is inactive and the demand is zero.
+	Cost float64
+	// Y[j] is the job volume routed to type j; Σ Y = λ for feasible calls.
+	Y []float64
+	// Z[j] is the fraction of λ routed to type j (Y[j]/λ); all zero when
+	// λ = 0.
+	Z []float64
+}
+
+// Assign computes the optimal split of job volume lambda across the server
+// types. It never mutates its input. The semantics at the edges follow the
+// paper's definition of g_{t,j}:
+//   - lambda == 0: nothing to route; cost is the idle cost of all active
+//     servers.
+//   - lambda > 0 with zero total capacity: cost +Inf (x_j = 0 and
+//     λ_t z_j > 0 is forbidden, and capacities bound the rest).
+//
+// Assign allocates its result; inside hot loops use Solver.Cost, which is
+// allocation-free.
+func Assign(servers []Server, lambda float64) Assignment {
+	d := len(servers)
+	res := Assignment{
+		Y: make([]float64, d),
+		Z: make([]float64, d),
+	}
+	var sv Solver
+	res.Cost = sv.solve(servers, lambda, res.Y)
+	if lambda > 0 {
+		for j := range res.Z {
+			res.Z[j] = res.Y[j] / lambda
+		}
+	}
+	return res
+}
+
+// Solver evaluates optimal assignment costs while reusing internal scratch
+// buffers across calls. The zero value is ready to use. A Solver is not
+// safe for concurrent use; create one per goroutine.
+type Solver struct {
+	active []int
+	lo, hi []float64
+	y      []float64
+}
+
+// Cost returns g_t(x) — the minimal operating cost of routing volume
+// lambda to the given active servers — without allocating.
+func (sv *Solver) Cost(servers []Server, lambda float64) float64 {
+	if cap(sv.y) < len(servers) {
+		sv.y = make([]float64, len(servers))
+	}
+	return sv.solve(servers, lambda, sv.y[:len(servers)])
+}
+
+// solve computes the optimal cost and writes the per-type volumes into y
+// (which must have len(servers) entries).
+func (sv *Solver) solve(servers []Server, lambda float64, y []float64) float64 {
+	if lambda < 0 {
+		panic("dispatch: negative job volume")
+	}
+	for j := range y {
+		y[j] = 0
+	}
+
+	idle := 0.0
+	totalCap := 0.0
+	for _, s := range servers {
+		if s.Active < 0 {
+			panic("dispatch: negative active-server count")
+		}
+		if s.Active > 0 {
+			idle += float64(s.Active) * s.F.Value(0)
+			totalCap += float64(s.Active) * s.Cap
+		}
+	}
+
+	if lambda == 0 {
+		return idle
+	}
+	if totalCap < lambda*(1-1e-12) {
+		return math.Inf(1)
+	}
+
+	sv.active = sv.active[:0]
+	for j, s := range servers {
+		if s.Active > 0 && s.Cap > 0 {
+			sv.active = append(sv.active, j)
+		}
+	}
+	if len(sv.active) == 1 {
+		j := sv.active[0]
+		y[j] = math.Min(lambda, float64(servers[j].Active)*servers[j].Cap)
+		return phi(servers[j], y[j])
+	}
+
+	nuStar := solveDual(servers, sv.active, lambda)
+	sv.fillVolumes(servers, lambda, nuStar, y)
+
+	// phi(s, y) is the complete cost (idle + load) of a type's active
+	// servers, so summing over active types is the whole slot cost.
+	cost := 0.0
+	for _, j := range sv.active {
+		cost += phi(servers[j], y[j])
+	}
+	return cost
+}
+
+// phi evaluates φ_j(y) = x_j f_j(y/x_j), the total cost of type j's active
+// servers when routed volume y.
+func phi(s Server, y float64) float64 {
+	x := float64(s.Active)
+	if y <= 0 {
+		return x * s.F.Value(0)
+	}
+	return x * s.F.Value(y/x)
+}
+
+// volumeAt returns y_j(ν): the volume type j absorbs at dual multiplier ν.
+// It is the minimiser of φ_j(y) − ν·y over [0, cap_j], which for convex φ
+// is the largest y in the capacity interval with φ'_j(y) ≤ ν.
+func volumeAt(s Server, nu float64) float64 {
+	x := float64(s.Active)
+	cap := x * s.Cap
+	if inv, ok := costfn.AsInvertible(s.F); ok {
+		z := inv.InvDeriv(nu) // φ'(y) = f'(y/x) ≤ ν  ⇔  y ≤ x·InvDeriv(ν)
+		return numeric.Clamp(x*z, 0, cap)
+	}
+	if diff, ok := costfn.AsDifferentiable(s.F); ok {
+		if diff.Deriv(0) >= nu {
+			return 0
+		}
+		if diff.Deriv(s.Cap) <= nu {
+			return cap
+		}
+		z := numeric.BisectIncreasing(diff.Deriv, nu, 0, s.Cap, 1e-13*s.Cap)
+		return numeric.Clamp(x*z, 0, cap)
+	}
+	// Opaque function: golden-section on the per-type Lagrangian.
+	y, _ := numeric.MinimizeConvex(func(y float64) float64 {
+		return phi(s, y) - nu*y
+	}, 0, cap, 1e-13*math.Max(cap, 1))
+	return y
+}
+
+// solveDual bisects the dual multiplier ν so that total absorbed volume
+// meets lambda.
+func solveDual(servers []Server, active []int, lambda float64) float64 {
+	total := func(nu float64) float64 {
+		sum := 0.0
+		for _, j := range active {
+			sum += volumeAt(servers[j], nu)
+		}
+		return sum
+	}
+	// Grow an upper bound: capacities are finite, demand is feasible, and
+	// every y_j(ν) reaches its cap once ν clears the largest relevant
+	// marginal cost, so geometric growth terminates.
+	hi := 1.0
+	for i := 0; i < 200 && total(hi) < lambda; i++ {
+		hi *= 2
+	}
+	return numeric.BisectIncreasing(total, lambda, 0, hi, 1e-14*math.Max(hi, 1))
+}
+
+// fillVolumes assigns exact volumes at the (approximately) optimal dual
+// multiplier. Because Σ y_j(ν) can jump at ν* (ties between linear
+// segments), it interpolates between the volumes just below and just above
+// ν*; any point on that segment has identical marginal cost, so the
+// interpolation preserves optimality while making Σ y_j = λ exact.
+func (sv *Solver) fillVolumes(servers []Server, lambda, nuStar float64, y []float64) {
+	active := sv.active
+	delta := 1e-9 * (1 + math.Abs(nuStar))
+	if cap(sv.lo) < len(active) {
+		sv.lo = make([]float64, len(active))
+		sv.hi = make([]float64, len(active))
+	}
+	lo, hi := sv.lo[:len(active)], sv.hi[:len(active)]
+	var sumLo, sumHi float64
+	for i, j := range active {
+		lo[i] = volumeAt(servers[j], nuStar-delta)
+		hi[i] = volumeAt(servers[j], nuStar+delta)
+		sumLo += lo[i]
+		sumHi += hi[i]
+	}
+	theta := 0.0
+	if sumHi > sumLo {
+		theta = numeric.Clamp((lambda-sumLo)/(sumHi-sumLo), 0, 1)
+	}
+	sum := 0.0
+	for i, j := range active {
+		y[j] = lo[i] + theta*(hi[i]-lo[i])
+		sum += y[j]
+	}
+	// Remove the residual numerically, respecting capacities. The residual
+	// is O(bisection tolerance), so the cost impact is negligible, but an
+	// exact sum keeps downstream feasibility checks crisp.
+	residual := lambda - sum
+	for _, j := range active {
+		if residual == 0 {
+			break
+		}
+		cap := float64(servers[j].Active) * servers[j].Cap
+		adj := numeric.Clamp(y[j]+residual, 0, cap) - y[j]
+		y[j] += adj
+		residual -= adj
+	}
+}

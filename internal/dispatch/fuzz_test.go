@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costfn"
+)
+
+// FuzzAssign stresses the water-filling solver with arbitrary parameters:
+// it must never panic on well-formed input, and feasible results must
+// route exactly the demanded volume within capacity.
+func FuzzAssign(f *testing.F) {
+	f.Add(2, 1.0, 1.0, 2.0, 4, 3.0, 0.5, 2.0, 3.5)
+	f.Add(1, 0.5, 0.0, 1.0, 0, 1.0, 1.0, 1.0, 0.0)
+	f.Add(3, 2.0, 0.1, 3.0, 2, 0.7, 2.0, 1.5, 5.0)
+	f.Fuzz(func(t *testing.T, x0 int, cap0, idle0, rate0 float64,
+		x1 int, cap1, coef1, exp1, lambda float64) {
+		// Sanitise into the solver's documented domain.
+		if x0 < 0 {
+			x0 = -x0
+		}
+		if x1 < 0 {
+			x1 = -x1
+		}
+		x0 %= 16
+		x1 %= 16
+		cap0 = sanitize(cap0, 0.1, 8)
+		cap1 = sanitize(cap1, 0.1, 8)
+		idle0 = sanitize(idle0, 0, 10)
+		rate0 = sanitize(rate0, 0, 10)
+		coef1 = sanitize(coef1, 0, 10)
+		exp1 = sanitize(exp1, 1, 4)
+		lambda = sanitize(lambda, 0, 50)
+
+		servers := []Server{
+			{Active: x0, Cap: cap0, F: costfn.Affine{Idle: idle0, Rate: rate0}},
+			{Active: x1, Cap: cap1, F: costfn.Power{Idle: 0.1, Coef: coef1, Exp: exp1}},
+		}
+		a := Assign(servers, lambda)
+
+		totalCap := float64(x0)*cap0 + float64(x1)*cap1
+		if lambda > totalCap*(1+1e-9) {
+			if !math.IsInf(a.Cost, 1) {
+				t.Fatalf("demand %g above capacity %g must be infeasible, got cost %g",
+					lambda, totalCap, a.Cost)
+			}
+			return
+		}
+		if math.IsInf(a.Cost, 1) {
+			// Borderline capacity; acceptable only within tolerance.
+			if lambda < totalCap*(1-1e-6) {
+				t.Fatalf("feasible demand %g (cap %g) reported infeasible", lambda, totalCap)
+			}
+			return
+		}
+		if a.Cost < 0 || math.IsNaN(a.Cost) {
+			t.Fatalf("invalid cost %g", a.Cost)
+		}
+		sum := 0.0
+		for j, y := range a.Y {
+			if y < -1e-9 {
+				t.Fatalf("negative volume %g", y)
+			}
+			capJ := float64(servers[j].Active) * servers[j].Cap
+			if y > capJ*(1+1e-6)+1e-9 {
+				t.Fatalf("type %d volume %g exceeds capacity %g", j, y, capJ)
+			}
+			sum += y
+		}
+		if lambda > 0 && math.Abs(sum-lambda) > 1e-6*(1+lambda) {
+			t.Fatalf("volumes sum to %g, want %g", sum, lambda)
+		}
+	})
+}
+
+func sanitize(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	if v < 0 {
+		v = -v
+	}
+	return lo + math.Mod(v, hi-lo)
+}

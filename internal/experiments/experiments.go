@@ -1,0 +1,399 @@
+// Package experiments defines the reproduction study: one experiment per
+// paper artefact (its five figures and every quantitative theorem), each
+// producing a table with the paper's proven bound next to the measured
+// value. cmd/experiments renders the full study as EXPERIMENTS.md;
+// bench_test.go at the repository root exposes each experiment as a
+// testing.B benchmark.
+//
+// The paper proves worst-case guarantees rather than reporting empirical
+// tables, so "reproduction" here means: (a) regenerate every figure from
+// the production code, pinning the values the paper prints, and
+// (b) measure the quantities each theorem bounds — competitive ratios,
+// approximation factors, lattice sizes, runtimes — and verify the bounds
+// hold while recording where typical-case behaviour lands.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	Paper string // the paper's claim being checked
+	Table *sim.Table
+	Notes []string
+	Pass  bool // measured values respect every proven bound
+}
+
+// tol absorbs float accumulation when checking proven inequalities.
+const tol = 1e-9
+
+// ---------- shared instance generators ----------
+
+// randomStatic generates a feasible instance with time-independent costs,
+// mixed cost families and strictly positive switching costs.
+func randomStatic(rng *rand.Rand, d, maxM, T int) *model.Instance {
+	types := make([]model.ServerType, d)
+	totalCap := 0.0
+	for j := range types {
+		count := 1 + rng.Intn(maxM)
+		capacity := 0.5 + rng.Float64()*2
+		var f costfn.Func
+		switch rng.Intn(3) {
+		case 0:
+			f = costfn.Constant{C: 0.2 + rng.Float64()*2}
+		case 1:
+			f = costfn.Affine{Idle: 0.2 + rng.Float64(), Rate: rng.Float64() * 2}
+		default:
+			f = costfn.Power{Idle: 0.2 + rng.Float64(), Coef: 0.2 + rng.Float64(), Exp: 1 + rng.Float64()*2}
+		}
+		types[j] = model.ServerType{
+			Count:      count,
+			SwitchCost: 0.5 + rng.Float64()*6,
+			MaxLoad:    capacity,
+			Cost:       model.Static{F: f},
+		}
+		totalCap += float64(count) * capacity
+	}
+	lambda := make([]float64, T)
+	for t := range lambda {
+		if rng.Intn(4) == 0 {
+			lambda[t] = 0
+		} else {
+			lambda[t] = rng.Float64() * totalCap * 0.9
+		}
+	}
+	return &model.Instance{Types: types, Lambda: lambda}
+}
+
+// modulate turns a static instance into one with time-dependent idle
+// costs (price-signal style).
+func modulate(rng *rand.Rand, ins *model.Instance) *model.Instance {
+	for j := range ins.Types {
+		base := ins.Types[j].Cost.(model.Static).F
+		scale := make([]float64, ins.T())
+		for t := range scale {
+			scale[t] = 0.25 + rng.Float64()*1.75
+		}
+		ins.Types[j].Cost = model.Modulated{F: base, Scale: scale}
+	}
+	return ins
+}
+
+// ratioAgainstOpt runs an online algorithm and returns C(alg)/OPT.
+func ratioAgainstOpt(ins *model.Instance, alg core.Online) float64 {
+	sched := core.Run(alg)
+	if err := ins.Feasible(sched); err != nil {
+		panic(fmt.Sprintf("experiments: %s infeasible: %v", alg.Name(), err))
+	}
+	cost := model.NewEvaluator(ins).Cost(sched).Total()
+	opt, err := solver.OptimalCost(ins)
+	if err != nil {
+		panic(err)
+	}
+	return cost / opt
+}
+
+// ---------- E1: Theorem 8 ----------
+
+// E1CompetitiveA measures Algorithm A's competitive ratio on random
+// instances with time-independent costs against the proven bound 2d+1.
+func E1CompetitiveA(seed int64, perD int) Report {
+	rep := Report{
+		ID:    "E1",
+		Title: "Algorithm A: competitive ratio vs. Theorem 8 bound (2d+1)",
+		Paper: "Theorem 8: C(X^A) <= (2d+1)·C(OPT) for time-independent operating costs",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d+1", "holds")
+	rng := rand.New(rand.NewSource(seed))
+	for d := 1; d <= 3; d++ {
+		var sum, max float64
+		for i := 0; i < perD; i++ {
+			ins := randomStatic(rng, d, 4-d+1, 8+rng.Intn(6))
+			a, err := core.NewAlgorithmA(ins)
+			if err != nil {
+				panic(err)
+			}
+			r := ratioAgainstOpt(ins, a)
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		bound := 2*float64(d) + 1
+		holds := max <= bound+tol
+		rep.Pass = rep.Pass && holds
+		rep.Table.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%d", perD),
+			fmt.Sprintf("%.3f", sum/float64(perD)), fmt.Sprintf("%.3f", max),
+			fmt.Sprintf("%.0f", bound), fmt.Sprintf("%v", holds))
+	}
+	rep.Notes = append(rep.Notes,
+		"Random mixed-cost instances (constant/affine/power families); the measured ratio is far below the worst-case bound, as expected off adversarial inputs.")
+	return rep
+}
+
+// ---------- E2: Corollary 9 ----------
+
+// E2ConstantCosts is E1 restricted to load- and time-independent costs,
+// where the bound tightens to 2d.
+func E2ConstantCosts(seed int64, perD int) Report {
+	rep := Report{
+		ID:    "E2",
+		Title: "Algorithm A on constant costs: ratio vs. Corollary 9 bound (2d)",
+		Paper: "Corollary 9: with load- and time-independent costs, Algorithm A is 2d-competitive (optimal)",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d", "holds")
+	rng := rand.New(rand.NewSource(seed))
+	for d := 1; d <= 3; d++ {
+		var sum, max float64
+		for i := 0; i < perD; i++ {
+			ins := randomStatic(rng, d, 4-d+1, 8+rng.Intn(6))
+			for j := range ins.Types {
+				ins.Types[j].Cost = model.Static{F: costfn.Constant{C: 0.2 + rng.Float64()*2}}
+			}
+			a, err := core.NewAlgorithmA(ins)
+			if err != nil {
+				panic(err)
+			}
+			r := ratioAgainstOpt(ins, a)
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		bound := 2 * float64(d)
+		holds := max <= bound+tol
+		rep.Pass = rep.Pass && holds
+		rep.Table.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%d", perD),
+			fmt.Sprintf("%.3f", sum/float64(perD)), fmt.Sprintf("%.3f", max),
+			fmt.Sprintf("%.0f", bound), fmt.Sprintf("%v", holds))
+	}
+	return rep
+}
+
+// ---------- E3: Theorem 13 ----------
+
+// E3CompetitiveB measures Algorithm B on time-dependent costs against
+// 2d+1+c(I).
+func E3CompetitiveB(seed int64, perD int) Report {
+	rep := Report{
+		ID:    "E3",
+		Title: "Algorithm B: competitive ratio vs. Theorem 13 bound (2d+1+c(I))",
+		Paper: "Theorem 13: C(X^B) <= (2d+1+c(I))·C(OPT), c(I) = Σ_j max_t f_{t,j}(0)/β_j",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "max bound", "holds")
+	rng := rand.New(rand.NewSource(seed))
+	for d := 1; d <= 3; d++ {
+		var sum, max, maxBound float64
+		holds := true
+		for i := 0; i < perD; i++ {
+			ins := modulate(rng, randomStatic(rng, d, 4-d+1, 8+rng.Intn(6)))
+			b, err := core.NewAlgorithmB(ins)
+			if err != nil {
+				panic(err)
+			}
+			r := ratioAgainstOpt(ins, b)
+			bound := core.RatioBoundB(ins)
+			if bound > maxBound {
+				maxBound = bound
+			}
+			holds = holds && r <= bound+tol
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		rep.Pass = rep.Pass && holds
+		rep.Table.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%d", perD),
+			fmt.Sprintf("%.3f", sum/float64(perD)), fmt.Sprintf("%.3f", max),
+			fmt.Sprintf("%.2f", maxBound), fmt.Sprintf("%v", holds))
+	}
+	rep.Notes = append(rep.Notes,
+		"c(I) varies per instance; the bound column reports the largest 2d+1+c(I) in the batch, and each instance was checked against its own bound.")
+	return rep
+}
+
+// ---------- E4: Theorem 15 ----------
+
+// E4CompetitiveC sweeps ε for Algorithm C on a fixed batch of
+// time-dependent instances.
+func E4CompetitiveC(seed int64, instances int) Report {
+	rep := Report{
+		ID:    "E4",
+		Title: "Algorithm C: ratio vs. Theorem 15 bound (2d+1+ε) across ε",
+		Paper: "Theorem 15: for any ε > 0, Algorithm C is (2d+1+ε)-competitive",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("eps", "instances", "mean ratio", "max ratio", "max ñ_t", "bound (d=2)", "holds")
+	for _, eps := range []float64{2, 1, 0.5, 0.25} {
+		rng := rand.New(rand.NewSource(seed)) // same instances per ε
+		var sum, max float64
+		maxN := 1
+		holds := true
+		for i := 0; i < instances; i++ {
+			ins := modulate(rng, randomStatic(rng, 2, 3, 8+rng.Intn(4)))
+			c, err := core.NewAlgorithmC(ins, eps)
+			if err != nil {
+				panic(err)
+			}
+			r := ratioAgainstOpt(ins, c)
+			if c.MaxN() > maxN {
+				maxN = c.MaxN()
+			}
+			holds = holds && r <= c.RatioBound()+tol
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		rep.Pass = rep.Pass && holds
+		rep.Table.Add(fmt.Sprintf("%g", eps), fmt.Sprintf("%d", instances),
+			fmt.Sprintf("%.3f", sum/float64(instances)), fmt.Sprintf("%.3f", max),
+			fmt.Sprintf("%d", maxN), fmt.Sprintf("%.2f", 5+eps), fmt.Sprintf("%v", holds))
+	}
+	rep.Notes = append(rep.Notes,
+		"Smaller ε tightens the guarantee but multiplies the sub-slot count ñ_t (and hence Algorithm B invocations) — the accuracy/effort trade-off of Section 3.2.")
+	return rep
+}
+
+// ---------- E7: lower-bound pressure ----------
+
+// E7Adversarial measures Algorithm A on adversarial traces designed to
+// approach the 2d lower bound of the predecessor paper [5]: the analytic
+// d=1 spike train (with a β sweep showing the ratio climbing toward 2)
+// plus a hill-climbing search over d=2 on/off traces.
+func E7Adversarial() Report {
+	rep := Report{
+		ID:    "E7",
+		Title: "Adversarial traces: pushing Algorithm A toward the 2d lower bound",
+		Paper: "[Albers–Quedenfeld CIAC 2021]: no deterministic online algorithm beats 2d; Theorems 8/13 are nearly tight",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("instance", "d", "measured ratio", "predicted", "lower bound 2d", "upper bound", "within")
+
+	// d=1 ski-rental spike trains: Algorithm A pays ≈ 2β per spike while
+	// OPT power-cycles for β+1; the ratio 2β/(β+1) → 2 = 2d.
+	for _, beta := range []float64{4, 9, 19, 49} {
+		ins, predicted := adversary.SkiRentalSpikes(beta, 6)
+		a, err := core.NewAlgorithmA(ins)
+		if err != nil {
+			panic(err)
+		}
+		r := ratioAgainstOpt(ins, a)
+		ok := r <= 3+tol
+		rep.Pass = rep.Pass && ok
+		rep.Table.Add(fmt.Sprintf("spike train β=%g", beta), "1",
+			fmt.Sprintf("%.3f", r), fmt.Sprintf("%.3f", predicted), "2", "3",
+			fmt.Sprintf("%v", ok))
+	}
+
+	// d=2 hill-climbing adversary search.
+	res, err := adversary.HillClimb(adversary.Config{
+		Types: []model.ServerType{
+			{Count: 1, SwitchCost: 8, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Constant{C: 1}}},
+			{Count: 1, SwitchCost: 14, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Constant{C: 0.6}}},
+		},
+		T:    36,
+		Peak: 1, Iters: 150, Seed: 1337,
+		NewAlg: func(ins *model.Instance) (core.Online, error) {
+			return core.NewAlgorithmA(ins)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ok := res.Ratio <= 5+tol
+	rep.Pass = rep.Pass && ok
+	rep.Table.Add(fmt.Sprintf("hill climb (%d evals)", res.Evals), "2",
+		fmt.Sprintf("%.3f", res.Ratio), "-", "4", "5", fmt.Sprintf("%v", ok))
+	rep.Notes = append(rep.Notes,
+		"The spike trains certify near-tightness for d=1 (ratio → 2 with growing β); the d=2 local search is weaker than the recursive adversary of [5] and lands below 4 while still respecting the 2d+1 upper bound.")
+	return rep
+}
+
+// ---------- E8: cost savings ----------
+
+// E8CostSavings is the Lin-et-al-style evaluation: savings of each policy
+// relative to static provisioning on diurnal CPU+GPU workloads.
+func E8CostSavings(seed int64) Report {
+	rep := Report{
+		ID:    "E8",
+		Title: "Cost savings vs. static provisioning (diurnal CPU+GPU cluster)",
+		Paper: "Motivation (Section 1, after Lin et al.): right-sizing saves the idle cost of overnight troughs",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("peak/mean", "algorithm", "cost", "saving vs AllOn", "ratio vs OPT")
+	rng := rand.New(rand.NewSource(seed))
+	for _, ptm := range []float64{2, 4, 8} {
+		peak := 24.0
+		base := peak * (2/ptm - 1)
+		if base < 0 {
+			base = 0
+		}
+		trace := workload.DiurnalNoisy(rng, 72, base, peak, 24, 0.2)
+		ins := &model.Instance{
+			Types: []model.ServerType{
+				{Name: "cpu", Count: 16, SwitchCost: 2, MaxLoad: 1,
+					Cost: model.Static{F: costfn.Power{Idle: 1, Coef: 0.6, Exp: 2}}},
+				{Name: "gpu", Count: 4, SwitchCost: 15, MaxLoad: 4,
+					Cost: model.Static{F: costfn.Affine{Idle: 4, Rate: 0.3}}},
+			},
+			Lambda: trace,
+		}
+		cmp, err := sim.NewComparison(ins)
+		if err != nil {
+			panic(err)
+		}
+		algA, err := core.NewAlgorithmA(ins)
+		if err != nil {
+			panic(err)
+		}
+		cmp.RunOnline(algA)
+		for _, mk := range []func(*model.Instance) (core.Online, error){
+			func(i *model.Instance) (core.Online, error) { return baseline.NewAllOn(i) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewLoadTracking(i) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewSkiRental(i) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewRecedingHorizon(i, 3) },
+		} {
+			alg, err := mk(ins)
+			if err != nil {
+				panic(err)
+			}
+			cmp.RunOnline(alg)
+		}
+		var allOn float64
+		for _, m := range cmp.Row {
+			if m.Name == "AllOn" {
+				allOn = m.Total
+			}
+		}
+		for _, m := range cmp.Row {
+			saving := (1 - m.Total/allOn) * 100
+			rep.Table.Add(fmt.Sprintf("%gx", ptm), m.Name, sim.FmtF(m.Total),
+				fmt.Sprintf("%.1f%%", saving), sim.FmtRatio(m.Ratio))
+			if m.Name == "AlgorithmA" && m.Ratio > core.RatioBoundA(ins)+tol {
+				rep.Pass = false
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"Higher peak-to-mean ratios leave more idle capacity overnight, so every dynamic policy saves more; Algorithm A tracks the offline optimum within a few percent while honouring its worst-case guarantee.")
+	return rep
+}

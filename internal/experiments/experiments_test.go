@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must pass its own bound checks; these are the
+// regression gates for the whole reproduction study (small parameters to
+// keep the test suite fast — the benchmarks run the full sizes).
+
+func TestFigureExperimentsPass(t *testing.T) {
+	for _, rep := range []Report{F1(), F2(), F3(), F4(), F5()} {
+		if !rep.Pass {
+			t.Errorf("%s failed its golden check", rep.ID)
+		}
+		if rep.Table == nil || rep.Title == "" || rep.Paper == "" {
+			t.Errorf("%s report incomplete", rep.ID)
+		}
+	}
+}
+
+func TestE1Pass(t *testing.T) {
+	rep := E1CompetitiveA(99, 4)
+	if !rep.Pass {
+		t.Fatalf("E1 bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE2Pass(t *testing.T) {
+	rep := E2ConstantCosts(99, 4)
+	if !rep.Pass {
+		t.Fatalf("E2 bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE3Pass(t *testing.T) {
+	rep := E3CompetitiveB(99, 4)
+	if !rep.Pass {
+		t.Fatalf("E3 bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE4Pass(t *testing.T) {
+	rep := E4CompetitiveC(99, 3)
+	if !rep.Pass {
+		t.Fatalf("E4 bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE5RatioPass(t *testing.T) {
+	rep := E5ApproxRatio(99, 4)
+	if !rep.Pass {
+		t.Fatalf("E5a bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE6Pass(t *testing.T) {
+	rep := E6TimeVarying(99, 3)
+	if !rep.Pass {
+		t.Fatalf("E6 bound violated:\n%s", rep.Table)
+	}
+}
+
+func TestE7Pass(t *testing.T) {
+	rep := E7Adversarial()
+	if !rep.Pass {
+		t.Fatalf("E7 bound violated:\n%s", rep.Table)
+	}
+	// The spike trains must demonstrate the ratio climbing toward 2.
+	md := rep.Table.Markdown()
+	if !strings.Contains(md, "1.960") {
+		t.Errorf("β=49 spike train should measure 1.960:\n%s", md)
+	}
+}
+
+func TestE8Pass(t *testing.T) {
+	rep := E8CostSavings(99)
+	if !rep.Pass {
+		t.Fatalf("E8 bound violated:\n%s", rep.Table)
+	}
+	// AllOn must never beat OPT.
+	md := rep.Table.Markdown()
+	if !strings.Contains(md, "AllOn") || !strings.Contains(md, "OPT") {
+		t.Error("expected AllOn and OPT rows")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := F3()
+	out := rep.Render()
+	for _, want := range []string{"## F3", "**Paper:**", "Bound respected", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := E1CompetitiveA(5, 3)
+	b := E1CompetitiveA(5, 3)
+	if a.Table.Markdown() != b.Table.Markdown() {
+		t.Error("same seed must reproduce the experiment")
+	}
+}
+
+func TestE9Pass(t *testing.T) {
+	rep := E9IntegralityGap(99, 3)
+	if !rep.Pass {
+		t.Fatalf("E9 violated: fractional relaxation must lower-bound the discrete optimum:\n%s", rep.Table)
+	}
+}
+
+func TestE10Pass(t *testing.T) {
+	rep := E10ScaledTracker(99, 2)
+	if !rep.Pass {
+		t.Fatalf("E10 violated:\n%s", rep.Table)
+	}
+}
+
+func TestE11Pass(t *testing.T) {
+	rep := E11RoundingBlowup(99, 4)
+	if !rep.Pass {
+		t.Fatalf("E11 violated:\n%s", rep.Table)
+	}
+	md := rep.Table.Markdown()
+	if !strings.Contains(md, "oscillation") {
+		t.Error("expected the oscillation pathology rows")
+	}
+}
+
+func TestE12Pass(t *testing.T) {
+	rep := E12ProofTerms(99, 6)
+	if !rep.Pass {
+		t.Fatalf("E12 violated a proof-step inequality:\n%s", rep.Table)
+	}
+}

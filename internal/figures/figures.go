@@ -1,0 +1,306 @@
+// Package figures programmatically reproduces the five figures of the
+// paper as ASCII renderings, driven by the production algorithm code. Each
+// figure has a data function (tested against the values the paper prints)
+// and a Render function returning the drawing.
+//
+//   - Figure 1: Algorithm A's behaviour for one type with t̄_j = 5.
+//   - Figure 2: blocks A_{j,i} and special time slots τ_{j,k}.
+//   - Figure 3: Algorithm B's behaviour (β_j = 6, the paper's exact trace).
+//   - Figure 4: the graph representation (d = 2, T = 2, m = (2,1)).
+//   - Figure 5: construction of X' for γ = 2, m_j = 10.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ---------- Figure 1 ----------
+
+// Figure1Data is the single-type input/output pair of Figure 1: a
+// prefix-optimum staircase x̂^t_t and the resulting Algorithm A counts
+// with t̄_j = 5. The paper prints no numeric values for this figure, so
+// the staircase is a representative trace exercising the same features:
+// overlapping blocks, expiry re-ups, and a trailing idle stretch.
+type Figure1Data struct {
+	Tbar  int
+	XHat  []int
+	XAlgo []int
+}
+
+// Figure1 computes the data with the production TypeA state machine.
+func Figure1() Figure1Data {
+	xhat := []int{1, 2, 2, 1, 3, 1, 0, 2, 1, 0, 0, 1, 0, 0}
+	s := core.NewTypeA(5)
+	xa := make([]int, len(xhat))
+	for i, v := range xhat {
+		xa[i] = s.Step(v)
+	}
+	return Figure1Data{Tbar: 5, XHat: xhat, XAlgo: xa}
+}
+
+// RenderFigure1 draws both staircases.
+func RenderFigure1() string {
+	d := Figure1()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Algorithm A, one server type, t̄_j = %d\n\n", d.Tbar)
+	b.WriteString("prefix optimum x̂^t_t:\n")
+	b.WriteString(plotSteps(d.XHat))
+	b.WriteString("\nresulting x^A_t (each power-up runs exactly t̄ slots):\n")
+	b.WriteString(plotSteps(d.XAlgo))
+	return b.String()
+}
+
+// ---------- Figure 2 ----------
+
+// Figure2Data reproduces the block/special-slot structure of Figure 2:
+// seven blocks with power-up slots chosen so the index sets come out as
+// the figure's B_{j,1} = {1,2}, B_{j,2} = {3,4}, B_{j,3} = {5,6,7}.
+type Figure2Data struct {
+	Tbar   int
+	Starts []int   // s_{j,i}, ascending
+	Taus   []int   // special time slots τ_{j,k}
+	BSets  [][]int // B_{j,k}: 1-based block indices containing τ_{j,k}
+}
+
+// BlocksAndTaus computes the special time slots τ_{j,k} and index sets
+// B_{j,k} for blocks [s_i : s_i + tbar − 1] per the definitions before
+// Lemma 7: τ_{n'} is the last power-up slot, and each previous τ_k is the
+// last power-up at or before τ_{k+1} − t̄.
+func BlocksAndTaus(starts []int, tbar int) (taus []int, bsets [][]int) {
+	if len(starts) == 0 {
+		return nil, nil
+	}
+	if !sort.IntsAreSorted(starts) {
+		panic("figures: power-up slots must be ascending")
+	}
+	// Build τ in reverse.
+	tau := starts[len(starts)-1]
+	taus = []int{tau}
+	for {
+		// Last start <= tau − tbar.
+		idx := sort.SearchInts(starts, tau-tbar+1) - 1
+		if idx < 0 {
+			break
+		}
+		tau = starts[idx]
+		taus = append(taus, tau)
+	}
+	// Reverse to ascending.
+	for i, j := 0, len(taus)-1; i < j; i, j = i+1, j-1 {
+		taus[i], taus[j] = taus[j], taus[i]
+	}
+	bsets = make([][]int, len(taus))
+	for k, tk := range taus {
+		for i, s := range starts {
+			if s <= tk && tk <= s+tbar-1 {
+				bsets[k] = append(bsets[k], i+1)
+			}
+		}
+	}
+	return taus, bsets
+}
+
+// Figure2 computes the figure's block layout.
+func Figure2() Figure2Data {
+	starts := []int{0, 2, 6, 8, 12, 14, 15}
+	tbar := 5
+	taus, bsets := BlocksAndTaus(starts, tbar)
+	return Figure2Data{Tbar: tbar, Starts: starts, Taus: taus, BSets: bsets}
+}
+
+// RenderFigure2 draws the blocks as horizontal bars with the special time
+// slots marked.
+func RenderFigure2() string {
+	d := Figure2()
+	maxT := 0
+	for _, s := range d.Starts {
+		if e := s + d.Tbar - 1; e > maxT {
+			maxT = e
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: blocks A_{j,i} (t̄_j = %d) and special time slots τ_{j,k}\n\n", d.Tbar)
+	for i, s := range d.Starts {
+		fmt.Fprintf(&b, "A_%d  ", i+1)
+		line := make([]byte, maxT+1)
+		for t := 0; t <= maxT; t++ {
+			line[t] = ' '
+			if t >= s && t <= s+d.Tbar-1 {
+				line[t] = '#'
+			}
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("tau  ")
+	mark := make([]byte, maxT+1)
+	for t := range mark {
+		mark[t] = ' '
+	}
+	for _, tau := range d.Taus {
+		mark[tau] = '|'
+	}
+	b.Write(mark)
+	b.WriteByte('\n')
+	for k, set := range d.BSets {
+		fmt.Fprintf(&b, "B_%d = %v (τ = %d)\n", k+1, set, d.Taus[k])
+	}
+	return b.String()
+}
+
+// ---------- Figure 3 ----------
+
+// Figure3Data is the paper's exact Algorithm B example: β_j = 6 with the
+// printed idle costs and prefix optima. TBars[t-1] is t̄_{t,j} (-1 when it
+// depends on slots beyond the horizon, printed "…" in the paper), and
+// WSets[t-1] is W_t.
+type Figure3Data struct {
+	Beta  float64
+	L     []float64
+	XHat  []int
+	XAlgo []int
+	TBars []int
+	WSets [][]int
+}
+
+// TBarsB computes t̄_{t,j} = max{t̄ ∈ [T−t] : Σ_{v=t+1}^{t+t̄} l_v <= β}
+// for every t, with -1 marking values undetermined within the horizon
+// (the whole remaining idle cost fits under β, so the true t̄ depends on
+// future slots). A t with l_{t+1} > β gets t̄ = 0.
+func TBarsB(beta float64, ls []float64) []int {
+	T := len(ls)
+	out := make([]int, T)
+	for t := 1; t <= T; t++ {
+		sum := 0.0
+		tbar := 0
+		determined := false
+		for u := t + 1; u <= T; u++ {
+			sum += ls[u-1]
+			if sum > beta {
+				determined = true
+				break
+			}
+			tbar = u - t
+		}
+		if determined {
+			out[t-1] = tbar
+		} else {
+			out[t-1] = -1
+		}
+	}
+	return out
+}
+
+// WSetsB computes W_t = {u ∈ [t−1] : Σ_{v=u+1}^{t−1} l_v <= β < Σ_{v=u+1}^t l_v}
+// for every t ∈ [T] directly from the definition in Algorithm 2.
+func WSetsB(beta float64, ls []float64) [][]int {
+	T := len(ls)
+	out := make([][]int, T)
+	prefix := make([]float64, T+1)
+	for t := 1; t <= T; t++ {
+		prefix[t] = prefix[t-1] + ls[t-1]
+	}
+	for t := 1; t <= T; t++ {
+		for u := 1; u <= t-1; u++ {
+			upToPrev := prefix[t-1] - prefix[u]
+			upToT := prefix[t] - prefix[u]
+			if upToPrev <= beta && beta < upToT {
+				out[t-1] = append(out[t-1], u)
+			}
+		}
+	}
+	return out
+}
+
+// Figure3 runs the production TypeB machine on the paper's trace.
+func Figure3() Figure3Data {
+	ls := []float64{3, 1, 4, 1, 2, 1, 1, 2, 3, 5, 1, 3}
+	xhat := []int{1, 2, 1, 3, 0, 0, 1, 2, 0, 0, 0, 0}
+	s := core.NewTypeB(6)
+	xa := make([]int, len(ls))
+	for i := range ls {
+		xa[i] = s.Step(ls[i], xhat[i])
+	}
+	return Figure3Data{
+		Beta:  6,
+		L:     ls,
+		XHat:  xhat,
+		XAlgo: xa,
+		TBars: TBarsB(6, ls),
+		WSets: WSetsB(6, ls),
+	}
+}
+
+// RenderFigure3 draws the example with the annotation rows of the paper.
+func RenderFigure3() string {
+	d := Figure3()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Algorithm B, one server type, β_j = %g\n\n", d.Beta)
+	row := func(label string, cell func(i int) string) {
+		fmt.Fprintf(&b, "%-8s", label)
+		for i := range d.L {
+			fmt.Fprintf(&b, "%6s", cell(i))
+		}
+		b.WriteByte('\n')
+	}
+	row("t", func(i int) string { return fmt.Sprintf("%d", i+1) })
+	row("x̂^t_t", func(i int) string { return fmt.Sprintf("%d", d.XHat[i]) })
+	row("l_t", func(i int) string { return fmt.Sprintf("%g", d.L[i]) })
+	row("t̄_t", func(i int) string {
+		if d.TBars[i] < 0 {
+			return "…"
+		}
+		return fmt.Sprintf("%d", d.TBars[i])
+	})
+	row("W_t", func(i int) string {
+		if len(d.WSets[i]) == 0 {
+			return "∅"
+		}
+		parts := make([]string, len(d.WSets[i]))
+		for k, u := range d.WSets[i] {
+			parts[k] = fmt.Sprintf("%d", u)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	})
+	row("x^B_t", func(i int) string { return fmt.Sprintf("%d", d.XAlgo[i]) })
+	b.WriteString("\nx^B_t staircase:\n")
+	b.WriteString(plotSteps(d.XAlgo))
+	return b.String()
+}
+
+// plotSteps renders an integer series as a vertical-bar chart, one column
+// per slot, highest level on top.
+func plotSteps(xs []int) string {
+	max := 0
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for level := max; level >= 1; level-- {
+		fmt.Fprintf(&b, "%2d |", level)
+		for _, v := range xs {
+			if v >= level {
+				b.WriteString(" ##")
+			} else {
+				b.WriteString("   ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("   +")
+	for range xs {
+		b.WriteString("---")
+	}
+	b.WriteString("\n    ")
+	for i := range xs {
+		fmt.Fprintf(&b, "%3d", i+1)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

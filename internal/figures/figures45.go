@@ -1,0 +1,147 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/costfn"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// ---------- Figure 4 ----------
+
+// Figure4Instance mirrors the shape of the paper's Figure 4 (d = 2, T = 2,
+// m = (2,1)): the figure's operating costs are symbolic, so the concrete
+// costs here are chosen to make the depicted shortest path — x_1 = (2,0),
+// x_2 = (1,1) — the optimum.
+func Figure4Instance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Name: "type1", Count: 2, SwitchCost: 1, MaxLoad: 1,
+				Cost: model.Varying{Fs: []costfn.Func{
+					costfn.Constant{C: 1}, costfn.Constant{C: 3},
+				}}},
+			{Name: "type2", Count: 1, SwitchCost: 1, MaxLoad: 1,
+				Cost: model.Varying{Fs: []costfn.Func{
+					costfn.Constant{C: 10}, costfn.Constant{C: 1},
+				}}},
+		},
+		Lambda: []float64{2, 2},
+	}
+}
+
+// RenderFigure4 lists the graph representation: the vertex grid, one line
+// per edge gadget, and the shortest path with its schedule.
+func RenderFigure4() string {
+	ins := Figure4Instance()
+	g, err := solver.BuildGraph(ins)
+	if err != nil {
+		panic(err) // static well-formed instance; cannot fail
+	}
+	cost, sched, err := g.ShortestPath()
+	if err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: graph representation, d=2, T=2, m=(2,1)\n\n")
+	fmt.Fprintf(&b, "vertices: %d (two per (t, x) pair)\n", g.NumVertices)
+	counts := map[string]int{}
+	for _, e := range g.Edges {
+		counts[e.Kind]++
+	}
+	fmt.Fprintf(&b, "edges: %d operating, %d power-up, %d power-down, %d slot-transition\n\n",
+		counts["op"], counts["up"], counts["down"], counts["next"])
+
+	cfg := make(model.Config, ins.D())
+	b.WriteString("operating-cost edges g_t(x):\n")
+	eval := model.NewEvaluator(ins)
+	for t := 1; t <= ins.T(); t++ {
+		for idx := 0; idx < g.Grid.Size(); idx++ {
+			g.Grid.Decode(idx, cfg)
+			v := eval.G(t, cfg)
+			fmt.Fprintf(&b, "  v↑_{%d,%v} → v↓_{%d,%v}  weight %s\n",
+				t, cfg, t, cfg, fmtWeight(v))
+		}
+	}
+	fmt.Fprintf(&b, "\nshortest path: cost %.0f, schedule x_1=%v, x_2=%v\n",
+		cost, sched[0], sched[1])
+	return b.String()
+}
+
+func fmtWeight(v float64) string {
+	if v > 1e300 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// ---------- Figure 5 ----------
+
+// Figure5Data is the X' construction of Theorem 16's proof for the
+// figure's parameters: γ = 2, m_j = 10, so M^γ_j = {0,1,2,4,8,10}, with a
+// single-type optimal schedule X* and its corridor (2γ−1)·x* = 3·x*.
+type Figure5Data struct {
+	Gamma   float64
+	Axis    grid.Axis
+	XStar   []int
+	XPrime  []int
+	Ceiling []int // min(m, floor((2γ−1)x*)) — the dotted blue line
+}
+
+// Figure5 builds the construction with the production ApproxReference.
+// The x* staircase follows the figure's red curve qualitatively (the paper
+// prints no numbers): rising to m, dropping sharply, and recovering.
+func Figure5() Figure5Data {
+	xstar := []int{1, 2, 3, 5, 7, 10, 10, 8, 4, 2, 1, 1, 2, 3, 2, 1, 0}
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 10, SwitchCost: 1, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: make([]float64, len(xstar)),
+	}
+	opt := make(model.Schedule, len(xstar))
+	for i, v := range xstar {
+		opt[i] = model.Config{v}
+		ins.Lambda[i] = float64(v)
+	}
+	gamma := 2.0
+	xprime, err := solver.ApproxReference(ins, opt, gamma)
+	if err != nil {
+		panic(err)
+	}
+	d := Figure5Data{
+		Gamma: gamma,
+		Axis:  grid.ReducedAxis(10, gamma),
+		XStar: xstar,
+	}
+	for _, c := range xprime {
+		d.XPrime = append(d.XPrime, c[0])
+	}
+	for _, v := range xstar {
+		ceil := int((2*gamma - 1) * float64(v))
+		if ceil > 10 {
+			ceil = 10
+		}
+		d.Ceiling = append(d.Ceiling, ceil)
+	}
+	return d
+}
+
+// RenderFigure5 draws x* and X' against the reduced-axis levels.
+func RenderFigure5() string {
+	d := Figure5()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: construction of X', γ = %g, m_j = 10\n", d.Gamma)
+	fmt.Fprintf(&b, "allowed levels M^γ_j = %v\n\n", []int(d.Axis))
+	b.WriteString("x*_t (optimal), x'_t (lattice-restricted), corridor top (2γ−1)x*:\n\n")
+	fmt.Fprintf(&b, "%-4s %-6s %-6s %-8s\n", "t", "x*", "x'", "ceil")
+	for i := range d.XStar {
+		fmt.Fprintf(&b, "%-4d %-6d %-6d %-8d\n", i+1, d.XStar[i], d.XPrime[i], d.Ceiling[i])
+	}
+	b.WriteString("\nx'_t staircase:\n")
+	b.WriteString(plotSteps(d.XPrime))
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1InvariantAndExpiry(t *testing.T) {
+	d := Figure1()
+	if d.Tbar != 5 {
+		t.Fatalf("t̄ = %d, want 5", d.Tbar)
+	}
+	for i := range d.XHat {
+		if d.XAlgo[i] < d.XHat[i] {
+			t.Errorf("slot %d: x^A=%d below x̂=%d", i+1, d.XAlgo[i], d.XHat[i])
+		}
+	}
+	// A server powered up at slot 1 must be gone by slot 6 unless re-upped;
+	// the trailing zeros of x̂ eventually drain the fleet.
+	last := d.XAlgo[len(d.XAlgo)-1]
+	if last > d.XHat[len(d.XHat)-1]+3 {
+		t.Errorf("trailing count %d suggests servers never expire", last)
+	}
+}
+
+// Figure 2's caption: B_{j,1} = {1,2}, B_{j,2} = {3,4}, B_{j,3} = {5,6,7},
+// with consecutive special slots at least t̄ apart.
+func TestFigure2MatchesPaper(t *testing.T) {
+	d := Figure2()
+	want := [][]int{{1, 2}, {3, 4}, {5, 6, 7}}
+	if len(d.BSets) != len(want) {
+		t.Fatalf("B sets = %v, want %v", d.BSets, want)
+	}
+	for k := range want {
+		if len(d.BSets[k]) != len(want[k]) {
+			t.Fatalf("B_%d = %v, want %v", k+1, d.BSets[k], want[k])
+		}
+		for i := range want[k] {
+			if d.BSets[k][i] != want[k][i] {
+				t.Fatalf("B_%d = %v, want %v", k+1, d.BSets[k], want[k])
+			}
+		}
+	}
+	// Every block contains exactly one τ.
+	for i, s := range d.Starts {
+		n := 0
+		for _, tau := range d.Taus {
+			if tau >= s && tau <= s+d.Tbar-1 {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("block %d contains %d special slots, want 1", i+1, n)
+		}
+	}
+	// Consecutive τ at least t̄ apart.
+	for k := 1; k < len(d.Taus); k++ {
+		if d.Taus[k]-d.Taus[k-1] < d.Tbar {
+			t.Errorf("τ_%d − τ_%d = %d < t̄", k+1, k, d.Taus[k]-d.Taus[k-1])
+		}
+	}
+}
+
+func TestBlocksAndTausEdgeCases(t *testing.T) {
+	taus, bsets := BlocksAndTaus(nil, 3)
+	if taus != nil || bsets != nil {
+		t.Error("empty input should give empty output")
+	}
+	taus, bsets = BlocksAndTaus([]int{5}, 3)
+	if len(taus) != 1 || taus[0] != 5 || len(bsets[0]) != 1 {
+		t.Errorf("single block: taus=%v bsets=%v", taus, bsets)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted starts should panic")
+		}
+	}()
+	BlocksAndTaus([]int{3, 1}, 2)
+}
+
+// Figure 3: every annotation the paper prints is reproduced exactly.
+func TestFigure3MatchesPaper(t *testing.T) {
+	d := Figure3()
+	// t̄ values for t = 1..9 as printed; t >= 10 undetermined ("…").
+	wantTbar := []int{3, 2, 4, 4, 3, 3, 2, 1, 2, -1, -1, -1}
+	for i, want := range wantTbar {
+		if d.TBars[i] != want {
+			t.Errorf("t̄_%d = %d, want %d", i+1, d.TBars[i], want)
+		}
+	}
+	// W sets: W_5 = {1,2}, W_8 = {3}, W_9 = {4,5}, W_10 = {6,7,8},
+	// W_12 = {9}, all others empty.
+	wantW := map[int][]int{5: {1, 2}, 8: {3}, 9: {4, 5}, 10: {6, 7, 8}, 12: {9}}
+	for tt := 1; tt <= 12; tt++ {
+		got := d.WSets[tt-1]
+		want := wantW[tt]
+		if len(got) != len(want) {
+			t.Errorf("W_%d = %v, want %v", tt, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("W_%d = %v, want %v", tt, got, want)
+			}
+		}
+	}
+	// The x^B trace (figure plot).
+	wantX := []int{1, 2, 2, 3, 1, 1, 1, 2, 1, 0, 0, 0}
+	for i := range wantX {
+		if d.XAlgo[i] != wantX[i] {
+			t.Errorf("x^B_%d = %d, want %d", i+1, d.XAlgo[i], wantX[i])
+		}
+	}
+}
+
+func TestFigure4ShortestPathMatchesPaper(t *testing.T) {
+	out := RenderFigure4()
+	if !strings.Contains(out, "x_1=(2, 0)") || !strings.Contains(out, "x_2=(1, 1)") {
+		t.Errorf("figure 4 shortest path wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "∞") {
+		t.Error("figure 4 should show infinite-weight edges for infeasible configurations")
+	}
+}
+
+// Figure 5: the reduced axis matches the paper ({0,1,2,4,8,10}), X' stays
+// on the lattice and inside the corridor.
+func TestFigure5MatchesPaper(t *testing.T) {
+	d := Figure5()
+	wantAxis := []int{0, 1, 2, 4, 8, 10}
+	if len(d.Axis) != len(wantAxis) {
+		t.Fatalf("axis = %v, want %v", d.Axis, wantAxis)
+	}
+	for i := range wantAxis {
+		if d.Axis[i] != wantAxis[i] {
+			t.Fatalf("axis = %v, want %v", d.Axis, wantAxis)
+		}
+	}
+	for i := range d.XStar {
+		if !d.Axis.Contains(d.XPrime[i]) {
+			t.Errorf("slot %d: x'=%d not on the lattice", i+1, d.XPrime[i])
+		}
+		if d.XPrime[i] < d.XStar[i] {
+			t.Errorf("slot %d: x'=%d below x*=%d", i+1, d.XPrime[i], d.XStar[i])
+		}
+		if float64(d.XPrime[i]) > 3*float64(d.XStar[i])+1e-9 {
+			t.Errorf("slot %d: x'=%d above corridor 3·x*=%d", i+1, d.XPrime[i], 3*d.XStar[i])
+		}
+	}
+}
+
+func TestRenderersProduceDrawings(t *testing.T) {
+	for name, render := range map[string]func() string{
+		"fig1": RenderFigure1,
+		"fig2": RenderFigure2,
+		"fig3": RenderFigure3,
+		"fig4": RenderFigure4,
+		"fig5": RenderFigure5,
+	} {
+		out := render()
+		if len(out) < 100 {
+			t.Errorf("%s: suspiciously short rendering (%d bytes)", name, len(out))
+		}
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("%s: missing caption", name)
+		}
+	}
+}
+
+func TestRenderFigure2Layout(t *testing.T) {
+	out := RenderFigure2()
+	if !strings.Contains(out, "B_1 = [1 2]") {
+		t.Errorf("missing B set annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "A_7") {
+		t.Error("missing block 7")
+	}
+}
+
+func TestRenderFigure3Table(t *testing.T) {
+	out := RenderFigure3()
+	for _, want := range []string{"W_t", "{1,2}", "∅", "…"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 3 rendering missing %q", want)
+		}
+	}
+}

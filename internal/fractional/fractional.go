@@ -1,0 +1,137 @@
+// Package fractional approximates the fractional relaxation of the
+// right-sizing problem, where the number of active servers x_{t,j} may be
+// any real in [0, m_j]. The paper's related-work discussion contrasts the
+// discrete setting (this repository's main subject) with the fractional
+// one — Lin et al.'s 3-competitive LCP and Bansal et al.'s 2-competitive
+// algorithm live there — and notes that rounding fractional schedules
+// without blowing up the switching cost is an open problem. This package
+// exists to *measure* that integrality gap empirically.
+//
+// The relaxation is computed by refinement: each server of type j is split
+// into K "mini-servers" of capacity zmax_j/K with operating cost
+// f̃(z̃) = f(K·z̃)/K and switching cost β_j/K. Active mini-server counts
+// u ∈ {0, …, K·m_j} then encode fractional counts x = u/K, and the cost of
+// any mini-schedule equals the fractional cost of its encoding exactly:
+//
+//	u·f̃(λz/u) = (u/K)·f(λz/(u/K)),  (β/K)·Δu = β·Δ(u/K).
+//
+// Solving the refined instance with the exact DP therefore yields the
+// optimal fractional schedule *on the grid of multiples of 1/K*, which
+// converges to the true fractional optimum from above as K → ∞ (the
+// objective is continuous in x and the feasible grids are nested for
+// doubling K).
+package fractional
+
+import (
+	"fmt"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// Result is a fractional solve outcome.
+type Result struct {
+	// Cost is the optimal cost over the 1/K grid (an upper bound on the
+	// true fractional optimum, non-increasing in K).
+	Cost float64
+	// X[t-1][j] is the fractional server count at slot t.
+	X [][]float64
+	// K is the refinement used.
+	K int
+}
+
+// refined scales the cost function of one type.
+type refined struct {
+	f costfn.Func
+	k float64
+}
+
+// Value implements costfn.Func: f̃(z̃) = f(K·z̃)/K.
+func (r refined) Value(z float64) float64 { return r.f.Value(r.k*z) / r.k }
+
+// refinedProfile wraps a CostProfile slot-wise.
+type refinedProfile struct {
+	p model.CostProfile
+	k float64
+}
+
+func (rp refinedProfile) At(t int) costfn.Func { return refined{f: rp.p.At(t), k: rp.k} }
+
+// Refine builds the K-refined instance encoding fractional counts as
+// multiples of 1/K.
+func Refine(ins *model.Instance, K int) (*model.Instance, error) {
+	if K < 1 {
+		return nil, fmt.Errorf("fractional: refinement K must be >= 1, got %d", K)
+	}
+	out := &model.Instance{Lambda: ins.Lambda}
+	for _, st := range ins.Types {
+		out.Types = append(out.Types, model.ServerType{
+			Name:       st.Name,
+			Count:      st.Count * K,
+			SwitchCost: st.SwitchCost / float64(K),
+			MaxLoad:    st.MaxLoad / float64(K),
+			Cost:       refinedProfile{p: st.Cost, k: float64(K)},
+		})
+	}
+	if ins.Counts != nil {
+		out.Counts = make([][]int, ins.T())
+		for t := range ins.Counts {
+			row := make([]int, ins.D())
+			for j, c := range ins.Counts[t] {
+				row[j] = c * K
+			}
+			out.Counts[t] = row
+		}
+	}
+	return out, nil
+}
+
+// Solve computes the optimal fractional schedule on the 1/K grid. The
+// refined lattice has Π_j (K·m_j + 1) configurations; to keep the solve
+// polynomial the DP runs on the γ-reduced lattice with the given eps
+// (eps <= 0 solves the refined instance exactly — exponential in d, only
+// for tiny instances).
+func Solve(ins *model.Instance, K int, eps float64) (*Result, error) {
+	ref, err := Refine(ins, K)
+	if err != nil {
+		return nil, err
+	}
+	var res *solver.Result
+	if eps > 0 {
+		res, err = solver.SolveApprox(ref, eps)
+	} else {
+		res, err = solver.SolveOptimal(ref)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Cost: res.Cost(), K: K}
+	out.X = make([][]float64, len(res.Schedule))
+	for t, cfg := range res.Schedule {
+		row := make([]float64, len(cfg))
+		for j, u := range cfg {
+			row[j] = float64(u) / float64(K)
+		}
+		out.X[t] = row
+	}
+	return out, nil
+}
+
+// IntegralityGap returns discreteOPT / fractionalOPT(K grid) for an
+// instance: a measured lower bound on nothing and upper bound on the true
+// gap... precisely, since the grid optimum over-estimates the fractional
+// optimum, the returned ratio *under-estimates* the true integrality gap
+// by at most the grid refinement error. Values near 1 mean rounding the
+// relaxation loses little on this instance.
+func IntegralityGap(ins *model.Instance, K int, eps float64) (gap, discrete, fractional float64, err error) {
+	discrete, err = solver.OptimalCost(ins)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fres, err := Solve(ins, K, eps)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return discrete / fres.Cost, discrete, fres.Cost, nil
+}

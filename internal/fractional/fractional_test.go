@@ -1,0 +1,186 @@
+package fractional
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+func smallInstance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 2, SwitchCost: 4, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: []float64{0.5, 1.5, 0.2, 1.8},
+	}
+}
+
+func TestRefineEncodesCostsExactly(t *testing.T) {
+	ins := smallInstance()
+	ref, err := Refine(ins, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Types[0].Count != 8 {
+		t.Errorf("refined count = %d, want 8", ref.Types[0].Count)
+	}
+	if ref.Types[0].SwitchCost != 1 {
+		t.Errorf("refined β = %g, want 1", ref.Types[0].SwitchCost)
+	}
+	// Cost equivalence: u mini-servers at volume y must cost the same as
+	// x = u/K real servers at volume y.
+	evalRef := model.NewEvaluator(ref)
+	evalOrig := model.NewEvaluator(ins)
+	// 6 mini-servers = 1.5 servers; at λ = 1.5 full schedule comparison:
+	// original with integral 2 servers vs refined with 6.
+	gRef := evalRef.G(2, model.Config{6})
+	// Direct formula: x·f(λ/x) with x = 1.5, λ = 1.5: 1.5·(1+1) = 3.
+	if math.Abs(gRef-3) > 1e-9 {
+		t.Errorf("refined g = %g, want 3 (fractional x=1.5 at λ=1.5)", gRef)
+	}
+	gInt := evalOrig.G(2, model.Config{2})
+	if math.Abs(gInt-(2*(1+0.75))) > 1e-9 {
+		t.Errorf("integral g = %g, want 3.5", gInt)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	if _, err := Refine(smallInstance(), 0); err == nil {
+		t.Error("K=0 should error")
+	}
+}
+
+func TestFractionalNeverWorseThanDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 15; i++ {
+		ins := randomInstance(rng)
+		discrete, err := solver.OptimalCost(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac, err := Solve(ins, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac.Cost > discrete*(1+1e-6) { // 1e-6: scaled-function bisection noise
+			t.Fatalf("case %d: fractional %g worse than discrete %g", i, frac.Cost, discrete)
+		}
+	}
+}
+
+func TestFractionalCostDecreasesWithRefinement(t *testing.T) {
+	ins := smallInstance()
+	prev := math.Inf(1)
+	for _, K := range []int{1, 2, 4, 8} {
+		res, err := Solve(ins, K, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Doubling K nests the grids, so the optimum cannot increase.
+		if res.Cost > prev*(1+1e-6) {
+			t.Fatalf("K=%d: cost %g above coarser grid %g", K, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestFractionalScheduleValuesOnGrid(t *testing.T) {
+	ins := smallInstance()
+	res, err := Solve(ins, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, row := range res.X {
+		for j, x := range row {
+			if x < 0 || x > float64(ins.Types[j].Count)+1e-12 {
+				t.Fatalf("slot %d type %d: x = %g out of range", t2+1, j, x)
+			}
+			scaled := x * 4
+			if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+				t.Fatalf("x = %g not a multiple of 1/4", x)
+			}
+		}
+	}
+}
+
+func TestIntegralityGap(t *testing.T) {
+	// λ = 0.5 with one server: discrete must run a whole server (cost
+	// 1.5 op + β) while the fractional solution runs half a server
+	// at double relative load... f affine: 0.5·(1+1) = 1 op. Gap > 1.
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 1, SwitchCost: 2, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: []float64{0.5},
+	}
+	gap, discrete, frac, err := IntegralityGap(ins, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 1 {
+		t.Errorf("gap %g below 1", gap)
+	}
+	if discrete <= frac {
+		t.Logf("discrete %g, fractional %g (gap %g)", discrete, frac, gap)
+	}
+	// Discrete: 1 + 0.5 + β = 3.5. Fractional best x: minimize
+	// x(1 + 0.5/x) + 2x = x + 0.5 + 2x → x → smallest on grid covering
+	// capacity x >= 0.5: x = 0.5 → 0.5 + 0.5 + 1 = 2.
+	if math.Abs(discrete-3.5) > 1e-9 || math.Abs(frac-2) > 1e-9 {
+		t.Errorf("discrete %g (want 3.5), fractional %g (want 2)", discrete, frac)
+	}
+	if math.Abs(gap-1.75) > 1e-9 {
+		t.Errorf("gap = %g, want 1.75", gap)
+	}
+}
+
+func TestSolveWithReducedLattice(t *testing.T) {
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 30, SwitchCost: 4, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: []float64{5, 20, 11, 2},
+	}
+	exact, err := Solve(ins, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := Solve(ins, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apx.Cost < exact.Cost*(1-1e-9) || apx.Cost > exact.Cost*1.5*(1+1e-9) {
+		t.Errorf("reduced-lattice fractional %g outside [exact, 1.5·exact] for %g",
+			apx.Cost, exact.Cost)
+	}
+}
+
+func randomInstance(rng *rand.Rand) *model.Instance {
+	d := 1 + rng.Intn(2)
+	T := 2 + rng.Intn(5)
+	types := make([]model.ServerType, d)
+	totalCap := 0.0
+	for j := range types {
+		count := 1 + rng.Intn(2)
+		capacity := 0.5 + rng.Float64()
+		types[j] = model.ServerType{
+			Count: count, SwitchCost: 0.5 + rng.Float64()*4, MaxLoad: capacity,
+			Cost: model.Static{F: costfn.Power{
+				Idle: 0.2 + rng.Float64(), Coef: rng.Float64(), Exp: 1 + rng.Float64(),
+			}},
+		}
+		totalCap += float64(count) * capacity
+	}
+	lambda := make([]float64, T)
+	for t := range lambda {
+		lambda[t] = rng.Float64() * totalCap * 0.8
+	}
+	return &model.Instance{Types: types, Lambda: lambda}
+}

@@ -1,0 +1,77 @@
+package fractional
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+)
+
+func TestRefineTimeVaryingCounts(t *testing.T) {
+	ins := &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: 3, SwitchCost: 2, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}},
+		}},
+		Lambda: []float64{1, 2, 1},
+		Counts: [][]int{{3}, {2}, {3}},
+	}
+	ref, err := Refine(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.TimeVarying() {
+		t.Fatal("refined instance should keep time-varying sizes")
+	}
+	if ref.CountAt(2, 0) != 4 {
+		t.Errorf("refined count at slot 2 = %d, want 4", ref.CountAt(2, 0))
+	}
+	if err := ref.Validate(); err != nil {
+		t.Fatalf("refined instance invalid: %v", err)
+	}
+	res, err := Solve(ins, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 2's fractional count cannot exceed the shrunken fleet.
+	if res.X[1][0] > 2+1e-12 {
+		t.Errorf("slot 2 fractional count %g exceeds available 2", res.X[1][0])
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	ins := smallInstance()
+	if _, err := Solve(ins, 0, 0); err == nil {
+		t.Error("K=0 should error")
+	}
+	bad := &model.Instance{
+		Types: []model.ServerType{{
+			Count: 1, SwitchCost: 1, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Constant{C: 1}},
+		}},
+		Lambda: []float64{5}, // infeasible
+	}
+	if _, err := Solve(bad, 2, 0); err == nil {
+		t.Error("infeasible instance should error")
+	}
+	if _, _, _, err := IntegralityGap(bad, 2, 0); err == nil {
+		t.Error("IntegralityGap should propagate infeasibility")
+	}
+	if _, _, _, err := IntegralityGap(ins, 0, 0); err == nil {
+		t.Error("IntegralityGap should propagate bad K")
+	}
+}
+
+func TestRefinedProfileScaling(t *testing.T) {
+	base := costfn.Power{Idle: 2, Coef: 1, Exp: 2}
+	rp := refinedProfile{p: model.Static{F: base}, k: 4}
+	f := rp.At(1)
+	// f̃(z̃) = f(4·z̃)/4: at z̃ = 0.25, f(1)/4 = 3/4.
+	if got := f.Value(0.25); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("refined value = %g, want 0.75", got)
+	}
+	if got := f.Value(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("refined idle = %g, want 0.5", got)
+	}
+}

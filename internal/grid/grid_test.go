@@ -1,0 +1,264 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullAxis(t *testing.T) {
+	a := FullAxis(3)
+	want := Axis{0, 1, 2, 3}
+	if len(a) != len(want) {
+		t.Fatalf("len = %d, want %d", len(a), len(want))
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+	if len(FullAxis(0)) != 1 {
+		t.Error("FullAxis(0) should be {0}")
+	}
+}
+
+// The paper's running example (Section 4.2 / Figure 5): γ = 2, m = 10
+// yields M^γ_j = {0, 1, 2, 4, 8, 10}.
+func TestReducedAxisPaperExample(t *testing.T) {
+	a := ReducedAxis(10, 2)
+	want := []int{0, 1, 2, 4, 8, 10}
+	if len(a) != len(want) {
+		t.Fatalf("axis = %v, want %v", a, want)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("axis = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestReducedAxisNonIntegerGamma(t *testing.T) {
+	// γ = 1.5, m = 8: powers 1, 1.5, 2.25, 3.375, 5.06, 7.59, 11.4…
+	// floors/ceils within [0,8]: 1, 1,2, 2,3, 3,4, 5,6, 7,8 → plus 0 and m.
+	a := ReducedAxis(8, 1.5)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if len(a) != len(want) {
+		t.Fatalf("axis = %v, want %v", a, want)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("axis = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestReducedAxisEdges(t *testing.T) {
+	if got := ReducedAxis(0, 2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("m=0: %v, want {0}", got)
+	}
+	if got := ReducedAxis(1, 2); len(got) != 2 || got[1] != 1 {
+		t.Errorf("m=1: %v, want {0,1}", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("gamma <= 1 should panic")
+		}
+	}()
+	ReducedAxis(5, 1)
+}
+
+// Property (Section 4.2): consecutive non-zero levels of a reduced axis
+// either stay within ratio γ or are adjacent integers (integrality makes a
+// finer step impossible), and the axis size is O(m) ∩ O(log_γ m + 1/(γ−1)).
+func TestReducedAxisRatioProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(100000)
+		gamma := 1.01 + rng.Float64()*3
+		a := ReducedAxis(m, gamma)
+		if a[0] != 0 || a[len(a)-1] != m {
+			return false
+		}
+		prev := 0
+		for _, v := range a {
+			if v != 0 && prev != 0 && v != prev+1 &&
+				float64(v) > gamma*float64(prev)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		if a.MaxRatio() > gamma+1e-9 {
+			return false
+		}
+		// |M^γ_j| ∈ O(log_γ m + 1/(γ−1)): allow a generous constant.
+		bound := 2*math.Log(float64(m))/math.Log(gamma) + 2/(gamma-1) + 8
+		return float64(len(a)) <= math.Min(bound, float64(m)+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxisQueries(t *testing.T) {
+	a := Axis{0, 1, 2, 4, 8, 10}
+	if !a.Contains(4) || a.Contains(5) {
+		t.Error("Contains misbehaves")
+	}
+	if n, ok := a.Next(4); !ok || n != 8 {
+		t.Errorf("Next(4) = %d,%v; want 8,true", n, ok)
+	}
+	if n, ok := a.Next(5); !ok || n != 8 {
+		t.Errorf("Next(5) = %d,%v; want 8,true", n, ok)
+	}
+	if _, ok := a.Next(10); ok {
+		t.Error("Next at max should report !ok")
+	}
+	if a.FloorIndex(5) != 3 { // value 4
+		t.Errorf("FloorIndex(5) = %d, want 3", a.FloorIndex(5))
+	}
+	if a.FloorIndex(-1) != -1 {
+		t.Errorf("FloorIndex(-1) = %d, want -1", a.FloorIndex(-1))
+	}
+	if a.CeilIndex(5) != 4 { // value 8
+		t.Errorf("CeilIndex(5) = %d, want 4", a.CeilIndex(5))
+	}
+	if a.CeilIndex(11) != len(a) {
+		t.Errorf("CeilIndex(11) = %d, want len", a.CeilIndex(11))
+	}
+}
+
+func TestGridEncodeDecodeRoundTrip(t *testing.T) {
+	g := New([]Axis{FullAxis(2), ReducedAxis(10, 2), FullAxis(1)})
+	if g.Size() != 3*6*2 {
+		t.Fatalf("size = %d, want 36", g.Size())
+	}
+	out := make([]int, 3)
+	seen := map[[3]int]bool{}
+	for idx := 0; idx < g.Size(); idx++ {
+		g.Decode(idx, out)
+		back, ok := g.Encode(out)
+		if !ok || back != idx {
+			t.Fatalf("round trip failed at %d: decoded %v, encoded %d/%v", idx, out, back, ok)
+		}
+		var key [3]int
+		copy(key[:], out)
+		if seen[key] {
+			t.Fatalf("duplicate configuration %v", out)
+		}
+		seen[key] = true
+		for j := range out {
+			if g.Value(idx, j) != out[j] {
+				t.Fatalf("Value(%d,%d) = %d, want %d", idx, j, g.Value(idx, j), out[j])
+			}
+		}
+	}
+}
+
+func TestGridEncodeRejectsOffLattice(t *testing.T) {
+	g := New([]Axis{ReducedAxis(10, 2)})
+	if _, ok := g.Encode([]int{5}); ok {
+		t.Error("5 is not on the reduced axis")
+	}
+	if _, ok := g.Encode([]int{1, 1}); ok {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestGridDecodePanicsOutOfRange(t *testing.T) {
+	g := NewFull([]int{1, 1})
+	out := make([]int, 2)
+	for _, idx := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Decode(%d) should panic", idx)
+				}
+			}()
+			g.Decode(idx, out)
+		}()
+	}
+}
+
+func TestGridStrides(t *testing.T) {
+	g := NewFull([]int{2, 3}) // axes sizes 3 and 4
+	if g.Stride(1) != 1 || g.Stride(0) != 4 {
+		t.Errorf("strides = %d,%d; want 4,1", g.Stride(0), g.Stride(1))
+	}
+	if g.D() != 2 {
+		t.Error("D")
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	a := NewFull([]int{2, 3})
+	b := NewFull([]int{2, 3})
+	c := NewFull([]int{3, 2})
+	d := NewReduced([]int{2, 3}, 2)
+	if !a.Equal(b) {
+		t.Error("identical grids should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("different axes should differ")
+	}
+	if a.Equal(NewFull([]int{2})) {
+		t.Error("different dimensionality should differ")
+	}
+	_ = d
+}
+
+func TestNewPanicsOnBadAxes(t *testing.T) {
+	cases := [][]Axis{
+		nil,
+		{Axis{}},
+		{Axis{1, 2}},
+		{Axis{0, 2, 2}},
+	}
+	for i, axes := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(axes)
+		}()
+	}
+}
+
+func TestNewReducedMatchesPerAxis(t *testing.T) {
+	g := NewReduced([]int{10, 7}, 2)
+	if g.D() != 2 {
+		t.Fatal("D")
+	}
+	if got := g.Axis(0); len(got) != 6 {
+		t.Errorf("axis 0 = %v", got)
+	}
+	// m=7, γ=2: {0,1,2,4,7}
+	a1 := g.Axis(1)
+	want := []int{0, 1, 2, 4, 7}
+	if len(a1) != len(want) {
+		t.Fatalf("axis 1 = %v, want %v", a1, want)
+	}
+	for i := range want {
+		if a1[i] != want[i] {
+			t.Fatalf("axis 1 = %v, want %v", a1, want)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	g := NewFull([]int{9, 9, 9})
+	out := make([]int, 3)
+	for i := 0; i < b.N; i++ {
+		g.Decode(i%g.Size(), out)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	g := NewFull([]int{9, 9, 9})
+	x := []int{3, 7, 2}
+	for i := 0; i < b.N; i++ {
+		g.Encode(x)
+	}
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSwitchCostWithDown(t *testing.T) {
+	ins := twoTypeInstance() // β = (2, 8)
+	down := []float64{1, 3}
+	if got := ins.SwitchCostWithDown(Config{0, 0}, Config{2, 1}, down); got != 2*2+8 {
+		t.Errorf("pure up = %g, want 12", got)
+	}
+	if got := ins.SwitchCostWithDown(Config{2, 1}, Config{0, 0}, down); got != 2*1+3 {
+		t.Errorf("pure down = %g, want 5", got)
+	}
+	if got := ins.SwitchCostWithDown(Config{2, 0}, Config{1, 1}, down); got != 1+8 {
+		t.Errorf("mixed = %g, want 9", got)
+	}
+}
+
+// The folding equivalence (paper, after Equation 2): any schedule's cost
+// with explicit down-costs equals its cost under the folded instance.
+func TestFoldDownCostsEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomInstance(rng, 3, 3, 6)
+		down := make([]float64, ins.D())
+		for j := range down {
+			down[j] = rng.Float64() * 5
+		}
+		folded, err := FoldDownCosts(ins, down)
+		if err != nil {
+			return false
+		}
+		s := randomFeasibleSchedule(rng, ins)
+		extended := NewEvaluator(ins).CostWithDown(s, down)
+		plain := NewEvaluator(folded).Cost(s)
+		return math.Abs(extended.Total()-plain.Total()) < 1e-9*(1+plain.Total()) &&
+			math.Abs(extended.Operating-plain.Operating) < 1e-9*(1+plain.Operating)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldDownCostsValidation(t *testing.T) {
+	ins := twoTypeInstance()
+	if _, err := FoldDownCosts(ins, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FoldDownCosts(ins, []float64{1, -1}); err == nil {
+		t.Error("negative down-cost should error")
+	}
+	folded, err := FoldDownCosts(ins, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Types[0].SwitchCost != 3 || folded.Types[1].SwitchCost != 11 {
+		t.Errorf("folded β = (%g, %g), want (3, 11)",
+			folded.Types[0].SwitchCost, folded.Types[1].SwitchCost)
+	}
+	// Original untouched.
+	if ins.Types[0].SwitchCost != 2 {
+		t.Error("folding must not mutate the input")
+	}
+}
+
+func TestCostWithDownPanicsOnBadLength(t *testing.T) {
+	ins := twoTypeInstance()
+	e := NewEvaluator(ins)
+	s := Schedule{{1, 0}, {0, 1}, {2, 0}, {0, 0}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.CostWithDown(s, []float64{1})
+}
+
+func TestCostWithDownCountsFinalPowerDown(t *testing.T) {
+	ins := &Instance{
+		Types: []ServerType{{
+			Count: 2, SwitchCost: 1, MaxLoad: 1,
+			Cost: Static{F: zeroCost{}},
+		}},
+		Lambda: []float64{1},
+	}
+	e := NewEvaluator(ins)
+	br := e.CostWithDown(Schedule{{2}}, []float64{5})
+	// 2 ups (β=1) + 2 final downs (5 each) = 12 switching.
+	if math.Abs(br.Switching-12) > 1e-12 {
+		t.Errorf("switching = %g, want 12", br.Switching)
+	}
+}
+
+type zeroCost struct{}
+
+func (zeroCost) Value(float64) float64 { return 0 }

@@ -1,0 +1,373 @@
+// Package model defines the data-center right-sizing problem of
+// Albers–Quedenfeld (SPAA 2021): problem instances
+// I = (T, d, m, β, F, Λ), integral server configurations, schedules, and
+// the cost semantics of Equation (2),
+//
+//	C(X) = Σ_t [ g_t(x_t) + Σ_j β_j (x_{t,j} − x_{t−1,j})^+ ],
+//
+// with x_0 = x_{T+1} = 0. Time slots are 1-based throughout, matching the
+// paper; slice indices shift by one internally.
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/costfn"
+	"repro/internal/dispatch"
+	"repro/internal/numeric"
+)
+
+// CostProfile yields the operating-cost function f_{t,j} of a server type
+// for time slot t (1-based). Implementations must return functions that are
+// convex, non-decreasing and non-negative.
+type CostProfile interface {
+	At(t int) costfn.Func
+}
+
+// Static is a time-independent cost profile: f_{t,j} = f_j for all t.
+// Algorithm A (Section 2) requires all profiles to be Static.
+type Static struct {
+	F costfn.Func
+}
+
+// At implements CostProfile.
+func (s Static) At(int) costfn.Func { return s.F }
+
+// Varying is a fully time-dependent cost profile with one function per
+// slot. Fs[t-1] is the function for slot t.
+type Varying struct {
+	Fs []costfn.Func
+}
+
+// At implements CostProfile.
+func (v Varying) At(t int) costfn.Func { return v.Fs[t-1] }
+
+// Modulated scales a base function by a per-slot factor (e.g. an
+// electricity price signal): f_{t,j}(z) = Scale[t-1] · F(z).
+type Modulated struct {
+	F     costfn.Func
+	Scale []float64
+}
+
+// At implements CostProfile.
+func (m Modulated) At(t int) costfn.Func {
+	return costfn.Scaled{F: m.F, Factor: m.Scale[t-1]}
+}
+
+// ServerType describes one of the d heterogeneous server types.
+type ServerType struct {
+	Name       string      // informational label ("cpu", "gpu", …)
+	Count      int         // m_j: number of servers of this type
+	SwitchCost float64     // β_j: cost of powering one server up
+	MaxLoad    float64     // zmax_j: per-server capacity per slot
+	Cost       CostProfile // f_{t,j}
+}
+
+// Instance is a problem instance I = (T, d, m, β, F, Λ). The zero value is
+// not usable; construct instances with struct literals and call Validate.
+type Instance struct {
+	Types  []ServerType
+	Lambda []float64 // job volumes λ_1..λ_T; Lambda[t-1] is slot t
+
+	// Counts optionally makes the data-center size time-dependent
+	// (Section 4.3): Counts[t-1][j] overrides Types[j].Count for slot t.
+	// nil means the sizes are static.
+	Counts [][]int
+}
+
+// T returns the number of time slots.
+func (ins *Instance) T() int { return len(ins.Lambda) }
+
+// D returns the number of server types.
+func (ins *Instance) D() int { return len(ins.Types) }
+
+// CountAt returns m_{t,j}, the number of available servers of type j
+// (0-based) during slot t (1-based).
+func (ins *Instance) CountAt(t, j int) int {
+	if ins.Counts != nil {
+		return ins.Counts[t-1][j]
+	}
+	return ins.Types[j].Count
+}
+
+// TimeVarying reports whether the instance has time-dependent data-center
+// sizes.
+func (ins *Instance) TimeVarying() bool { return ins.Counts != nil }
+
+// Validate checks the structural invariants of the instance: positive
+// dimensions, non-negative parameters, per-slot feasibility (total capacity
+// covers each λ_t), and well-formed Counts if present.
+func (ins *Instance) Validate() error {
+	if ins.D() == 0 {
+		return fmt.Errorf("model: instance has no server types")
+	}
+	if ins.T() == 0 {
+		return fmt.Errorf("model: instance has no time slots")
+	}
+	for j, st := range ins.Types {
+		if st.Count < 0 {
+			return fmt.Errorf("model: type %d has negative count %d", j, st.Count)
+		}
+		if st.SwitchCost < 0 {
+			return fmt.Errorf("model: type %d has negative switching cost %g", j, st.SwitchCost)
+		}
+		if st.MaxLoad <= 0 {
+			return fmt.Errorf("model: type %d has non-positive capacity %g", j, st.MaxLoad)
+		}
+		if st.Cost == nil {
+			return fmt.Errorf("model: type %d has no cost profile", j)
+		}
+	}
+	if ins.Counts != nil && len(ins.Counts) != ins.T() {
+		return fmt.Errorf("model: Counts has %d slots, want %d", len(ins.Counts), ins.T())
+	}
+	for t := 1; t <= ins.T(); t++ {
+		if ins.Lambda[t-1] < 0 {
+			return fmt.Errorf("model: negative job volume %g at slot %d", ins.Lambda[t-1], t)
+		}
+		if ins.Counts != nil && len(ins.Counts[t-1]) != ins.D() {
+			return fmt.Errorf("model: Counts[%d] has %d types, want %d", t-1, len(ins.Counts[t-1]), ins.D())
+		}
+		cap := 0.0
+		for j := range ins.Types {
+			c := ins.CountAt(t, j)
+			if c < 0 {
+				return fmt.Errorf("model: negative count at slot %d type %d", t, j)
+			}
+			cap += float64(c) * ins.Types[j].MaxLoad
+		}
+		if cap < ins.Lambda[t-1]*(1-1e-12) {
+			return fmt.Errorf("model: slot %d demand %g exceeds total capacity %g",
+				t, ins.Lambda[t-1], cap)
+		}
+	}
+	return nil
+}
+
+// Prefix returns the shortened instance I_t = (t, d, m, β, F, Λ_t) of
+// Section 2. The returned instance shares underlying slices with ins.
+func (ins *Instance) Prefix(t int) *Instance {
+	if t < 0 || t > ins.T() {
+		panic(fmt.Sprintf("model: prefix length %d out of range [0, %d]", t, ins.T()))
+	}
+	p := &Instance{
+		Types:  ins.Types,
+		Lambda: ins.Lambda[:t],
+	}
+	if ins.Counts != nil {
+		p.Counts = ins.Counts[:t]
+	}
+	return p
+}
+
+// TimeIndependent reports whether every type's cost profile is Static, the
+// precondition of Algorithm A.
+func (ins *Instance) TimeIndependent() bool {
+	for _, st := range ins.Types {
+		if _, ok := st.Cost.(Static); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Config is a server configuration x = (x_1, …, x_d): the number of active
+// servers of each type during one slot.
+type Config []int
+
+// Clone returns a copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether no server is active.
+func (c Config) IsZero() bool {
+	for _, v := range c {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the total number of active servers.
+func (c Config) Total() int {
+	sum := 0
+	for _, v := range c {
+		sum += v
+	}
+	return sum
+}
+
+// String renders the configuration as "(x1, x2, …)".
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schedule is a sequence of configurations X = (x_1, …, x_T).
+// Schedule[t-1] is the configuration during slot t. The boundary states
+// x_0 = x_{T+1} = 0 are implicit.
+type Schedule []Config
+
+// Clone deep-copies the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	for i, c := range s {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// CostBreakdown decomposes a schedule's total cost per Equation (2).
+type CostBreakdown struct {
+	Operating float64 // C_op = Σ_t g_t(x_t)
+	Switching float64 // C_sw = Σ_t Σ_j β_j (x_{t,j} − x_{t−1,j})^+
+}
+
+// Total returns C = C_op + C_sw.
+func (b CostBreakdown) Total() float64 { return b.Operating + b.Switching }
+
+// Evaluator computes operating costs g_t(x) and schedule costs for one
+// instance, reusing scratch buffers. Create one per goroutine with
+// NewEvaluator; it is not safe for concurrent use.
+type Evaluator struct {
+	ins     *Instance
+	servers []dispatch.Server
+	solver  dispatch.Solver
+}
+
+// NewEvaluator returns an evaluator for the instance.
+func NewEvaluator(ins *Instance) *Evaluator {
+	return &Evaluator{
+		ins:     ins,
+		servers: make([]dispatch.Server, ins.D()),
+	}
+}
+
+// Instance returns the instance the evaluator was built for.
+func (e *Evaluator) Instance() *Instance { return e.ins }
+
+// G returns the operating cost g_t(x) for slot t (1-based). Configurations
+// exceeding the per-slot server counts yield +Inf (they correspond to
+// vertices absent from the paper's graph).
+func (e *Evaluator) G(t int, x Config) float64 {
+	if len(x) != e.ins.D() {
+		panic("model: configuration dimension mismatch")
+	}
+	for j := range e.servers {
+		if x[j] < 0 || x[j] > e.ins.CountAt(t, j) {
+			return math.Inf(1)
+		}
+		e.servers[j] = dispatch.Server{
+			Active: x[j],
+			Cap:    e.ins.Types[j].MaxLoad,
+			F:      e.ins.Types[j].Cost.At(t),
+		}
+	}
+	return e.solver.Cost(e.servers, e.ins.Lambda[t-1])
+}
+
+// Split returns the optimal load split (volumes and fractions) behind
+// g_t(x). It allocates; use it for reporting, not in hot loops.
+func (e *Evaluator) Split(t int, x Config) dispatch.Assignment {
+	servers := make([]dispatch.Server, e.ins.D())
+	for j := range servers {
+		if x[j] < 0 || x[j] > e.ins.CountAt(t, j) {
+			return dispatch.Assignment{
+				Cost: math.Inf(1),
+				Y:    make([]float64, e.ins.D()),
+				Z:    make([]float64, e.ins.D()),
+			}
+		}
+		servers[j] = dispatch.Server{
+			Active: x[j],
+			Cap:    e.ins.Types[j].MaxLoad,
+			F:      e.ins.Types[j].Cost.At(t),
+		}
+	}
+	return dispatch.Assign(servers, e.ins.Lambda[t-1])
+}
+
+// SwitchCost returns Σ_j β_j (cur_j − prev_j)^+, the cost of moving from
+// configuration prev to cur.
+func (ins *Instance) SwitchCost(prev, cur Config) float64 {
+	total := 0.0
+	for j := range ins.Types {
+		if up := cur[j] - prev[j]; up > 0 {
+			total += ins.Types[j].SwitchCost * float64(up)
+		}
+	}
+	return total
+}
+
+// Cost evaluates the full cost of a schedule per Equation (2). Infeasible
+// slots (demand not covered) surface as +Inf operating cost.
+func (e *Evaluator) Cost(s Schedule) CostBreakdown {
+	if len(s) != e.ins.T() {
+		panic(fmt.Sprintf("model: schedule has %d slots, instance has %d", len(s), e.ins.T()))
+	}
+	var br CostBreakdown
+	prev := make(Config, e.ins.D())
+	opCosts := make([]float64, 0, len(s))
+	for t := 1; t <= len(s); t++ {
+		opCosts = append(opCosts, e.G(t, s[t-1]))
+		br.Switching += e.ins.SwitchCost(prev, s[t-1])
+		prev = s[t-1]
+	}
+	br.Operating = numeric.SumKahan(opCosts)
+	return br
+}
+
+// Feasible checks the paper's feasibility conditions for every slot:
+// 0 <= x_{t,j} <= m_{t,j} and Σ_j x_{t,j}·zmax_j >= λ_t. It returns a
+// descriptive error for the first violation.
+func (ins *Instance) Feasible(s Schedule) error {
+	if len(s) != ins.T() {
+		return fmt.Errorf("model: schedule has %d slots, instance has %d", len(s), ins.T())
+	}
+	for t := 1; t <= ins.T(); t++ {
+		x := s[t-1]
+		if len(x) != ins.D() {
+			return fmt.Errorf("model: slot %d config has %d types, want %d", t, len(x), ins.D())
+		}
+		cap := 0.0
+		for j := range ins.Types {
+			if x[j] < 0 || x[j] > ins.CountAt(t, j) {
+				return fmt.Errorf("model: slot %d type %d count %d out of [0, %d]",
+					t, j, x[j], ins.CountAt(t, j))
+			}
+			cap += float64(x[j]) * ins.Types[j].MaxLoad
+		}
+		if cap < ins.Lambda[t-1]*(1-1e-12) {
+			return fmt.Errorf("model: slot %d capacity %g below demand %g",
+				t, cap, ins.Lambda[t-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/costfn"
+)
+
+// Subdivision relates a problem instance I to the modified instance Ĩ of
+// Section 3.2, in which each original slot t is split into ñ_t equal
+// sub-slots carrying operating cost f̃_{u,j} = f_{t,j}/ñ_t and the same job
+// volume. Algorithm C runs Algorithm B on Ĩ and projects the result back.
+type Subdivision struct {
+	Orig *Instance
+	Mod  *Instance
+
+	ns     []int // ñ_t per original slot
+	starts []int // starts[t-1]: number of sub-slots strictly before slot t
+	origOf []int // origOf[u-1] = t (1-based original slot of sub-slot u)
+}
+
+// Subdivide builds the modified instance for the given sub-slot counts
+// (ns[t-1] = ñ_t >= 1). The modified instance owns fresh slices; cost
+// functions are shared via costfn.Scaled wrappers.
+func Subdivide(ins *Instance, ns []int) (*Subdivision, error) {
+	if len(ns) != ins.T() {
+		return nil, fmt.Errorf("model: got %d sub-slot counts for %d slots", len(ns), ins.T())
+	}
+	total := 0
+	starts := make([]int, ins.T())
+	for t := 1; t <= ins.T(); t++ {
+		if ns[t-1] < 1 {
+			return nil, fmt.Errorf("model: ñ_%d = %d, want >= 1", t, ns[t-1])
+		}
+		starts[t-1] = total
+		total += ns[t-1]
+	}
+
+	sub := &Subdivision{
+		Orig:   ins,
+		ns:     append([]int(nil), ns...),
+		starts: starts,
+		origOf: make([]int, total),
+	}
+
+	lambda := make([]float64, total)
+	perType := make([][]costfn.Func, ins.D())
+	for j := range perType {
+		perType[j] = make([]costfn.Func, total)
+	}
+	var counts [][]int
+	if ins.Counts != nil {
+		counts = make([][]int, total)
+	}
+
+	u := 0
+	for t := 1; t <= ins.T(); t++ {
+		factor := 1.0 / float64(ns[t-1])
+		for k := 0; k < ns[t-1]; k++ {
+			sub.origOf[u] = t
+			lambda[u] = ins.Lambda[t-1]
+			for j := range ins.Types {
+				perType[j][u] = costfn.Scaled{F: ins.Types[j].Cost.At(t), Factor: factor}
+			}
+			if counts != nil {
+				counts[u] = ins.Counts[t-1]
+			}
+			u++
+		}
+	}
+
+	types := make([]ServerType, ins.D())
+	for j, st := range ins.Types {
+		types[j] = ServerType{
+			Name:       st.Name,
+			Count:      st.Count,
+			SwitchCost: st.SwitchCost,
+			MaxLoad:    st.MaxLoad,
+			Cost:       Varying{Fs: perType[j]},
+		}
+	}
+	sub.Mod = &Instance{Types: types, Lambda: lambda, Counts: counts}
+	return sub, nil
+}
+
+// N returns ñ_t for original slot t (1-based).
+func (s *Subdivision) N(t int) int { return s.ns[t-1] }
+
+// U returns the 1-based sub-slot range [lo, hi] of Ĩ corresponding to the
+// original slot t, i.e. the set U(t) of the paper.
+func (s *Subdivision) U(t int) (lo, hi int) {
+	return s.starts[t-1] + 1, s.starts[t-1] + s.ns[t-1]
+}
+
+// UInv returns U^{-1}(u): the original slot of sub-slot u (both 1-based).
+func (s *Subdivision) UInv(u int) int { return s.origOf[u-1] }
+
+// Lift converts a schedule for the original instance into the schedule
+// x̃_u = x_{U^{-1}(u)} for the modified instance. By the argument in
+// Theorem 15 this conversion preserves the total cost exactly.
+func (s *Subdivision) Lift(x Schedule) Schedule {
+	if len(x) != s.Orig.T() {
+		panic("model: Lift: schedule length mismatch")
+	}
+	out := make(Schedule, s.Mod.T())
+	for u := 1; u <= s.Mod.T(); u++ {
+		out[u-1] = x[s.UInv(u)-1]
+	}
+	return out
+}

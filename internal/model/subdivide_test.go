@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSubdivideStructure(t *testing.T) {
+	ins := twoTypeInstance() // T = 4
+	sub, err := Subdivide(ins, []int{2, 1, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Mod.T() != 7 {
+		t.Fatalf("modified T = %d, want 7", sub.Mod.T())
+	}
+	// U(1) = [1,2], U(2) = [3,3], U(3) = [4,6], U(4) = [7,7].
+	wantU := [][2]int{{1, 2}, {3, 3}, {4, 6}, {7, 7}}
+	for tt := 1; tt <= 4; tt++ {
+		lo, hi := sub.U(tt)
+		if lo != wantU[tt-1][0] || hi != wantU[tt-1][1] {
+			t.Errorf("U(%d) = [%d,%d], want %v", tt, lo, hi, wantU[tt-1])
+		}
+		for u := lo; u <= hi; u++ {
+			if sub.UInv(u) != tt {
+				t.Errorf("UInv(%d) = %d, want %d", u, sub.UInv(u), tt)
+			}
+		}
+		if sub.N(tt) != hi-lo+1 {
+			t.Errorf("N(%d) = %d, want %d", tt, sub.N(tt), hi-lo+1)
+		}
+	}
+	// Job volumes copy over.
+	if sub.Mod.Lambda[0] != 1 || sub.Mod.Lambda[1] != 1 || sub.Mod.Lambda[3] != 2 {
+		t.Errorf("modified volumes wrong: %v", sub.Mod.Lambda)
+	}
+	if err := sub.Mod.Validate(); err != nil {
+		t.Errorf("modified instance invalid: %v", err)
+	}
+}
+
+func TestSubdivideScalesCosts(t *testing.T) {
+	ins := twoTypeInstance()
+	sub, err := Subdivide(ins, []int{2, 1, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-slot 1 belongs to original slot 1 with ñ=2: idle cost halves.
+	f := sub.Mod.Types[0].Cost.At(1)
+	if math.Abs(f.Value(0)-0.5) > 1e-12 {
+		t.Errorf("scaled idle cost = %g, want 0.5", f.Value(0))
+	}
+	// Sub-slot 4 belongs to slot 3 with ñ=3.
+	f = sub.Mod.Types[1].Cost.At(4)
+	if math.Abs(f.Value(0)-1.0) > 1e-12 { // 3 / 3
+		t.Errorf("scaled idle cost = %g, want 1", f.Value(0))
+	}
+}
+
+func TestSubdivideErrors(t *testing.T) {
+	ins := twoTypeInstance()
+	if _, err := Subdivide(ins, []int{1, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Subdivide(ins, []int{1, 0, 1, 1}); err == nil {
+		t.Error("ñ_t = 0 should error")
+	}
+}
+
+// Lemma 14 / Theorem 15 direction: lifting a schedule into the modified
+// instance preserves its total cost exactly.
+func TestLiftPreservesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		ins := randomInstance(rng, 3, 3, 5)
+		ns := make([]int, ins.T())
+		for t := range ns {
+			ns[t] = 1 + rng.Intn(4)
+		}
+		sub, err := Subdivide(ins, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := randomFeasibleSchedule(rng, ins)
+		lifted := sub.Lift(s)
+		if err := sub.Mod.Feasible(lifted); err != nil {
+			t.Fatalf("lifted schedule infeasible: %v", err)
+		}
+		orig := NewEvaluator(ins).Cost(s)
+		mod := NewEvaluator(sub.Mod).Cost(lifted)
+		if math.Abs(orig.Total()-mod.Total()) > 1e-6*(1+orig.Total()) {
+			t.Fatalf("case %d: cost changed under lift: %g vs %g",
+				i, orig.Total(), mod.Total())
+		}
+		if math.Abs(orig.Switching-mod.Switching) > 1e-9*(1+orig.Switching) {
+			t.Fatalf("case %d: switching cost changed under lift", i)
+		}
+	}
+}
+
+func TestSubdivideTimeVaryingCounts(t *testing.T) {
+	ins := twoTypeInstance()
+	ins.Counts = [][]int{{3, 2}, {2, 1}, {3, 2}, {3, 2}}
+	sub, err := Subdivide(ins, []int{1, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Mod.TimeVarying() {
+		t.Fatal("modified instance should stay time-varying")
+	}
+	// Sub-slots 2 and 3 both map to original slot 2 with counts (2,1).
+	if sub.Mod.CountAt(2, 0) != 2 || sub.Mod.CountAt(3, 1) != 1 {
+		t.Error("per-sub-slot counts should replicate the original slot")
+	}
+}
+
+func TestLiftPanicsOnLengthMismatch(t *testing.T) {
+	ins := twoTypeInstance()
+	sub, _ := Subdivide(ins, []int{1, 1, 1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	sub.Lift(Schedule{{0, 0}})
+}
+
+func TestSubdivideIdentity(t *testing.T) {
+	// ñ_t = 1 everywhere: the modified instance is cost-equivalent.
+	ins := twoTypeInstance()
+	sub, err := Subdivide(ins, []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Mod.T() != ins.T() {
+		t.Fatal("identity subdivision should keep T")
+	}
+	s := Schedule{{1, 0}, {0, 1}, {0, 1}, {0, 0}}
+	a := NewEvaluator(ins).Cost(s)
+	b := NewEvaluator(sub.Mod).Cost(sub.Lift(s))
+	if math.Abs(a.Total()-b.Total()) > 1e-9 {
+		t.Errorf("identity subdivision changed cost: %g vs %g", a.Total(), b.Total())
+	}
+}

@@ -1,0 +1,275 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{0, 1e-3, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e308, 1e-9, false},
+		{-5, -5, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestLessEqual(t *testing.T) {
+	if !LessEqual(1, 2, 1e-9) {
+		t.Error("1 <= 2 should hold")
+	}
+	if !LessEqual(2, 2, 1e-9) {
+		t.Error("2 <= 2 should hold")
+	}
+	if !LessEqual(2+1e-12, 2, 1e-9) {
+		t.Error("2+1e-12 <= 2 should hold within tolerance")
+	}
+	if LessEqual(2.1, 2, 1e-9) {
+		t.Error("2.1 <= 2 should fail")
+	}
+	if !LessEqual(1, math.Inf(1), 1e-9) {
+		t.Error("1 <= +Inf should hold")
+	}
+}
+
+func TestMinimizeConvexQuadratic(t *testing.T) {
+	// minimum of (x-3)^2 + 2 on [0, 10] is at x=3.
+	f := func(x float64) float64 { return (x-3)*(x-3) + 2 }
+	x, fx := MinimizeConvex(f, 0, 10, 1e-12)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("argmin = %v, want 3", x)
+	}
+	if math.Abs(fx-2) > 1e-9 {
+		t.Errorf("min = %v, want 2", fx)
+	}
+}
+
+func TestMinimizeConvexBoundary(t *testing.T) {
+	// increasing function: minimum at left endpoint.
+	f := func(x float64) float64 { return math.Exp(x) }
+	x, fx := MinimizeConvex(f, 1, 5, 1e-12)
+	if x != 1 {
+		t.Errorf("argmin = %v, want boundary 1", x)
+	}
+	if math.Abs(fx-math.E) > 1e-9 {
+		t.Errorf("min = %v, want e", fx)
+	}
+	// decreasing function: minimum at right endpoint.
+	g := func(x float64) float64 { return -x }
+	x, fx = MinimizeConvex(g, 1, 5, 1e-12)
+	if x != 5 || fx != -5 {
+		t.Errorf("argmin, min = %v, %v; want 5, -5", x, fx)
+	}
+}
+
+func TestMinimizeConvexDegenerateInterval(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, fx := MinimizeConvex(f, 2, 2, 1e-12)
+	if x != 2 || fx != 4 {
+		t.Errorf("got %v, %v; want 2, 4", x, fx)
+	}
+}
+
+func TestMinimizeConvexPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for lo > hi")
+		}
+	}()
+	MinimizeConvex(func(x float64) float64 { return x }, 2, 1, 1e-12)
+}
+
+func TestMinimizeConvexFlatRegion(t *testing.T) {
+	// Flat bottom on [2,4]: any point in [2,4] is optimal.
+	f := func(x float64) float64 {
+		if x < 2 {
+			return 2 - x
+		}
+		if x > 4 {
+			return x - 4
+		}
+		return 0
+	}
+	x, fx := MinimizeConvex(f, 0, 10, 1e-12)
+	if fx != 0 {
+		t.Errorf("min = %v, want 0", fx)
+	}
+	if x < 2-1e-6 || x > 4+1e-6 {
+		t.Errorf("argmin = %v, want within [2,4]", x)
+	}
+}
+
+func TestMinimizeConvexRandomQuadratics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*10 + 0.1
+		center := rng.Float64()*20 - 10
+		off := rng.Float64() * 5
+		f := func(x float64) float64 { return a*(x-center)*(x-center) + off }
+		lo := center - 1 - rng.Float64()*10
+		hi := center + 1 + rng.Float64()*10
+		x, fx := MinimizeConvex(f, lo, hi, 1e-12)
+		if math.Abs(x-center) > 1e-5 {
+			t.Fatalf("case %d: argmin %v, want %v", i, x, center)
+		}
+		if math.Abs(fx-off) > 1e-8 {
+			t.Fatalf("case %d: min %v, want %v", i, fx, off)
+		}
+	}
+}
+
+func TestBisectIncreasing(t *testing.T) {
+	g := func(x float64) float64 { return x * x * x } // increasing
+	x := BisectIncreasing(g, 8, 0, 10, 1e-12)
+	if math.Abs(x-2) > 1e-6 {
+		t.Errorf("root = %v, want 2", x)
+	}
+}
+
+func TestBisectIncreasingClampsToEndpoints(t *testing.T) {
+	g := func(x float64) float64 { return x }
+	if got := BisectIncreasing(g, -5, 0, 10, 1e-12); got != 0 {
+		t.Errorf("target below range: got %v, want 0", got)
+	}
+	if got := BisectIncreasing(g, 50, 0, 10, 1e-12); got != 10 {
+		t.Errorf("target above range: got %v, want 10", got)
+	}
+}
+
+func TestBisectIncreasingStepFunction(t *testing.T) {
+	// Non-strictly increasing step: g jumps from 0 to 1 at x=5.
+	g := func(x float64) float64 {
+		if x < 5 {
+			return 0
+		}
+		return 1
+	}
+	x := BisectIncreasing(g, 0.5, 0, 10, 1e-9)
+	if math.Abs(x-5) > 1e-6 {
+		t.Errorf("step location = %v, want 5", x)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt misbehaves")
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	// 1 + 1e-16 * 1e6 would lose the small terms with naive summation order.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := SumKahan(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("SumKahan = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestSumKahanEmpty(t *testing.T) {
+	if SumKahan(nil) != 0 {
+		t.Error("empty sum should be 0")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {9, 3, 3}, {10, 3, 4},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	for _, bad := range [][2]int{{1, 0}, {1, -1}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilDiv(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			CeilDiv(bad[0], bad[1])
+		}()
+	}
+}
+
+// Property: the golden-section minimiser never returns a value above either
+// endpoint or above the true quadratic minimum by more than tolerance.
+func TestMinimizeConvexProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*5 + 0.01
+		c := rng.Float64()*10 - 5
+		f := func(x float64) float64 { return a * (x - c) * (x - c) }
+		lo := -10.0
+		hi := 10.0
+		_, fx := MinimizeConvex(f, lo, hi, 1e-12)
+		best := 0.0
+		if c < lo {
+			best = f(lo)
+		} else if c > hi {
+			best = f(hi)
+		}
+		return fx <= best+1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bisection solves g(x) = target for random increasing cubics.
+func TestBisectIncreasingProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*3 + 0.1
+		b := rng.Float64() * 2
+		g := func(x float64) float64 { return a*x*x*x + b*x }
+		root := rng.Float64() * 5
+		target := g(root)
+		x := BisectIncreasing(g, target, 0, 5, 1e-13)
+		return math.Abs(x-root) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinimizeConvex(b *testing.B) {
+	f := func(x float64) float64 { return (x-3)*(x-3) + math.Exp(x/10) }
+	for i := 0; i < b.N; i++ {
+		MinimizeConvex(f, 0, 10, 1e-10)
+	}
+}
+
+func BenchmarkBisectIncreasing(b *testing.B) {
+	g := func(x float64) float64 { return x*x*x + x }
+	for i := 0; i < b.N; i++ {
+		BisectIncreasing(g, 10, 0, 10, 1e-10)
+	}
+}

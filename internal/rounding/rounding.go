@@ -1,0 +1,166 @@
+// Package rounding explores the paper's open problem: converting
+// fractional schedules into integral ones without blowing up the cost.
+//
+// The related-work section observes that naively rounding a fractional
+// schedule up can make the switching cost arbitrarily large — a fractional
+// schedule oscillating between 1 and 1+ε servers pays O(ε) switching per
+// slot, but its ceiling oscillates between 1 and 2 and pays β per slot.
+// For homogeneous data centers the authors' earlier work rounds with a
+// single random threshold, which preserves expected switching cost; for
+// heterogeneous ones per-type thresholding can break feasibility (their
+// example: x = (1/d, …, 1/d) rounds down to all-zero under λ = 1).
+//
+// This package implements the three rounding strategies the discussion
+// implies — Ceil, Floor and Threshold — plus the feasibility repair that
+// heterogeneous instances need, so the blow-ups and the open problem can
+// be measured instead of just cited (experiment E11).
+package rounding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Strategy converts one fractional count into an integer.
+type Strategy int
+
+const (
+	// Ceil always rounds up: trivially feasible, switching cost can
+	// explode (the paper's oscillation example).
+	Ceil Strategy = iota
+	// Floor always rounds down: cheap but usually infeasible until
+	// repaired.
+	Floor
+	// Threshold rounds x up iff frac(x) > θ for a fixed θ ∈ [0, 1):
+	// oscillations within a fractional band smaller than the distance to
+	// the threshold produce no switching at all, which is the essence of
+	// the randomized scheme for homogeneous data centers.
+	Threshold
+)
+
+// Round converts a fractional schedule (X[t-1][j] = fractional count) into
+// an integral schedule using the strategy; theta is only used by
+// Threshold. The result is NOT necessarily feasible — callers follow up
+// with Repair.
+func Round(frac [][]float64, strategy Strategy, theta float64) (model.Schedule, error) {
+	if strategy == Threshold && (theta < 0 || theta >= 1) {
+		return nil, fmt.Errorf("rounding: threshold theta must be in [0, 1), got %g", theta)
+	}
+	out := make(model.Schedule, len(frac))
+	for t, row := range frac {
+		cfg := make(model.Config, len(row))
+		for j, x := range row {
+			if x < 0 {
+				return nil, fmt.Errorf("rounding: negative fractional count %g at slot %d", x, t+1)
+			}
+			switch strategy {
+			case Ceil:
+				cfg[j] = int(math.Ceil(x - 1e-12))
+			case Floor:
+				cfg[j] = int(math.Floor(x + 1e-12))
+			case Threshold:
+				fl := math.Floor(x + 1e-12)
+				if x-fl > theta {
+					cfg[j] = int(fl) + 1
+				} else {
+					cfg[j] = int(fl)
+				}
+			default:
+				return nil, fmt.Errorf("rounding: unknown strategy %d", strategy)
+			}
+		}
+		out[t] = cfg
+	}
+	return out, nil
+}
+
+// Repair makes a rounded schedule feasible slot by slot: while a slot's
+// capacity falls short of its demand, it powers up one more server of the
+// type with the cheapest marginal capacity (β_j amortised over zmax_j,
+// then idle cost) among those with head-room. The repair is greedy and
+// per-slot — it deliberately mirrors what a practitioner would bolt onto a
+// fractional controller, not an attempt at the open problem's solution.
+func Repair(ins *model.Instance, sched model.Schedule) (model.Schedule, error) {
+	if len(sched) != ins.T() {
+		return nil, fmt.Errorf("rounding: schedule has %d slots, want %d", len(sched), ins.T())
+	}
+	out := sched.Clone()
+	for t := 1; t <= ins.T(); t++ {
+		cfg := out[t-1]
+		for {
+			cap := 0.0
+			for j := range cfg {
+				if cfg[j] > ins.CountAt(t, j) {
+					cfg[j] = ins.CountAt(t, j) // also clamp over-counts
+				}
+				cap += float64(cfg[j]) * ins.Types[j].MaxLoad
+			}
+			if cap >= ins.Lambda[t-1]*(1-1e-12) {
+				break
+			}
+			best := -1
+			bestScore := math.Inf(1)
+			for j := range cfg {
+				if cfg[j] >= ins.CountAt(t, j) {
+					continue
+				}
+				score := (ins.Types[j].SwitchCost + ins.Types[j].Cost.At(t).Value(0)) /
+					ins.Types[j].MaxLoad
+				if score < bestScore {
+					bestScore = score
+					best = j
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("rounding: slot %d cannot be repaired (demand %g)", t, ins.Lambda[t-1])
+			}
+			cfg[best]++
+		}
+	}
+	return out, nil
+}
+
+// RoundAndRepair is the full pipeline: round, then repair feasibility.
+func RoundAndRepair(ins *model.Instance, frac [][]float64, strategy Strategy, theta float64) (model.Schedule, error) {
+	sched, err := Round(frac, strategy, theta)
+	if err != nil {
+		return nil, err
+	}
+	return Repair(ins, sched)
+}
+
+// SwitchCount returns the number of individual power-up operations in a
+// schedule — the quantity the paper's oscillation example blows up.
+func SwitchCount(sched model.Schedule) int {
+	if len(sched) == 0 {
+		return 0
+	}
+	prev := make(model.Config, len(sched[0]))
+	n := 0
+	for _, cfg := range sched {
+		for j := range cfg {
+			if up := cfg[j] - prev[j]; up > 0 {
+				n += up
+			}
+		}
+		prev = cfg
+	}
+	return n
+}
+
+// OscillatingFraction builds the paper's pathological fractional schedule
+// for one type: x̄_t alternates between base and base+eps. Its ceiling
+// switches every other slot; a threshold above eps never switches.
+func OscillatingFraction(T int, base float64, eps float64) [][]float64 {
+	out := make([][]float64, T)
+	for t := range out {
+		x := base
+		if t%2 == 1 {
+			x = base + eps
+		}
+		out[t] = []float64{x}
+	}
+	return out
+}

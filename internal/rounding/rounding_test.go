@@ -1,0 +1,188 @@
+package rounding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/fractional"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func homog(T int, m int, beta float64, lambda []float64) *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{{
+			Name: "srv", Count: m, SwitchCost: beta, MaxLoad: 1,
+			Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 0.5}},
+		}},
+		Lambda: lambda,
+	}
+}
+
+// The paper's oscillation example: ceiling-rounding a 1 ↔ 1+ε fractional
+// schedule switches every cycle, threshold rounding (θ > ε) never does.
+func TestPaperOscillationExample(t *testing.T) {
+	frac := OscillatingFraction(40, 1, 0.1)
+	ceil, err := Round(frac, Ceil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ceil: 1, 2, 1, 2, … → 21 power-ups (the initial one plus one per
+	// of the 20 odd slots).
+	if got := SwitchCount(ceil); got != 21 {
+		t.Errorf("ceil switch count = %d, want 21", got)
+	}
+	thr, err := Round(frac, Threshold, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0.5 > ε: constant 1 server → a single power-up.
+	if got := SwitchCount(thr); got != 1 {
+		t.Errorf("threshold switch count = %d, want 1", got)
+	}
+	floor, err := Round(frac, Floor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SwitchCount(floor); got != 1 {
+		t.Errorf("floor switch count = %d, want 1", got)
+	}
+}
+
+func TestRoundStrategies(t *testing.T) {
+	frac := [][]float64{{1.4, 0.6}}
+	ceil, _ := Round(frac, Ceil, 0)
+	if ceil[0][0] != 2 || ceil[0][1] != 1 {
+		t.Errorf("ceil = %v", ceil[0])
+	}
+	floor, _ := Round(frac, Floor, 0)
+	if floor[0][0] != 1 || floor[0][1] != 0 {
+		t.Errorf("floor = %v", floor[0])
+	}
+	thrLow, _ := Round(frac, Threshold, 0.3)
+	if thrLow[0][0] != 2 || thrLow[0][1] != 1 {
+		t.Errorf("threshold 0.3 = %v", thrLow[0])
+	}
+	thrHigh, _ := Round(frac, Threshold, 0.7)
+	if thrHigh[0][0] != 1 || thrHigh[0][1] != 0 {
+		t.Errorf("threshold 0.7 = %v", thrHigh[0])
+	}
+	// Integers stay put under any strategy.
+	exact, _ := Round([][]float64{{2, 0}}, Threshold, 0.0)
+	if exact[0][0] != 2 || exact[0][1] != 0 {
+		t.Errorf("integer counts must round to themselves, got %v", exact[0])
+	}
+}
+
+func TestRoundValidation(t *testing.T) {
+	if _, err := Round([][]float64{{1}}, Threshold, 1); err == nil {
+		t.Error("theta = 1 should error")
+	}
+	if _, err := Round([][]float64{{-0.5}}, Ceil, 0); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := Round([][]float64{{1}}, Strategy(9), 0); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+// The paper's heterogeneous counterexample: x = (1/d, …, 1/d) under λ = 1
+// rounds down to all-zero — infeasible — and Repair must fix it.
+func TestRepairHeterogeneousCounterexample(t *testing.T) {
+	ins := &model.Instance{
+		Types: []model.ServerType{
+			{Count: 1, SwitchCost: 2, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Constant{C: 1}}},
+			{Count: 1, SwitchCost: 4, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Constant{C: 1}}},
+		},
+		Lambda: []float64{1},
+	}
+	frac := [][]float64{{0.5, 0.5}}
+	floor, err := Round(frac, Floor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Feasible(floor); err == nil {
+		t.Fatal("floor-rounded schedule should be infeasible before repair")
+	}
+	repaired, err := Repair(ins, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Feasible(repaired); err != nil {
+		t.Fatalf("repair failed: %v", err)
+	}
+	// The cheaper type (β=2) should be chosen.
+	if repaired[0][0] != 1 || repaired[0][1] != 0 {
+		t.Errorf("repair picked %v, want the cheaper type", repaired[0])
+	}
+}
+
+func TestRepairClampsOverCounts(t *testing.T) {
+	ins := homog(1, 2, 1, []float64{1})
+	repaired, err := Repair(ins, model.Schedule{{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired[0][0] != 2 {
+		t.Errorf("over-count should clamp to fleet size, got %d", repaired[0][0])
+	}
+}
+
+func TestRepairImpossible(t *testing.T) {
+	ins := homog(1, 1, 1, []float64{1})
+	ins.Lambda = []float64{5} // exceeds total capacity
+	if _, err := Repair(ins, model.Schedule{{0}}); err == nil {
+		t.Error("unrepairable slot should error")
+	}
+}
+
+// End-to-end: round the fractional optimum of random homogeneous
+// instances with every strategy; after repair all schedules are feasible,
+// and the best threshold beats ceiling on switching-heavy traces.
+func TestRoundFractionalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		T := 6 + rng.Intn(6)
+		m := 3 + rng.Intn(3)
+		lambda := workload.Diurnal(T, 0.3, float64(m)-0.5, T/2+1, rng.Float64())
+		ins := homog(T, m, 1+rng.Float64()*5, lambda)
+		frac, err := fractional.Solve(ins, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := model.NewEvaluator(ins)
+		for _, s := range []Strategy{Ceil, Floor, Threshold} {
+			sched, err := RoundAndRepair(ins, frac.X, s, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ins.Feasible(sched); err != nil {
+				t.Fatalf("case %d strategy %d: %v", i, s, err)
+			}
+			cost := eval.Cost(sched).Total()
+			if cost < frac.Cost*(1-1e-6) {
+				t.Fatalf("case %d: integral cost %g below fractional %g", i, cost, frac.Cost)
+			}
+		}
+	}
+}
+
+func TestSwitchCountEmpty(t *testing.T) {
+	if SwitchCount(nil) != 0 {
+		t.Error("empty schedule has no switches")
+	}
+}
+
+func TestOscillatingFractionShape(t *testing.T) {
+	f := OscillatingFraction(4, 2, 0.25)
+	want := []float64{2, 2.25, 2, 2.25}
+	for i := range want {
+		if math.Abs(f[i][0]-want[i]) > 1e-12 {
+			t.Fatalf("got %v", f)
+		}
+	}
+}

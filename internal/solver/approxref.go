@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// ApproxReference builds the schedule X' of Theorem 16's proof
+// (Equation 18) from an optimal schedule X*: a lattice-restricted schedule
+// that tracks X* while staying inside the corridor
+//
+//	x*_{t,j} <= x'_{t,j} <= (2γ−1)·x*_{t,j},
+//
+// moving only when the corridor forces it. X' certifies the (2γ−1)
+// approximation bound: the shortest path on G^γ can only be cheaper.
+// It is exposed for tests and for reproducing the paper's Figure 5.
+func ApproxReference(ins *model.Instance, opt model.Schedule, gamma float64) (model.Schedule, error) {
+	if gamma <= 1 {
+		return nil, fmt.Errorf("solver: ApproxReference needs gamma > 1, got %g", gamma)
+	}
+	if len(opt) != ins.T() {
+		return nil, fmt.Errorf("solver: optimal schedule has %d slots, want %d", len(opt), ins.T())
+	}
+	d := ins.D()
+	axes := make([]grid.Axis, d)
+	for j, st := range ins.Types {
+		axes[j] = grid.ReducedAxis(st.Count, gamma)
+	}
+
+	out := make(model.Schedule, ins.T())
+	prev := make(model.Config, d)
+	for t := 1; t <= ins.T(); t++ {
+		cur := make(model.Config, d)
+		for j := 0; j < d; j++ {
+			xStar := opt[t-1][j]
+			upper := (2*gamma - 1) * float64(xStar)
+			switch {
+			case prev[j] <= xStar:
+				// Corridor floor violated (or touched): jump to the
+				// smallest lattice value covering x*.
+				cur[j] = ceilOnAxis(axes[j], xStar)
+			case float64(prev[j]) <= upper:
+				// Still inside the corridor: stay put (lazy).
+				cur[j] = prev[j]
+			default:
+				// Corridor ceiling violated: drop to the largest lattice
+				// value within it.
+				cur[j] = floorOnAxisF(axes[j], upper)
+			}
+		}
+		out[t-1] = cur
+		prev = cur
+	}
+	return out, nil
+}
+
+// ceilOnAxis returns the smallest axis value >= v. The axis always
+// contains m_j >= any feasible x*, so the lookup cannot fail for valid
+// inputs; out-of-range values panic.
+func ceilOnAxis(a grid.Axis, v int) int {
+	i := a.CeilIndex(v)
+	if i == len(a) {
+		panic(fmt.Sprintf("solver: value %d above axis maximum %d", v, a[len(a)-1]))
+	}
+	return a[i]
+}
+
+// floorOnAxisF returns the largest axis value <= v (a float corridor
+// bound). The axis contains 0, so the result is always defined.
+func floorOnAxisF(a grid.Axis, v float64) int {
+	best := a[0]
+	for _, x := range a {
+		if float64(x) <= v {
+			best = x
+		} else {
+			break
+		}
+	}
+	return best
+}

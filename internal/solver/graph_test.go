@@ -1,0 +1,116 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+// The explicit graph is the paper-faithful reference: its shortest path
+// must agree with the DP solver on every instance.
+func TestGraphShortestPathMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 40; i++ {
+		ins := randomInstance(rng, 2, 3, 4)
+		g, err := BuildGraph(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, sched, err := g.ShortestPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveOptimal(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(cost, res.Cost(), 1e-6) {
+			t.Fatalf("case %d: graph %g vs DP %g", i, cost, res.Cost())
+		}
+		if err := ins.Feasible(sched); err != nil {
+			t.Fatalf("case %d: graph schedule infeasible: %v", i, err)
+		}
+		// The path length must equal the schedule's cost.
+		if got := model.NewEvaluator(ins).Cost(sched).Total(); !numeric.AlmostEqual(got, cost, 1e-6) {
+			t.Fatalf("case %d: path weight %g != schedule cost %g", i, cost, got)
+		}
+	}
+}
+
+// Figure 4's dimensions: d=2, T=2, m=(2,1) gives 2·2·(2+1)·(1+1) = 24
+// vertices.
+func TestGraphFigure4Dimensions(t *testing.T) {
+	ins := figure4Instance()
+	g, err := BuildGraph(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 24 {
+		t.Errorf("vertices = %d, want 24", g.NumVertices)
+	}
+	// Edge census: op edges 2·6 = 12; up edges per layer: type 0 has
+	// 2 per column × 2 columns = 4, type 1 has 3; ×2 slots = 14; same
+	// count of down edges = 14; next edges = 6. Total 46.
+	counts := map[string]int{}
+	for _, e := range g.Edges {
+		counts[e.Kind]++
+	}
+	if counts["op"] != 12 || counts["up"] != 14 || counts["down"] != 14 || counts["next"] != 6 {
+		t.Errorf("edge census = %v, want op:12 up:14 down:14 next:6", counts)
+	}
+}
+
+func TestGraphRejectsTimeVarying(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(1)), 2, 2, 3)
+	counts := make([][]int, ins.T())
+	for i := range counts {
+		counts[i] = countsAt(ins, 1)
+	}
+	ins.Counts = counts
+	if _, err := BuildGraph(ins); err == nil {
+		t.Error("time-varying sizes should be rejected")
+	}
+}
+
+// figure4Instance mirrors the shape of the paper's Figure 4 (d=2, T=2,
+// m=(2,1)) with concrete costs chosen so the depicted shortest path —
+// x_1 = (2,0), x_2 = (1,1) — is optimal. (internal/figures builds the same
+// instance for rendering; duplicated here to avoid an import cycle.)
+func figure4Instance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Name: "type1", Count: 2, SwitchCost: 1, MaxLoad: 1,
+				Cost: model.Varying{Fs: []costfn.Func{
+					costfn.Constant{C: 1}, costfn.Constant{C: 3},
+				}}},
+			{Name: "type2", Count: 1, SwitchCost: 1, MaxLoad: 1,
+				Cost: model.Varying{Fs: []costfn.Func{
+					costfn.Constant{C: 10}, costfn.Constant{C: 1},
+				}}},
+		},
+		Lambda: []float64{2, 2},
+	}
+}
+
+// The depicted shortest path of Figure 4 — x_1 = (2,0), x_2 = (1,1) — must
+// be what both the graph and the DP compute on the concrete instance.
+func TestGraphFigure4ShortestPath(t *testing.T) {
+	ins := figure4Instance()
+	g, err := BuildGraph(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, sched, err := g.ShortestPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(cost, 9, 1e-9) {
+		t.Errorf("cost = %g, want 9", cost)
+	}
+	if !sched[0].Equal(model.Config{2, 0}) || !sched[1].Equal(model.Config{1, 1}) {
+		t.Errorf("path schedule = %v, want [(2,0) (1,1)]", sched)
+	}
+}

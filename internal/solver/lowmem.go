@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// solveLowMem is the checkpointed variant of Solve: instead of storing all
+// T DP layers for the backward reconstruction (O(T·|M|) memory), it keeps
+// one checkpoint layer every ⌈√T⌉ slots and recomputes each block's
+// interior layers on demand during the backward walk. Memory drops to
+// O(√T·|M|) at the price of one extra forward sweep — the classic
+// space/time checkpointing trade-off, essential when T reaches months of
+// minute-granularity slots.
+func solveLowMem(ins *model.Instance, opts Options) (*Result, error) {
+	grids, err := buildGrids(ins, opts.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	T := ins.T()
+	d := ins.D()
+	stride := int(math.Ceil(math.Sqrt(float64(T))))
+	fw := newForward(ins, opts, grids)
+
+	// Forward sweep, checkpointing layers at slots 1, 1+stride, … and T.
+	checkpoints := map[int][]float64{}
+	maxSize := 0
+	var last []float64
+	for t := 1; t <= T; t++ {
+		last = fw.step()
+		if g := grids.at(t); g.Size() > maxSize {
+			maxSize = g.Size()
+		}
+		if (t-1)%stride == 0 || t == T {
+			checkpoints[t] = append([]float64(nil), last...)
+		}
+	}
+
+	bestIdx, bestVal := argmin(last)
+	if math.IsInf(bestVal, 1) {
+		return nil, fmt.Errorf("solver: instance is infeasible (no finite schedule)")
+	}
+
+	sched := make(model.Schedule, T)
+	cur := make(model.Config, d)
+	grids.at(T).Decode(bestIdx, cur)
+	sched[T-1] = cur.Clone()
+
+	betas := fw.betas
+	prevCfg := make(model.Config, d)
+	t := T
+	for t >= 2 {
+		// Identify the checkpoint opening the block that contains slot
+		// t-1 and recompute the block's layers [blockStart .. t-1] from
+		// it (block starts are checkpoint slots by construction).
+		blockStart := ((t-2)/stride)*stride + 1
+		cp, ok := checkpoints[blockStart]
+		if !ok {
+			return nil, fmt.Errorf("solver: missing checkpoint at slot %d", blockStart)
+		}
+		block := make([][]float64, 0, stride)
+		block = append(block, cp)
+		fwb := newForward(ins, opts, grids)
+		fwb.t = blockStart
+		fwb.layer = append([]float64(nil), cp...)
+		for u := blockStart + 1; u <= t-1; u++ {
+			block = append(block, append([]float64(nil), fwb.step()...))
+		}
+		// Walk backward through the block.
+		for ; t >= 2 && t-1 >= blockStart; t-- {
+			layer := block[t-1-blockStart]
+			prevGrid := grids.at(t - 1)
+			bIdx, bVal := -1, math.Inf(1)
+			for i := range layer {
+				prevGrid.Decode(i, prevCfg)
+				c := layer[i]
+				for j := 0; j < d; j++ {
+					if up := cur[j] - prevCfg[j]; up > 0 {
+						c += betas[j] * float64(up)
+					}
+				}
+				if c < bVal {
+					bVal, bIdx = c, i
+				}
+			}
+			prevGrid.Decode(bIdx, cur)
+			sched[t-2] = cur.Clone()
+		}
+	}
+
+	eval := model.NewEvaluator(ins)
+	return &Result{
+		Schedule:    sched,
+		Breakdown:   eval.Cost(sched),
+		LatticeSize: maxSize,
+	}, nil
+}
+
+// forward encapsulates one forward DP sweep so Solve and solveLowMem share
+// the exact same step semantics.
+type forward struct {
+	ins   *model.Instance
+	opts  Options
+	grids *gridSeq
+	rx    *relaxer
+	le    *layerEvaluator
+	betas []float64
+	layer []float64
+	spare []float64
+	cfg   model.Config
+	t     int
+}
+
+func newForward(ins *model.Instance, opts Options, grids *gridSeq) *forward {
+	betas := make([]float64, ins.D())
+	for j, st := range ins.Types {
+		betas[j] = st.SwitchCost
+	}
+	return &forward{
+		ins:   ins,
+		opts:  opts,
+		grids: grids,
+		rx:    newRelaxer(betas),
+		le:    newLayerEvaluator(ins, opts.Workers),
+		betas: betas,
+		cfg:   make(model.Config, ins.D()),
+	}
+}
+
+// step advances the sweep one slot and returns the new layer D_t. The
+// returned slice is owned by the forward state and overwritten two steps
+// later; callers keeping it must copy.
+func (f *forward) step() []float64 {
+	f.t++
+	t := f.t
+	g := f.grids.at(t)
+	var layer []float64
+	if t == 1 {
+		layer = growBuf(&f.spare, g.Size())
+		for idx := range layer {
+			g.Decode(idx, f.cfg)
+			sw := 0.0
+			for j := range f.betas {
+				sw += f.betas[j] * float64(f.cfg[j])
+			}
+			layer[idx] = sw
+		}
+	} else if f.opts.Naive {
+		layer = relaxNaive(f.layer, f.grids.at(t-1), g, f.betas)
+	} else {
+		layer = f.rx.relax(f.layer, f.grids.at(t-1), g, growBuf(&f.spare, g.Size()))
+	}
+	f.le.addG(layer, t, g)
+	f.layer, f.spare = layer, f.layer
+	return layer
+}
+
+func growBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}

@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// layerEvaluator adds the operating costs g_t(x) of a whole DP layer,
+// optionally fanning the evaluation out over a pool of goroutines. The
+// g_t evaluations dominate the solver's runtime (each one solves a convex
+// dispatch program), are independent across lattice cells, and write to
+// disjoint indices — an embarrassingly parallel map. Workers own their
+// model.Evaluator (it carries scratch buffers and is not safe for
+// concurrent use), and the static chunk partition keeps the computation
+// deterministic bit-for-bit regardless of worker count.
+type layerEvaluator struct {
+	ins     *model.Instance
+	workers int
+	evals   []*model.Evaluator
+	cfgs    []model.Config
+}
+
+// newLayerEvaluator builds an evaluator pool. workers <= 1 evaluates
+// serially; workers == AutoWorkers uses one worker per available CPU.
+func newLayerEvaluator(ins *model.Instance, workers int) *layerEvaluator {
+	if workers == AutoWorkers {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	le := &layerEvaluator{ins: ins, workers: workers}
+	le.evals = make([]*model.Evaluator, workers)
+	le.cfgs = make([]model.Config, workers)
+	for i := range le.evals {
+		le.evals[i] = model.NewEvaluator(ins)
+		le.cfgs[i] = make(model.Config, ins.D())
+	}
+	return le
+}
+
+// AutoWorkers selects one DP worker per available CPU.
+const AutoWorkers = -1
+
+// addG adds g_t(x) to every cell of the layer (indexed by g's lattice).
+func (le *layerEvaluator) addG(layer []float64, t int, g *grid.Grid) {
+	if le.workers == 1 || len(layer) < 2*le.workers {
+		le.addGRange(layer, t, g, 0, len(layer), 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(layer) + le.workers - 1) / le.workers
+	for w := 0; w < le.workers; w++ {
+		lo := w * chunk
+		if lo >= len(layer) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(layer) {
+			hi = len(layer)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			le.addGRange(layer, t, g, lo, hi, w)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// addGRange evaluates cells [lo, hi) with worker w's scratch state.
+func (le *layerEvaluator) addGRange(layer []float64, t int, g *grid.Grid, lo, hi, w int) {
+	eval := le.evals[w]
+	cfg := le.cfgs[w]
+	for idx := lo; idx < hi; idx++ {
+		g.Decode(idx, cfg)
+		layer[idx] += eval.G(t, cfg)
+	}
+}

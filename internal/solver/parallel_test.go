@@ -1,0 +1,128 @@
+package solver
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Determinism contract: the parallel layer evaluation must produce
+// bit-identical results to the serial one for any worker count.
+func TestSolveParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 20; i++ {
+		ins := randomInstance(rng, 3, 4, 8)
+		serial, err := Solve(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, AutoWorkers} {
+			par, err := Solve(ins, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Cost() != serial.Cost() {
+				t.Fatalf("case %d workers=%d: parallel %v != serial %v (must be bit-identical)",
+					i, workers, par.Cost(), serial.Cost())
+			}
+			for tt := range serial.Schedule {
+				if !par.Schedule[tt].Equal(serial.Schedule[tt]) {
+					t.Fatalf("case %d workers=%d slot %d: schedules diverge", i, workers, tt+1)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixTrackerParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 10; i++ {
+		ins := randomInstance(rng, 2, 5, 8)
+		a, err := NewPrefixTracker(ins, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewPrefixTracker(ins, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !a.Done() {
+			xa, va := a.Advance()
+			xb, vb := b.Advance()
+			if va != vb || !xa.Equal(xb) {
+				t.Fatalf("case %d t=%d: parallel tracker diverged", i, a.T())
+			}
+		}
+	}
+}
+
+func TestLayerEvaluatorSmallLayerStaysSerial(t *testing.T) {
+	// Layers smaller than 2× the worker count skip the fan-out; this just
+	// exercises the code path.
+	ins := randomInstance(rand.New(rand.NewSource(83)), 1, 1, 2)
+	le := newLayerEvaluator(ins, 8)
+	g, err := buildGrids(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := make([]float64, g.at(1).Size())
+	le.addG(layer, 1, g.at(1))
+	le2 := newLayerEvaluator(ins, 1)
+	layer2 := make([]float64, g.at(1).Size())
+	le2.addG(layer2, 1, g.at(1))
+	for i := range layer {
+		if layer[i] != layer2[i] {
+			t.Fatal("small-layer path diverged from serial")
+		}
+	}
+}
+
+func TestAutoWorkersResolves(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(84)), 2, 3, 3)
+	le := newLayerEvaluator(ins, AutoWorkers)
+	if le.workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("AutoWorkers resolved to %d, want GOMAXPROCS %d", le.workers, runtime.GOMAXPROCS(0))
+	}
+	if newLayerEvaluator(ins, 0).workers != 1 {
+		t.Error("0 workers should clamp to 1")
+	}
+}
+
+// Ablation benchmark: parallel speedup on a large lattice where the
+// dispatch programs dominate.
+func parallelBenchInstance() *model.Instance {
+	m := 40
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Count: m, SwitchCost: 4, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Power{Idle: 1, Coef: 1, Exp: 2.3}}},
+			{Count: m / 2, SwitchCost: 10, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Power{Idle: 2, Coef: 0.7, Exp: 1.8}}},
+		},
+		Lambda: workload.Diurnal(24, 2, float64(m), 24, 0),
+	}
+}
+
+func BenchmarkSolveSerial(b *testing.B) {
+	ins := parallelBenchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ins, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveParallelAuto(b *testing.B) {
+	ins := parallelBenchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ins, Options{Workers: AutoWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

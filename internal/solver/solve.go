@@ -1,0 +1,249 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// Options controls the offline solvers.
+type Options struct {
+	// Gamma selects the lattice. Values <= 1 (including 0) solve exactly
+	// on the full lattice M (Section 4.1). Values > 1 solve on the
+	// γ-reduced lattice M^γ (Section 4.2), yielding a (2γ−1)-approximation
+	// by Theorem 16.
+	Gamma float64
+
+	// Naive switches the layer transition to the O(|M|²) reference
+	// implementation. Exposed for differential testing and benchmarks.
+	Naive bool
+
+	// Workers fans the per-layer operating-cost evaluations (the convex
+	// dispatch programs dominating the runtime) out over a goroutine
+	// pool: 0 or 1 evaluates serially, AutoWorkers uses one worker per
+	// CPU. Results are deterministic regardless of the worker count.
+	Workers int
+
+	// LowMemory reconstructs the schedule with ⌈√T⌉-strided layer
+	// checkpointing: memory drops from O(T·|M|) to O(√T·|M|) for one
+	// extra forward sweep. Results are identical to the default path.
+	LowMemory bool
+}
+
+// Result is an offline solver's output.
+type Result struct {
+	// Schedule is the computed schedule, feasible for the instance.
+	Schedule model.Schedule
+	// Breakdown decomposes the schedule's cost.
+	Breakdown model.CostBreakdown
+	// LatticeSize is the number of configurations per slot examined by
+	// the DP (the maximum over slots when sizes vary over time). It
+	// drives the runtime bound of Theorems 21/22.
+	LatticeSize int
+}
+
+// Cost returns the schedule's total cost.
+func (r *Result) Cost() float64 { return r.Breakdown.Total() }
+
+// SolveOptimal computes an optimal schedule via the graph/DP of
+// Section 4.1.
+func SolveOptimal(ins *model.Instance) (*Result, error) {
+	return Solve(ins, Options{})
+}
+
+// SolveApprox computes a (1+ε)-approximation by Theorem 21: it runs the
+// reduced-lattice solver with γ = 1 + ε/2, so 2γ−1 = 1+ε.
+func SolveApprox(ins *model.Instance, eps float64) (*Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("solver: approximation needs eps > 0, got %g", eps)
+	}
+	return Solve(ins, Options{Gamma: 1 + eps/2})
+}
+
+// Solve runs the layered shortest-path DP with the given options.
+func Solve(ins *model.Instance, opts Options) (*Result, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.LowMemory {
+		return solveLowMem(ins, opts)
+	}
+	grids, err := buildGrids(ins, opts.Gamma)
+	if err != nil {
+		return nil, err
+	}
+
+	T := ins.T()
+	d := ins.D()
+	eval := model.NewEvaluator(ins)
+	le := newLayerEvaluator(ins, opts.Workers)
+	betas := make([]float64, d)
+	for j, st := range ins.Types {
+		betas[j] = st.SwitchCost
+	}
+	rx := newRelaxer(betas)
+
+	// Forward sweep, storing every layer for reconstruction.
+	layers := make([][]float64, T)
+	maxSize := 0
+	cfg := make(model.Config, d)
+	for t := 1; t <= T; t++ {
+		g := grids.at(t)
+		if g.Size() > maxSize {
+			maxSize = g.Size()
+		}
+		layer := make([]float64, g.Size())
+		if t == 1 {
+			// Transition from the all-off boundary state x_0 = 0:
+			// switching cost Σ_j β_j x_j.
+			for idx := range layer {
+				g.Decode(idx, cfg)
+				sw := 0.0
+				for j := 0; j < d; j++ {
+					sw += betas[j] * float64(cfg[j])
+				}
+				layer[idx] = sw
+			}
+		} else if opts.Naive {
+			layer = relaxNaive(layers[t-2], grids.at(t-1), g, betas)
+		} else {
+			layer = rx.relax(layers[t-2], grids.at(t-1), g, layer)
+		}
+		le.addG(layer, t, g)
+		layers[t-1] = layer
+	}
+
+	// The final power-down to x_{T+1} = 0 is free, so the optimal cost is
+	// the minimum over the last layer.
+	lastGrid := grids.at(T)
+	bestIdx, bestVal := argmin(layers[T-1])
+	if math.IsInf(bestVal, 1) {
+		return nil, fmt.Errorf("solver: instance is infeasible (no finite schedule)")
+	}
+
+	// Backward reconstruction: re-find an argmin predecessor per slot.
+	sched := make(model.Schedule, T)
+	cur := make(model.Config, d)
+	lastGrid.Decode(bestIdx, cur)
+	sched[T-1] = cur.Clone()
+	prevCfg := make(model.Config, d)
+	for t := T; t >= 2; t-- {
+		prevGrid := grids.at(t - 1)
+		layer := layers[t-2]
+		bIdx, bVal := -1, math.Inf(1)
+		for i := range layer {
+			prevGrid.Decode(i, prevCfg)
+			c := layer[i]
+			for j := 0; j < d; j++ {
+				if up := cur[j] - prevCfg[j]; up > 0 {
+					c += betas[j] * float64(up)
+				}
+			}
+			if c < bVal {
+				bVal, bIdx = c, i
+			}
+		}
+		prevGrid.Decode(bIdx, cur)
+		sched[t-2] = cur.Clone()
+	}
+
+	res := &Result{
+		Schedule:    sched,
+		Breakdown:   eval.Cost(sched),
+		LatticeSize: maxSize,
+	}
+	return res, nil
+}
+
+// OptimalCost returns only the optimal total cost (no schedule); it avoids
+// storing DP layers, so memory is O(|M|) instead of O(T·|M|).
+func OptimalCost(ins *model.Instance) (float64, error) {
+	if err := ins.Validate(); err != nil {
+		return 0, err
+	}
+	tr, err := NewPrefixTracker(ins, Options{})
+	if err != nil {
+		return 0, err
+	}
+	var last float64
+	for t := 1; t <= ins.T(); t++ {
+		_, last = tr.Advance()
+	}
+	if math.IsInf(last, 1) {
+		return 0, fmt.Errorf("solver: instance is infeasible")
+	}
+	return last, nil
+}
+
+// gridSeq yields the per-slot lattice. For static sizes a single grid is
+// shared across slots.
+type gridSeq struct {
+	static *grid.Grid
+	perT   []*grid.Grid
+}
+
+func (s *gridSeq) at(t int) *grid.Grid {
+	if s.static != nil {
+		return s.static
+	}
+	return s.perT[t-1]
+}
+
+// buildGrids constructs the lattice sequence for an instance. gamma <= 1
+// selects full lattices; gamma > 1 selects M^γ (Sections 4.2/4.3).
+func buildGrids(ins *model.Instance, gamma float64) (*gridSeq, error) {
+	axisFor := func(m int) grid.Axis {
+		if gamma > 1 {
+			return grid.ReducedAxis(m, gamma)
+		}
+		return grid.FullAxis(m)
+	}
+	if !ins.TimeVarying() {
+		axes := make([]grid.Axis, ins.D())
+		for j, st := range ins.Types {
+			axes[j] = axisFor(st.Count)
+		}
+		return &gridSeq{static: grid.New(axes)}, nil
+	}
+	seq := &gridSeq{perT: make([]*grid.Grid, ins.T())}
+	// Counts often repeat across consecutive slots; reuse the previous
+	// grid when the row is identical to keep memory proportional to the
+	// number of distinct size regimes.
+	for t := 1; t <= ins.T(); t++ {
+		if t > 1 && equalInts(ins.Counts[t-1], ins.Counts[t-2]) {
+			seq.perT[t-1] = seq.perT[t-2]
+			continue
+		}
+		axes := make([]grid.Axis, ins.D())
+		for j := range ins.Types {
+			axes[j] = axisFor(ins.CountAt(t, j))
+		}
+		seq.perT[t-1] = grid.New(axes)
+	}
+	return seq, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// argmin returns the lowest index attaining the minimum value.
+func argmin(xs []float64) (int, float64) {
+	bi, bv := 0, math.Inf(1)
+	for i, v := range xs {
+		if v < bv {
+			bi, bv = i, v
+		}
+	}
+	return bi, bv
+}

@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// PrefixTracker incrementally maintains the optimal-cost DP layer for the
+// growing prefix instances I_1, I_2, …, I_T. The online algorithms of
+// Sections 2 and 3 need, at every slot t, the last configuration x̂^t_t of
+// an optimal schedule for I_t; because power-downs are free, that is the
+// argmin of the forward DP layer — so the whole online run costs no more
+// than a single offline DP sweep, O(T·|M|·d) plus T·|M| operating-cost
+// evaluations.
+//
+// The tracker only reads slot t's job volume and cost functions during the
+// t-th Advance call, so driving an online algorithm with it respects the
+// online information model even though the Instance value is materialised
+// up front.
+//
+// Ties in the argmin are broken towards the lowest lattice index, i.e. the
+// lexicographically smallest configuration; any deterministic rule
+// satisfies the paper's requirements.
+type PrefixTracker struct {
+	ins   *model.Instance
+	le    *layerEvaluator
+	grids *gridSeq
+	rx    *relaxer
+	naive bool
+	betas []float64
+
+	t     int       // slots processed so far
+	layer []float64 // D_t over grids.at(t)
+	spare []float64 // ping-pong buffer for the next layer
+	cfg   model.Config
+}
+
+// NewPrefixTracker prepares a tracker for the instance. Options follow
+// Solve: Gamma > 1 tracks prefix optima over the reduced lattice (used by
+// the scalable variants of the online algorithms; the competitive proofs
+// assume the exact lattice).
+func NewPrefixTracker(ins *model.Instance, opts Options) (*PrefixTracker, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	grids, err := buildGrids(ins, opts.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	betas := make([]float64, ins.D())
+	for j, st := range ins.Types {
+		betas[j] = st.SwitchCost
+	}
+	return &PrefixTracker{
+		ins:   ins,
+		le:    newLayerEvaluator(ins, opts.Workers),
+		grids: grids,
+		rx:    newRelaxer(betas),
+		naive: opts.Naive,
+		betas: betas,
+		cfg:   make(model.Config, ins.D()),
+	}, nil
+}
+
+// T returns the number of slots processed so far.
+func (p *PrefixTracker) T() int { return p.t }
+
+// Done reports whether every slot has been consumed.
+func (p *PrefixTracker) Done() bool { return p.t >= p.ins.T() }
+
+// Advance consumes the next time slot and returns x̂^t_t — the final
+// configuration of an optimal schedule for the prefix instance I_t — along
+// with C(X̂^t), the optimal prefix cost. The returned configuration is a
+// fresh copy. Advance panics when all slots are consumed.
+func (p *PrefixTracker) Advance() (model.Config, float64) {
+	if p.Done() {
+		panic("solver: PrefixTracker advanced past the last slot")
+	}
+	p.t++
+	t := p.t
+	g := p.grids.at(t)
+
+	var layer []float64
+	if t == 1 {
+		layer = p.grow(&p.spare, g.Size())
+		for idx := range layer {
+			g.Decode(idx, p.cfg)
+			sw := 0.0
+			for j := range p.betas {
+				sw += p.betas[j] * float64(p.cfg[j])
+			}
+			layer[idx] = sw
+		}
+	} else if p.naive {
+		layer = relaxNaive(p.layer, p.grids.at(t-1), g, p.betas)
+	} else {
+		layer = p.rx.relax(p.layer, p.grids.at(t-1), g, p.grow(&p.spare, g.Size()))
+	}
+	p.le.addG(layer, t, g)
+
+	// Swap buffers: the old layer becomes next round's spare.
+	p.layer, p.spare = layer, p.layer
+
+	idx, val := argmin(layer)
+	g.Decode(idx, p.cfg)
+	return p.cfg.Clone(), val
+}
+
+// OptRange returns the lexicographically smallest and largest
+// configurations attaining the current prefix optimum (up to relative
+// tolerance 1e-12). For homogeneous instances (d = 1) these are the lower
+// and upper envelopes of optimal prefix end states used by lazy
+// capacity provisioning. Only valid after Advance.
+func (p *PrefixTracker) OptRange() (lo, hi model.Config) {
+	if p.t == 0 {
+		panic("solver: OptRange before first Advance")
+	}
+	g := p.grids.at(p.t)
+	_, best := argmin(p.layer)
+	tol := 1e-12 * (1 + best)
+	loIdx, hiIdx := -1, -1
+	for i, v := range p.layer {
+		if v <= best+tol {
+			if loIdx < 0 {
+				loIdx = i
+			}
+			hiIdx = i
+		}
+	}
+	lo = make(model.Config, p.ins.D())
+	hi = make(model.Config, p.ins.D())
+	g.Decode(loIdx, lo)
+	g.Decode(hiIdx, hi)
+	return lo, hi
+}
+
+// Lattice returns the lattice used at the current slot; it is only valid
+// after the first Advance.
+func (p *PrefixTracker) Lattice() *grid.Grid {
+	if p.t == 0 {
+		panic("solver: Lattice before first Advance")
+	}
+	return p.grids.at(p.t)
+}
+
+// grow resizes *buf to n elements, allocating if needed.
+func (p *PrefixTracker) grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}

@@ -1,0 +1,170 @@
+// Package trace imports, exports and reshapes workload traces. Production
+// demand data arrives as CSV time series at arbitrary granularity; the
+// right-sizing model needs one non-negative volume per scheduling slot.
+// This package bridges the two: CSV parsing, resampling between slot
+// lengths (peak-preserving or averaging), normalisation to a capacity
+// budget, and smoothing.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FromCSV reads one numeric column (0-based) from CSV data. Blank lines
+// are skipped; a non-numeric first row is treated as a header. Values
+// must be non-negative.
+func FromCSV(r io.Reader, col int) ([]float64, error) {
+	if col < 0 {
+		return nil, fmt.Errorf("trace: negative column index %d", col)
+	}
+	var out []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if col >= len(fields) {
+			return nil, fmt.Errorf("trace: line %d has %d columns, need %d", line, len(fields), col+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(fields[col]), 64)
+		if err != nil {
+			if line == 1 && len(out) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative volume %g", line, v)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: no data rows")
+	}
+	return out, nil
+}
+
+// ToCSV writes a trace as a single-column CSV with a header.
+func ToCSV(w io.Writer, xs []float64) error {
+	if _, err := fmt.Fprintln(w, "volume"); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if _, err := fmt.Fprintf(w, "%g\n", x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Agg selects how Resample combines fine-grained samples into one slot.
+type Agg int
+
+const (
+	// AggMax keeps the peak — the safe choice for capacity planning,
+	// because a slot's servers must cover its worst sample.
+	AggMax Agg = iota
+	// AggMean averages — appropriate when intra-slot queueing smooths
+	// demand.
+	AggMean
+)
+
+// Resample coarsens a trace by the given factor: every `factor`
+// consecutive samples become one slot, combined per agg. A final partial
+// window is aggregated over its actual length.
+func Resample(xs []float64, factor int, agg Agg) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("trace: resample factor must be >= 1, got %d", factor)
+	}
+	if factor == 1 {
+		return append([]float64(nil), xs...), nil
+	}
+	var out []float64
+	for i := 0; i < len(xs); i += factor {
+		end := i + factor
+		if end > len(xs) {
+			end = len(xs)
+		}
+		switch agg {
+		case AggMax:
+			m := xs[i]
+			for _, v := range xs[i+1 : end] {
+				if v > m {
+					m = v
+				}
+			}
+			out = append(out, m)
+		case AggMean:
+			s := 0.0
+			for _, v := range xs[i:end] {
+				s += v
+			}
+			out = append(out, s/float64(end-i))
+		default:
+			return nil, fmt.Errorf("trace: unknown aggregation %d", agg)
+		}
+	}
+	return out, nil
+}
+
+// Normalize rescales a trace so its peak equals peak (> 0). A zero trace
+// is returned unchanged.
+func Normalize(xs []float64, peak float64) ([]float64, error) {
+	if peak <= 0 {
+		return nil, fmt.Errorf("trace: peak must be positive, got %g", peak)
+	}
+	max := 0.0
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(xs))
+	if max == 0 {
+		return out, nil
+	}
+	for i, v := range xs {
+		out[i] = v / max * peak
+	}
+	return out, nil
+}
+
+// Smooth applies a centred moving average of the given window (odd,
+// >= 1), clamping at the edges. Smoothing models the effect of a
+// load-balancer buffer that absorbs sub-slot spikes.
+func Smooth(xs []float64, window int) ([]float64, error) {
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("trace: window must be odd and >= 1, got %d", window)
+	}
+	if window == 1 {
+		return append([]float64(nil), xs...), nil
+	}
+	half := window / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for _, v := range xs[lo : hi+1] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out, nil
+}

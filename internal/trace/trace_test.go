@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCSVBasic(t *testing.T) {
+	in := "volume\n1.5\n2\n0\n3.25\n"
+	got, err := FromCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 0, 3.25}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFromCSVColumnSelection(t *testing.T) {
+	in := "ts,load,region\n0,5,eu\n1,7,eu\n"
+	got, err := FromCSV(strings.NewReader(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFromCSVSkipsBlankLines(t *testing.T) {
+	in := "1\n\n2\n\n"
+	got, err := FromCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in  string
+		col int
+	}{
+		"negative column": {"1\n", -1},
+		"missing column":  {"1\n", 2},
+		"bad number":      {"1\nx\n", 0},
+		"negative value":  {"-1\n", 0},
+		"empty":           {"", 0},
+		"header only":     {"volume\n", 0},
+	}
+	for name, c := range cases {
+		if _, err := FromCSV(strings.NewReader(c.in), c.col); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestToCSVRoundTrip(t *testing.T) {
+	xs := []float64{1, 2.5, 0, 9.75}
+	var b strings.Builder
+	if err := ToCSV(&b, xs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromCSV(strings.NewReader(b.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Fatalf("round trip: %v vs %v", back, xs)
+		}
+	}
+}
+
+func TestResampleMax(t *testing.T) {
+	xs := []float64{1, 5, 2, 3, 9, 0, 4}
+	got, err := Resample(xs, 3, AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 9, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResampleMean(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	got, err := Resample(xs, 2, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestResamplePartialWindow(t *testing.T) {
+	got, err := Resample([]float64{2, 4, 10}, 2, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 10 {
+		t.Fatalf("partial window should average its own length: %v", got)
+	}
+}
+
+func TestResampleIdentityAndErrors(t *testing.T) {
+	xs := []float64{1, 2}
+	got, err := Resample(xs, 1, AggMax)
+	if err != nil || len(got) != 2 {
+		t.Fatal("identity resample failed")
+	}
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("identity resample must copy")
+	}
+	if _, err := Resample(xs, 0, AggMax); err == nil {
+		t.Error("factor 0 should error")
+	}
+	if _, err := Resample(xs, 2, Agg(9)); err == nil {
+		t.Error("unknown agg should error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{1, 2, 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 10 || got[0] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+	zero, err := Normalize([]float64{0, 0}, 5)
+	if err != nil || zero[0] != 0 {
+		t.Fatal("zero trace should stay zero")
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("peak 0 should error")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	got, err := Smooth([]float64{0, 9, 0, 9, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[1]-3) > 1e-12 || math.Abs(got[2]-6) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	// Edges use shorter windows.
+	if math.Abs(got[0]-4.5) > 1e-12 {
+		t.Fatalf("edge smoothing wrong: %v", got)
+	}
+	if _, err := Smooth(nil, 2); err == nil {
+		t.Error("even window should error")
+	}
+	id, err := Smooth([]float64{1, 2}, 1)
+	if err != nil || id[1] != 2 {
+		t.Fatal("window 1 should copy")
+	}
+}
+
+// Property: resampling with AggMax never loses the global peak, and both
+// aggregations preserve non-negativity and total length arithmetic.
+func TestResampleProperties(t *testing.T) {
+	prop := func(raw []float64, factorSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		peak := 0.0
+		for i, v := range raw {
+			xs[i] = math.Abs(math.Mod(v, 100))
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+			if xs[i] > peak {
+				peak = xs[i]
+			}
+		}
+		factor := 1 + int(factorSeed%7)
+		got, err := Resample(xs, factor, AggMax)
+		if err != nil {
+			return false
+		}
+		wantLen := (len(xs) + factor - 1) / factor
+		if len(got) != wantLen {
+			return false
+		}
+		max := 0.0
+		for _, v := range got {
+			if v < 0 {
+				return false
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return max == peak
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

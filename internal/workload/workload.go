@@ -1,0 +1,214 @@
+// Package workload generates synthetic job-volume traces for experiments.
+//
+// The paper evaluates nothing empirically; its predecessors (Lin et al.,
+// "Dynamic right-sizing for power-proportional data centers") motivated the
+// problem with proprietary production traces exhibiting diurnal
+// periodicity, bursts and idle troughs. This package provides seeded,
+// deterministic generators for the same shape families so experiments are
+// reproducible without the original data:
+//
+//   - Diurnal: sinusoidal day/night pattern with configurable
+//     peak-to-mean ratio, optionally noisy.
+//   - Bursty: a base load with random multiplicative spikes.
+//   - Steps: piecewise-constant regimes.
+//   - RandomWalk: bounded mean-reverting wandering load.
+//   - OnOff: adversarial alternation, the shape driving lower-bound
+//     instances (a server powered up is soon useless, then needed again).
+//
+// All generators return non-negative volumes and never exceed the given
+// capacity bound, so instances built from them validate.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Diurnal returns a T-slot sinusoidal trace oscillating between base and
+// peak with the given period (slots per "day") and phase (radians).
+// Capacity planning convention: peak is the maximum volume generated.
+func Diurnal(T int, base, peak float64, period int, phase float64) []float64 {
+	if T < 0 || period <= 0 || base < 0 || peak < base {
+		panic("workload: invalid diurnal parameters")
+	}
+	out := make([]float64, T)
+	mid := (base + peak) / 2
+	amp := (peak - base) / 2
+	for t := range out {
+		out[t] = mid + amp*math.Sin(2*math.Pi*float64(t)/float64(period)+phase)
+	}
+	return out
+}
+
+// DiurnalNoisy adds i.i.d. uniform noise of half-width noise·amplitude to
+// a diurnal trace, clamped to [0, peak].
+func DiurnalNoisy(rng *rand.Rand, T int, base, peak float64, period int, noise float64) []float64 {
+	out := Diurnal(T, base, peak, period, 0)
+	amp := (peak - base) / 2
+	for t := range out {
+		out[t] += (rng.Float64()*2 - 1) * noise * amp
+		if out[t] < 0 {
+			out[t] = 0
+		}
+		if out[t] > peak {
+			out[t] = peak
+		}
+	}
+	return out
+}
+
+// Bursty returns a base-load trace where each slot independently spikes to
+// burstHeight with probability burstProb.
+func Bursty(rng *rand.Rand, T int, base, burstHeight, burstProb float64) []float64 {
+	if T < 0 || base < 0 || burstHeight < base || burstProb < 0 || burstProb > 1 {
+		panic("workload: invalid bursty parameters")
+	}
+	out := make([]float64, T)
+	for t := range out {
+		out[t] = base
+		if rng.Float64() < burstProb {
+			out[t] = burstHeight
+		}
+	}
+	return out
+}
+
+// Steps cycles through the given load levels, holding each for dwell
+// slots, for a total of T slots.
+func Steps(T int, levels []float64, dwell int) []float64 {
+	if T < 0 || len(levels) == 0 || dwell <= 0 {
+		panic("workload: invalid step parameters")
+	}
+	for _, l := range levels {
+		if l < 0 {
+			panic("workload: negative level")
+		}
+	}
+	out := make([]float64, T)
+	for t := range out {
+		out[t] = levels[(t/dwell)%len(levels)]
+	}
+	return out
+}
+
+// RandomWalk returns a mean-reverting bounded random walk in [min, max]
+// starting at start with per-slot step size step.
+func RandomWalk(rng *rand.Rand, T int, start, step, min, max float64) []float64 {
+	if T < 0 || min > max || start < min || start > max || step < 0 {
+		panic("workload: invalid random-walk parameters")
+	}
+	out := make([]float64, T)
+	v := start
+	mid := (min + max) / 2
+	for t := range out {
+		drift := 0.0
+		if v > mid {
+			drift = -0.1 * step
+		} else if v < mid {
+			drift = 0.1 * step
+		}
+		v += (rng.Float64()*2-1)*step + drift
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// OnOff alternates onLen slots of volume `on` with offLen slots of volume
+// `off`, starting with an on-phase. With off = 0 and onLen = 1 it is the
+// adversarial shape behind the 2d lower bound of [Albers–Quedenfeld,
+// CIAC 2021]: demand vanishes right after every power-up.
+func OnOff(T int, on, off float64, onLen, offLen int) []float64 {
+	if T < 0 || on < 0 || off < 0 || onLen <= 0 || offLen <= 0 {
+		panic("workload: invalid on/off parameters")
+	}
+	out := make([]float64, T)
+	cycle := onLen + offLen
+	for t := range out {
+		if t%cycle < onLen {
+			out[t] = on
+		} else {
+			out[t] = off
+		}
+	}
+	return out
+}
+
+// Scale multiplies a trace by factor (>= 0), returning a new slice.
+func Scale(xs []float64, factor float64) []float64 {
+	if factor < 0 {
+		panic("workload: negative scale factor")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * factor
+	}
+	return out
+}
+
+// Add sums traces pointwise; all must share the same length.
+func Add(traces ...[]float64) []float64 {
+	if len(traces) == 0 {
+		return nil
+	}
+	n := len(traces[0])
+	out := make([]float64, n)
+	for _, tr := range traces {
+		if len(tr) != n {
+			panic("workload: trace length mismatch")
+		}
+		for i, x := range tr {
+			out[i] += x
+		}
+	}
+	return out
+}
+
+// Clamp limits every entry to [0, max], returning a new slice.
+func Clamp(xs []float64, max float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		switch {
+		case x < 0:
+			out[i] = 0
+		case x > max:
+			out[i] = max
+		default:
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Min, Max, Mean, PeakToMean float64
+}
+
+// Summarize computes trace statistics; empty traces return zeros.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if s.Mean > 0 {
+		s.PeakToMean = s.Max / s.Mean
+	}
+	return s
+}

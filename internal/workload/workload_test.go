@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	tr := Diurnal(48, 2, 10, 24, 0)
+	if len(tr) != 48 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	s := Summarize(tr)
+	if s.Min < 2-1e-9 || s.Max > 10+1e-9 {
+		t.Errorf("range [%g, %g] outside [2, 10]", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-6) > 0.5 {
+		t.Errorf("mean = %g, want ≈ 6", s.Mean)
+	}
+	// Periodicity: slot t and t+24 agree.
+	for i := 0; i < 24; i++ {
+		if math.Abs(tr[i]-tr[i+24]) > 1e-9 {
+			t.Fatalf("not periodic at %d", i)
+		}
+	}
+}
+
+func TestDiurnalPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Diurnal(-1, 0, 1, 24, 0) },
+		func() { Diurnal(10, 0, 1, 0, 0) },
+		func() { Diurnal(10, -1, 1, 24, 0) },
+		func() { Diurnal(10, 5, 1, 24, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiurnalNoisyBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := DiurnalNoisy(rng, 200, 1, 9, 24, 0.5)
+	for i, v := range tr {
+		if v < 0 || v > 9 {
+			t.Fatalf("slot %d: %g outside [0, 9]", i, v)
+		}
+	}
+}
+
+func TestBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Bursty(rng, 1000, 1, 8, 0.2)
+	bursts := 0
+	for _, v := range tr {
+		switch v {
+		case 1:
+		case 8:
+			bursts++
+		default:
+			t.Fatalf("unexpected level %g", v)
+		}
+	}
+	if bursts < 120 || bursts > 280 {
+		t.Errorf("burst count %d far from expectation 200", bursts)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	tr := Steps(10, []float64{1, 5}, 3)
+	want := []float64{1, 1, 1, 5, 5, 5, 1, 1, 1, 5}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("tr = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := RandomWalk(rng, 5000, 5, 1, 2, 8)
+	for i, v := range tr {
+		if v < 2 || v > 8 {
+			t.Fatalf("slot %d: %g outside [2, 8]", i, v)
+		}
+	}
+	s := Summarize(tr)
+	if s.Mean < 3 || s.Mean > 7 {
+		t.Errorf("mean-reversion failed: mean %g", s.Mean)
+	}
+}
+
+func TestOnOff(t *testing.T) {
+	tr := OnOff(7, 4, 1, 2, 3)
+	want := []float64{4, 4, 1, 1, 1, 4, 4}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("tr = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	sum := Add(a, b)
+	for i, want := range []float64{5, 7, 9} {
+		if sum[i] != want {
+			t.Fatalf("Add = %v", sum)
+		}
+	}
+	sc := Scale(a, 2)
+	if sc[2] != 6 {
+		t.Errorf("Scale = %v", sc)
+	}
+	cl := Clamp([]float64{-1, 5, 99}, 10)
+	if cl[0] != 0 || cl[1] != 5 || cl[2] != 10 {
+		t.Errorf("Clamp = %v", cl)
+	}
+	if Add() != nil {
+		t.Error("empty Add should be nil")
+	}
+}
+
+func TestCombinatorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Scale(nil, -1) },
+		func() { Add([]float64{1}, []float64{1, 2}) },
+		func() { Steps(5, nil, 1) },
+		func() { OnOff(5, 1, 1, 0, 1) },
+		func() { Bursty(rand.New(rand.NewSource(1)), 5, 2, 1, 0.5) },
+		func() { RandomWalk(rand.New(rand.NewSource(1)), 5, 9, 1, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.PeakToMean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+// Property: all generators produce non-negative traces of the right length.
+func TestGeneratorsNonNegativeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := rng.Intn(300)
+		traces := [][]float64{
+			Diurnal(T, rng.Float64(), 1+rng.Float64()*9, 1+rng.Intn(48), rng.Float64()*6),
+			DiurnalNoisy(rng, T, rng.Float64(), 1+rng.Float64()*9, 1+rng.Intn(48), rng.Float64()),
+			Bursty(rng, T, rng.Float64(), 1+rng.Float64()*9, rng.Float64()),
+			Steps(T, []float64{rng.Float64(), rng.Float64() * 5}, 1+rng.Intn(5)),
+			OnOff(T, rng.Float64()*5, rng.Float64(), 1+rng.Intn(4), 1+rng.Intn(4)),
+		}
+		for _, tr := range traces {
+			if len(tr) != T {
+				return false
+			}
+			for _, v := range tr {
+				if v < 0 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same seed yields the same trace.
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Bursty(rand.New(rand.NewSource(42)), 100, 1, 5, 0.3)
+	b := Bursty(rand.New(rand.NewSource(42)), 100, 1, 5, 0.3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package rightsizing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Cross-cutting structural invariants of the whole system, checked on
+// random instances through the public API.
+
+func randomPublicInstance(rng *rand.Rand) *Instance {
+	d := 1 + rng.Intn(2)
+	T := 2 + rng.Intn(6)
+	types := make([]ServerType, d)
+	totalCap := 0.0
+	for j := range types {
+		count := 1 + rng.Intn(3)
+		capacity := 0.5 + rng.Float64()*2
+		var f CostFunc
+		switch rng.Intn(3) {
+		case 0:
+			f = Constant{C: 0.2 + rng.Float64()*2}
+		case 1:
+			f = Affine{Idle: 0.2 + rng.Float64(), Rate: rng.Float64() * 2}
+		default:
+			f = Power{Idle: 0.2 + rng.Float64(), Coef: 0.2 + rng.Float64(), Exp: 1 + rng.Float64()*2}
+		}
+		types[j] = ServerType{
+			Count: count, SwitchCost: 0.5 + rng.Float64()*5, MaxLoad: capacity,
+			Cost: Static{F: f},
+		}
+		totalCap += float64(count) * capacity
+	}
+	lambda := make([]float64, T)
+	for t := range lambda {
+		lambda[t] = rng.Float64() * totalCap * 0.85
+	}
+	return &Instance{Types: types, Lambda: lambda}
+}
+
+// OPT is monotone: pointwise-increased demand cannot make the optimum
+// cheaper (more work to do, same prices).
+func TestOptMonotoneInDemand(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomPublicInstance(rng)
+		base, err := OptimalCost(ins)
+		if err != nil {
+			return false
+		}
+		// Scale every demand up by a factor <= remaining headroom.
+		heavier := &Instance{Types: ins.Types, Lambda: make([]float64, ins.T())}
+		for i, l := range ins.Lambda {
+			heavier.Lambda[i] = l * (1 + rng.Float64()*0.15)
+		}
+		if heavier.Validate() != nil {
+			return true // scaled past capacity; skip
+		}
+		heavy, err := OptimalCost(heavier)
+		if err != nil {
+			return true
+		}
+		return heavy >= base-1e-9*(1+base)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prefix optima are monotone in the horizon: C(Î_t) is non-decreasing in
+// t (costs are non-negative, and any schedule for I_t restricts to one
+// for I_{t-1}).
+func TestPrefixOptimaMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomPublicInstance(rng)
+		tr, err := NewPrefixTracker(ins, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for !tr.Done() {
+			_, v := tr.Advance()
+			if v < prev-1e-9*(1+prev) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scale invariance: multiplying every β_j and every cost function by α
+// multiplies every algorithm's total cost by α and leaves Algorithm A's
+// schedule unchanged (its decisions depend only on cost ratios).
+func TestCostScaleInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomPublicInstance(rng)
+		alpha := 0.5 + rng.Float64()*4
+
+		scaled := &Instance{Lambda: ins.Lambda}
+		for _, st := range ins.Types {
+			base := st.Cost.(Static).F
+			scaled.Types = append(scaled.Types, ServerType{
+				Count:      st.Count,
+				SwitchCost: st.SwitchCost * alpha,
+				MaxLoad:    st.MaxLoad,
+				Cost:       Static{F: Scaled{F: base, Factor: alpha}},
+			})
+		}
+
+		a1, err := NewAlgorithmA(ins)
+		if err != nil {
+			return false
+		}
+		a2, err := NewAlgorithmA(scaled)
+		if err != nil {
+			return false
+		}
+		s1 := Run(a1)
+		s2 := Run(a2)
+		for i := range s1 {
+			if !s1[i].Equal(s2[i]) {
+				return false
+			}
+		}
+		c1 := NewEvaluator(ins).Cost(s1).Total()
+		c2 := NewEvaluator(scaled).Cost(s2).Total()
+		return math.Abs(c2-alpha*c1) <= 1e-6*(1+alpha*c1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The approximation and fractional solvers bracket the discrete optimum:
+// fractional <= OPT <= approx <= (1+eps)·OPT.
+func TestSolverBracketing(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomPublicInstance(rng)
+		opt, err := OptimalCost(ins)
+		if err != nil {
+			return false
+		}
+		apx, err := SolveApprox(ins, 1)
+		if err != nil {
+			return false
+		}
+		frac, err := SolveFractional(ins, 2, 0)
+		if err != nil {
+			return false
+		}
+		// The fractional solve evaluates g through K-scaled cost
+		// functions, so its water-filling follows a different bisection
+		// trajectory; tolerate the resulting ~1e-8 relative noise.
+		tolr := 1e-6 * (1 + opt)
+		return frac.Cost <= opt+tolr &&
+			opt <= apx.Cost()+tolr &&
+			apx.Cost() <= 2*opt+tolr
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Online algorithms are deterministic: running twice yields identical
+// schedules.
+func TestOnlineDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		ins := randomPublicInstance(rng)
+		a1, _ := NewAlgorithmA(ins)
+		a2, _ := NewAlgorithmA(ins)
+		s1, s2 := Run(a1), Run(a2)
+		for t2 := range s1 {
+			if !s1[t2].Equal(s2[t2]) {
+				t.Fatalf("case %d: Algorithm A non-deterministic", i)
+			}
+		}
+	}
+}
+
+// The scaled-tracker variant stays feasible and within a loose multiple
+// of the exact variant.
+func TestScaledTrackerVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		ins := randomPublicInstance(rng)
+		exact, err := NewAlgorithmA(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := NewAlgorithmAWithOptions(ins, AlgorithmOptions{TrackerGamma: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := Run(exact)
+		ss := Run(scaled)
+		if err := ins.Feasible(ss); err != nil {
+			t.Fatalf("case %d: scaled variant infeasible: %v", i, err)
+		}
+		ce := NewEvaluator(ins).Cost(se).Total()
+		cs := NewEvaluator(ins).Cost(ss).Total()
+		if cs > 4*ce {
+			t.Errorf("case %d: scaled variant cost %g far above exact %g", i, cs, ce)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package rightsizing
+
+import (
+	"math"
+	"testing"
+)
+
+// twoType is the public-API analogue of the paper's intro example: a slow
+// CPU-like type and a fast GPU-like type with four times the capacity.
+func twoType() *Instance {
+	return &Instance{
+		Types: []ServerType{
+			{Name: "slow", Count: 4, SwitchCost: 2, MaxLoad: 1,
+				Cost: Static{F: Affine{Idle: 1, Rate: 1}}},
+			{Name: "fast", Count: 2, SwitchCost: 8, MaxLoad: 4,
+				Cost: Static{F: Power{Idle: 3, Coef: 0.5, Exp: 2}}},
+		},
+		Lambda: Diurnal(24, 1, 9, 12, 0),
+	}
+}
+
+func TestPublicOfflinePipeline(t *testing.T) {
+	ins := twoType()
+	opt, err := SolveOptimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Feasible(opt.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	apx, err := SolveApprox(ins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apx.Cost() < opt.Cost()-1e-9 || apx.Cost() > 1.5*opt.Cost()+1e-9 {
+		t.Errorf("approx %g outside [opt, 1.5·opt] for opt %g", apx.Cost(), opt.Cost())
+	}
+	c, err := OptimalCost(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-opt.Cost()) > 1e-9 {
+		t.Errorf("OptimalCost %g != SolveOptimal %g", c, opt.Cost())
+	}
+}
+
+func TestPublicOnlinePipeline(t *testing.T) {
+	ins := twoType()
+	a, err := NewAlgorithmA(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Run(a)
+	if err := ins.Feasible(sched); err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := OptimalCost(ins)
+	cost := NewEvaluator(ins).Cost(sched).Total()
+	if cost > RatioBoundA(ins)*opt*(1+1e-9) {
+		t.Errorf("Algorithm A cost %g above bound %g", cost, RatioBoundA(ins)*opt)
+	}
+
+	b, err := NewAlgorithmB(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Feasible(Run(b)); err != nil {
+		t.Fatal(err)
+	}
+
+	cAlg, err := NewAlgorithmC(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Feasible(Run(cAlg)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	ins := twoType()
+	for _, mk := range []func() (Online, error){
+		func() (Online, error) { return NewAllOn(twoType()) },
+		func() (Online, error) { return NewLoadTracking(twoType()) },
+		func() (Online, error) { return NewSkiRental(twoType()) },
+		func() (Online, error) { return NewRecedingHorizon(twoType(), 3) },
+	} {
+		alg, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.Feasible(Run(alg)); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+	if _, err := NewLCP(twoType()); err == nil {
+		t.Error("LCP should reject d=2")
+	}
+	homog := &Instance{
+		Types: []ServerType{{
+			Count: 4, SwitchCost: 2, MaxLoad: 1,
+			Cost: Static{F: Constant{C: 1}},
+		}},
+		Lambda: Steps(12, []float64{1, 3}, 3),
+	}
+	lcp, err := NewLCP(homog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := homog.Feasible(Run(lcp)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicComparison(t *testing.T) {
+	ins := twoType()
+	cmp, err := NewComparison(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewAlgorithmA(ins)
+	m := cmp.RunOnline(a)
+	if m.Ratio < 1-1e-9 {
+		t.Errorf("ratio %g", m.Ratio)
+	}
+	if cmp.Table().String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(Diurnal(10, 0, 5, 5, 0)) != 10 {
+		t.Error("Diurnal length")
+	}
+	if len(Steps(10, []float64{1}, 2)) != 10 {
+		t.Error("Steps length")
+	}
+	if len(OnOff(10, 1, 0, 1, 1)) != 10 {
+		t.Error("OnOff length")
+	}
+}
+
+func TestPublicCostFuncs(t *testing.T) {
+	pl, err := NewPiecewiseLinear([]float64{0, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Value(0.5) != 1.5 {
+		t.Error("piecewise value")
+	}
+	if _, err := NewPiecewiseLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("invalid curve should error")
+	}
+	var f CostFunc = Scaled{F: Constant{C: 4}, Factor: 0.5}
+	if f.Value(0) != 2 {
+		t.Error("scaled value")
+	}
+}
+
+func TestPublicCI(t *testing.T) {
+	ins := twoType()
+	// Static idle costs 1 and 3, β 2 and 8: c(I) = 1/2 + 3/8.
+	if got, want := CI(ins), 0.875; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI = %g, want %g", got, want)
+	}
+	if got, want := RatioBoundB(ins), 2*2+1+0.875; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RatioBoundB = %g, want %g", got, want)
+	}
+}
+
+func TestPublicPrefixTracker(t *testing.T) {
+	ins := twoType()
+	tr, err := NewPrefixTracker(ins, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for !tr.Done() {
+		_, last = tr.Advance()
+	}
+	opt, _ := OptimalCost(ins)
+	if math.Abs(last-opt) > 1e-9 {
+		t.Errorf("tracker final %g != opt %g", last, opt)
+	}
+}
