@@ -205,6 +205,28 @@ func BenchmarkE12ProofTerms(b *testing.B) {
 	}
 }
 
+// ---------- scenario engine ----------
+
+// benchmarkSuite runs the whole stock registry through the engine with
+// the given worker count; serial vs. parallel quantifies the suite
+// runner's fan-out win (results are bit-identical either way).
+func benchmarkSuite(b *testing.B, workers int) {
+	scs := Scenarios()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := RunSuite(scs, SuiteOptions{Workers: workers, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Results) != len(scs) {
+			b.Fatalf("got %d results for %d scenarios", len(res.Results), len(scs))
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchmarkSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchmarkSuite(b, AutoWorkers) }
+
 // BenchmarkScaleApproxT720 exercises production scale: a month of hourly
 // slots over a 2000-server fleet, solvable only because the reduced
 // lattice keeps the per-slot work logarithmic (Theorem 21).

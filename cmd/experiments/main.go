@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -49,6 +50,11 @@ in E5b's runtime column.
 			log.Printf("experiment %s FAILED its bound check", rep.ID)
 		}
 	}
+	if *id == "" {
+		if err := writeSuite(&b); err != nil {
+			log.Fatal(err)
+		}
+	}
 	b.WriteString(fmt.Sprintf("---\n\nSummary: every proven bound was respected: %v\n", failures == 0))
 
 	if *out == "" {
@@ -59,4 +65,26 @@ in E5b's runtime column.
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeSuite appends the stock scenario suite, run through the unified
+// engine, as a markdown appendix. The fixed seed and the engine's
+// determinism guarantee make the section reproducible byte for byte.
+func writeSuite(b *strings.Builder) error {
+	b.WriteString(`## Scenario suite — every stock workload vs. every algorithm
+
+One run of the scenario engine (` + "`internal/engine`" + `) over the stock
+registry: each instance's optimum is solved exactly once and every
+applicable algorithm is measured against it. Regenerate or reformat with
+` + "`go run ./cmd/rightsize -suite -seed 1 -format markdown`" + `.
+
+`)
+	res, err := engine.RunSuite(engine.Scenarios(), engine.SuiteOptions{
+		Workers: engine.AutoWorkers,
+		Seed:    1,
+	})
+	if err != nil {
+		return err
+	}
+	return engine.MarkdownSink{}.Emit(b, res)
 }

@@ -1,12 +1,15 @@
-// Command rightsize solves a data-center right-sizing instance described
-// as JSON (see the repository README for the schema).
+// Command rightsize solves data-center right-sizing workloads: either a
+// JSON instance file or a named scenario from the engine's registry.
 //
 // Usage:
 //
 //	rightsize -input instance.json [-mode optimal|approx|online-a|online-b|online-c]
-//	          [-eps 0.5] [-schedule] [-compare]
+//	          [-eps 0.5] [-schedule] [-render] [-compare]
+//	rightsize -scenario diurnal [-seed 1] [-format text|json|csv|markdown] [-render]
+//	rightsize -suite [-workers N] [-seed 1] [-format text|json|csv|markdown]
+//	rightsize -list
 //
-// Modes:
+// Modes (with -input):
 //
 //	optimal   exact offline optimum (Section 4.1; default)
 //	approx    (1+ε)-approximation (Section 4.2)
@@ -15,7 +18,9 @@
 //	online-c  Algorithm C (Section 3.2, uses -eps)
 //
 // -schedule prints the slot-by-slot configurations; -compare runs every
-// applicable algorithm and prints a comparison table.
+// applicable algorithm through the scenario engine and prints a table.
+// -scenario runs one registered scenario; -suite runs the whole registry
+// concurrently (deterministic for any -workers value).
 package main
 
 import (
@@ -32,19 +37,83 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rightsize: ")
 
-	input := flag.String("input", "", "path to the instance JSON (required)")
+	input := flag.String("input", "", "path to an instance JSON file")
 	mode := flag.String("mode", "optimal", "optimal | approx | online-a | online-b | online-c")
 	eps := flag.Float64("eps", 0.5, "accuracy parameter for approx and online-c")
 	printSched := flag.Bool("schedule", false, "print the slot-by-slot schedule")
 	render := flag.Bool("render", false, "draw the schedule as a stacked ASCII chart")
 	compare := flag.Bool("compare", false, "run all applicable algorithms and print a table")
+	scenario := flag.String("scenario", "", "run a named scenario from the registry")
+	suite := flag.Bool("suite", false, "run every registered scenario")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	seed := flag.Int64("seed", 1, "scenario seed (workload randomness)")
+	workers := flag.Int("workers", rightsizing.AutoWorkers, "suite worker pool size (-1 = one per CPU)")
+	format := flag.String("format", "text", "result format: text | json | csv | markdown")
 	flag.Parse()
 
-	if *input == "" {
+	switch {
+	case *list:
+		listScenarios()
+	case *suite:
+		runScenarios(rightsizing.Scenarios(), *seed, *workers, *format, false)
+	case *scenario != "":
+		sc, ok := rightsizing.LookupScenario(*scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q; -list shows the registry", *scenario)
+		}
+		runScenarios([]rightsizing.Scenario{sc}, *seed, *workers, *format, *render)
+	case *input != "":
+		runInstanceFile(*input, *mode, *eps, *printSched, *render, *compare)
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*input)
+}
+
+func listScenarios() {
+	scs := rightsizing.Scenarios()
+	width := 0
+	for _, sc := range scs {
+		if len(sc.Name) > width {
+			width = len(sc.Name)
+		}
+	}
+	for _, sc := range scs {
+		fmt.Printf("%-*s  %s\n", width, sc.Name, sc.Doc)
+	}
+}
+
+// runScenarios routes one or all scenarios through the engine's suite
+// runner and the selected result sink.
+func runScenarios(scs []rightsizing.Scenario, seed int64, workers int, format string, render bool) {
+	sink, err := rightsizing.NewSink(format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rightsizing.RunSuite(scs, rightsizing.SuiteOptions{
+		Workers:       workers,
+		Seed:          seed,
+		KeepSchedules: render,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Emit(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+	if render {
+		for i := range res.Results {
+			r := &res.Results[i]
+			sc, _ := rightsizing.LookupScenario(r.Scenario)
+			ins := sc.Instance(r.Seed)
+			fmt.Printf("\noptimal schedule for %s:\n", r.Scenario)
+			fmt.Print(sim.RenderSchedule(ins, r.Schedules[0], 96))
+		}
+	}
+}
+
+func runInstanceFile(input, mode string, eps float64, printSched, render, compare bool) {
+	f, err := os.Open(input)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,13 +124,13 @@ func main() {
 	}
 	fmt.Printf("instance: %d server types, %d time slots\n", ins.D(), ins.T())
 
-	if *compare {
-		runComparison(ins, *eps)
+	if compare {
+		runComparison(ins, eps)
 		return
 	}
 
 	var sched rightsizing.Schedule
-	switch *mode {
+	switch mode {
 	case "optimal":
 		res, err := rightsizing.SolveOptimal(ins)
 		if err != nil {
@@ -71,83 +140,75 @@ func main() {
 		fmt.Printf("optimal cost %.4f (operating %.4f, switching %.4f), lattice %d\n",
 			res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
 	case "approx":
-		res, err := rightsizing.SolveApprox(ins, *eps)
+		res, err := rightsizing.SolveApprox(ins, eps)
 		if err != nil {
 			log.Fatal(err)
 		}
 		sched = res.Schedule
 		fmt.Printf("(1+%g)-approx cost %.4f (operating %.4f, switching %.4f), lattice %d\n",
-			*eps, res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
+			eps, res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
 	case "online-a", "online-b", "online-c":
 		var alg rightsizing.Online
-		switch *mode {
+		switch mode {
 		case "online-a":
 			alg, err = rightsizing.NewAlgorithmA(ins)
 		case "online-b":
 			alg, err = rightsizing.NewAlgorithmB(ins)
 		default:
-			alg, err = rightsizing.NewAlgorithmC(ins, *eps)
+			alg, err = rightsizing.NewAlgorithmC(ins, eps)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		sched = rightsizing.Run(alg)
-		br := rightsizing.NewEvaluator(ins).Cost(sched)
+		m := rightsizing.Measure(ins, sched, alg.Name(), 0)
 		fmt.Printf("%s cost %.4f (operating %.4f, switching %.4f)\n",
-			alg.Name(), br.Total(), br.Operating, br.Switching)
+			m.Name, m.Total, m.Operating, m.Switching)
 		if opt, err := rightsizing.OptimalCost(ins); err == nil {
-			fmt.Printf("hindsight optimum %.4f -> ratio %.4f\n", opt, br.Total()/opt)
+			fmt.Printf("hindsight optimum %.4f -> ratio %.4f\n", opt, m.Total/opt)
 		}
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		log.Fatalf("unknown mode %q", mode)
 	}
 
 	if err := ins.Feasible(sched); err != nil {
 		log.Fatalf("internal error: produced schedule is infeasible: %v", err)
 	}
-	if *printSched {
+	if printSched {
 		fmt.Println("\nslot  demand  configuration")
 		for t := 1; t <= ins.T(); t++ {
 			fmt.Printf("%4d  %6.2f  %v\n", t, ins.Lambda[t-1], sched[t-1])
 		}
 	}
-	if *render {
+	if render {
 		fmt.Println()
 		fmt.Print(sim.RenderSchedule(ins, sched, 96))
 	}
 }
 
+// runComparison measures every applicable algorithm on the instance as a
+// one-off engine scenario (OPT solved once, ε from the command line for
+// Algorithm C).
 func runComparison(ins *rightsizing.Instance, eps float64) {
-	cmp, err := rightsizing.NewComparison(ins)
+	sc := rightsizing.Scenario{
+		Name:     "instance",
+		Instance: func(int64) *rightsizing.Instance { return ins },
+		Algorithms: []rightsizing.AlgSpec{
+			rightsizing.SpecAlgorithmA(),
+			rightsizing.SpecAlgorithmB(),
+			rightsizing.SpecAlgorithmC(eps),
+			rightsizing.SpecAllOn(),
+			rightsizing.SpecLoadTracking(),
+			rightsizing.SpecSkiRental(),
+			rightsizing.SpecLCP(),
+		},
+	}
+	res, err := rightsizing.EvaluateScenario(sc, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ins.TimeIndependent() {
-		if a, err := rightsizing.NewAlgorithmA(ins); err == nil {
-			cmp.RunOnline(a)
-		}
+	fmt.Print(res.Table())
+	for _, s := range res.Skipped {
+		fmt.Printf("(skipped %s)\n", s)
 	}
-	if b, err := rightsizing.NewAlgorithmB(ins); err == nil {
-		cmp.RunOnline(b)
-	}
-	if c, err := rightsizing.NewAlgorithmC(ins, eps); err == nil {
-		cmp.RunOnline(c)
-	} else {
-		fmt.Printf("(Algorithm C skipped: %v)\n", err)
-	}
-	for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
-		rightsizing.NewAllOn,
-		rightsizing.NewLoadTracking,
-		rightsizing.NewSkiRental,
-	} {
-		if alg, err := mk(ins); err == nil {
-			cmp.RunOnline(alg)
-		}
-	}
-	if ins.D() == 1 {
-		if l, err := rightsizing.NewLCP(ins); err == nil {
-			cmp.RunOnline(l)
-		}
-	}
-	fmt.Println(cmp.Table())
 }

@@ -3,51 +3,26 @@
 // and the current electricity price, and the algorithm decides how many
 // servers of each type stay powered. Demonstrates the online information
 // model (Section 3) and time-dependent operating costs.
+//
+// The workload is the registry's stock "price-modulated" scenario; the
+// final accounting runs through the engine so the ratios line up with
+// every other consumer of the pipeline.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	rightsizing "repro"
 )
 
 func main() {
-	const T = 48 // two days, hourly ticks
-	rng := rand.New(rand.NewSource(7))
-
-	// Demand: diurnal with bursts layered on top.
-	demand := rightsizing.DiurnalNoisy(rng, T, 1, 10, 24, 0.3)
-
-	// Electricity price: cheap at night, expensive in the evening peak —
-	// a time-dependent multiplier on every operating cost (the paper's
-	// f_{t,j} generality).
-	price := make([]float64, T)
-	for t := range price {
-		hour := t % 24
-		switch {
-		case hour >= 18 && hour <= 21:
-			price[t] = 1.8
-		case hour >= 0 && hour <= 5:
-			price[t] = 0.6
-		default:
-			price[t] = 1.0
-		}
+	sc, ok := rightsizing.LookupScenario("price-modulated")
+	if !ok {
+		log.Fatal("stock scenario missing from the registry")
 	}
-
-	ins := &rightsizing.Instance{
-		Types: []rightsizing.ServerType{
-			{Name: "standard", Count: 10, SwitchCost: 4, MaxLoad: 1,
-				Cost: rightsizing.Modulated{F: rightsizing.Affine{Idle: 1, Rate: 0.8}, Scale: price}},
-			{Name: "highmem", Count: 4, SwitchCost: 10, MaxLoad: 3,
-				Cost: rightsizing.Modulated{F: rightsizing.Affine{Idle: 2.5, Rate: 0.4}, Scale: price}},
-		},
-		Lambda: demand,
-	}
-	if err := ins.Validate(); err != nil {
-		log.Fatal(err)
-	}
+	const seed = 7
+	ins := sc.Instance(seed)
 
 	alg, err := rightsizing.NewAlgorithmB(ins)
 	if err != nil {
@@ -55,24 +30,30 @@ func main() {
 	}
 
 	fmt.Println("tick-by-tick decisions (Algorithm B):")
-	fmt.Println("hour  demand  price  standard  highmem")
-	var sched rightsizing.Schedule
+	fmt.Println("hour  demand  standard  highmem")
 	for t := 1; !alg.Done(); t++ {
 		x := alg.Step() // consumes exactly one tick of input
-		sched = append(sched, x)
-		if t%4 == 1 { // print every 4th tick to keep the log short
-			fmt.Printf("%4d  %6.2f  %5.2f  %8d  %7d\n",
-				t-1, demand[t-1], price[t-1], x[0], x[1])
+		if t%4 == 1 {   // print every 4th tick to keep the log short
+			fmt.Printf("%4d  %6.2f  %8d  %7d\n", t-1, ins.Lambda[t-1], x[0], x[1])
 		}
 	}
 
-	cost := rightsizing.NewEvaluator(ins).Cost(sched)
-	opt, err := rightsizing.OptimalCost(ins)
+	// The engine re-runs the same deterministic algorithm (plus the other
+	// applicable policies) and measures everything against the hindsight
+	// optimum, solved once.
+	res, err := rightsizing.EvaluateScenario(sc, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nonline cost %.1f (operating %.1f + switching %.1f)\n",
-		cost.Total(), cost.Operating, cost.Switching)
-	fmt.Printf("hindsight optimum %.1f -> achieved ratio %.3f (guarantee: %.3f)\n",
-		opt, cost.Total()/opt, rightsizing.RatioBoundB(ins))
+	fmt.Println()
+	fmt.Print(res.Table())
+	for _, s := range res.Skipped {
+		fmt.Printf("(skipped %s)\n", s)
+	}
+	for _, m := range res.Rows {
+		if m.Name == "AlgorithmB" {
+			fmt.Printf("\nAlgorithm B achieved ratio %.3f (guarantee: %.3f)\n",
+				m.Ratio, rightsizing.RatioBoundB(ins))
+		}
+	}
 }

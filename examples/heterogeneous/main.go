@@ -2,6 +2,10 @@
 // bursts, sweeping the peak-to-mean ratio and reporting how much each
 // policy saves relative to static provisioning (AllOn) — the evaluation
 // style of the right-sizing literature the paper builds on.
+//
+// Each sweep point is one Scenario struct literal; the engine's suite
+// runner fans them out concurrently and measures everything against the
+// optimum in a single deterministic pass.
 package main
 
 import (
@@ -29,54 +33,50 @@ func cluster(trace []float64) *rightsizing.Instance {
 }
 
 func main() {
-	rng := rand.New(rand.NewSource(2021))
+	// One scenario per peak-to-mean ratio: the whole sweep is data.
+	var sweep []rightsizing.Scenario
+	for _, peakToMean := range []float64{2, 4, 8} {
+		ptm := peakToMean
+		sweep = append(sweep, rightsizing.Scenario{
+			Name: fmt.Sprintf("peak-to-mean-%gx", ptm),
+			Instance: func(seed int64) *rightsizing.Instance {
+				rng := rand.New(rand.NewSource(seed))
+				peak := 40.0
+				base := peak * (2/ptm - 1) // mean of sinusoid = (base+peak)/2
+				if base < 0 {
+					base = 0
+				}
+				return cluster(rightsizing.DiurnalNoisy(rng, 72, base, peak, 24, 0.2))
+			},
+			Algorithms: []rightsizing.AlgSpec{
+				rightsizing.SpecAlgorithmA(),
+				rightsizing.SpecAllOn(),
+				rightsizing.SpecLoadTracking(),
+				rightsizing.SpecSkiRental(),
+				rightsizing.SpecRecedingHorizon(3),
+			},
+		})
+	}
+
+	res, err := rightsizing.RunSuite(sweep, rightsizing.SuiteOptions{
+		Workers: rightsizing.AutoWorkers,
+		Seed:    2021,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("cost savings vs. static provisioning (AllOn), 3 days, hourly slots")
 	fmt.Println()
-
-	for _, peakToMean := range []float64{2, 4, 8} {
-		peak := 40.0
-		base := peak * (2/peakToMean - 1) // mean of sinusoid = (base+peak)/2
-		if base < 0 {
-			base = 0
-		}
-		trace := rightsizing.DiurnalNoisy(rng, 72, base, peak, 24, 0.2)
-		ins := cluster(trace)
-		if err := ins.Validate(); err != nil {
-			log.Fatal(err)
-		}
-
-		cmp, err := rightsizing.NewComparison(ins)
-		if err != nil {
-			log.Fatal(err)
-		}
-		algA, err := rightsizing.NewAlgorithmA(ins)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cmp.RunOnline(algA)
-		for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
-			rightsizing.NewAllOn,
-			rightsizing.NewLoadTracking,
-			rightsizing.NewSkiRental,
-			func(i *rightsizing.Instance) (rightsizing.Online, error) {
-				return rightsizing.NewRecedingHorizon(i, 3)
-			},
-		} {
-			alg, err := mk(ins)
-			if err != nil {
-				log.Fatal(err)
-			}
-			cmp.RunOnline(alg)
-		}
-
+	for _, r := range res.Results {
 		var allOn float64
-		for _, m := range cmp.Row {
+		for _, m := range r.Rows {
 			if m.Name == "AllOn" {
 				allOn = m.Total
 			}
 		}
-		fmt.Printf("peak-to-mean %.0fx (base %.0f, peak %.0f):\n", peakToMean, base, peak)
-		for _, m := range cmp.Row {
+		fmt.Printf("%s:\n", r.Scenario)
+		for _, m := range r.Rows {
 			saving := (1 - m.Total/allOn) * 100
 			fmt.Printf("  %-22s cost %9.1f   saving vs AllOn %6.1f%%   ratio vs OPT %.3f\n",
 				m.Name, m.Total, saving, m.Ratio)

@@ -1,7 +1,8 @@
 // Maintenance windows: Section 4.3's time-varying data-center sizes.
 // Part of the fleet is taken offline for maintenance mid-horizon and a
 // rack of new servers is commissioned later; the offline solvers handle
-// both exactly and approximately.
+// both exactly and approximately. The workload is the registry's stock
+// "maintenance" scenario, measured through the engine.
 package main
 
 import (
@@ -12,66 +13,35 @@ import (
 )
 
 func main() {
-	const T = 36
-	demand := rightsizing.Diurnal(T, 4, 20, 12, 0)
-
-	// Baseline fleet: 24 old servers, 4 fast new ones.
-	counts := make([][]int, T)
-	for t := 0; t < T; t++ {
-		old, new_ := 24, 4
-		switch {
-		case t >= 12 && t < 18:
-			old = 10 // maintenance: most old servers offline
-		case t >= 24:
-			new_ = 8 // commissioning: the new rack doubles
-		}
-		counts[t] = []int{old, new_}
+	sc, ok := rightsizing.LookupScenario("maintenance")
+	if !ok {
+		log.Fatal("stock scenario missing from the registry")
 	}
+	ins := sc.Instance(1)
 
-	ins := &rightsizing.Instance{
-		Types: []rightsizing.ServerType{
-			{Name: "old", Count: 24, SwitchCost: 2, MaxLoad: 1,
-				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1.2, Rate: 1}}},
-			{Name: "new", Count: 8, SwitchCost: 9, MaxLoad: 4,
-				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 2.5, Rate: 0.4}}},
-		},
-		Lambda: demand,
-		Counts: counts,
-	}
-	if err := ins.Validate(); err != nil {
+	// The engine solves OPT once and measures the approximation, the
+	// online algorithms and the baselines against it.
+	res, err := rightsizing.EvaluateScenario(sc, 1)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Print(res.Table())
+	for _, m := range res.Rows {
+		if m.Name == "Approx(ε=0.5)" {
+			fmt.Printf("\n(1+0.5)-approx ratio %.4f (bound 1.5)\n", m.Ratio)
+		}
+	}
 
+	// Slot-by-slot view: the optimal schedule never uses servers that are
+	// offline for maintenance, and picks up the commissioned rack.
 	opt, err := rightsizing.SolveOptimal(ins)
 	if err != nil {
 		log.Fatal(err)
 	}
-	apx, err := rightsizing.SolveApprox(ins, 0.5)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("optimal cost %.1f, (1+0.5)-approx %.1f (ratio %.4f, bound 1.5)\n\n",
-		opt.Cost(), apx.Cost(), apx.Cost()/opt.Cost())
-
-	fmt.Println("slot  avail(old,new)  demand  optimal(old,new)")
-	for t := 1; t <= T; t += 3 {
+	fmt.Println("\nslot  avail(old,new)  demand  optimal(old,new)")
+	for t := 1; t <= ins.T(); t += 3 {
 		x := opt.Schedule[t-1]
 		fmt.Printf("%4d  (%2d, %d)%8s  %6.1f  (%2d, %d)\n",
-			t, ins.CountAt(t, 0), ins.CountAt(t, 1), "", demand[t-1], x[0], x[1])
+			t, ins.CountAt(t, 0), ins.CountAt(t, 1), "", ins.Lambda[t-1], x[0], x[1])
 	}
-
-	// The online Algorithm B also respects shrinking fleets: prefix
-	// optima never use unavailable servers.
-	alg, err := rightsizing.NewAlgorithmB(ins)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sched := rightsizing.Run(alg)
-	if err := ins.Feasible(sched); err != nil {
-		log.Fatal(err)
-	}
-	cost := rightsizing.NewEvaluator(ins).Cost(sched)
-	fmt.Printf("\nonline (Algorithm B) cost %.1f, ratio %.3f\n",
-		cost.Total(), cost.Total()/opt.Cost())
 }

@@ -1,5 +1,7 @@
-// Quickstart: define a small heterogeneous data center, solve it offline,
-// run the online algorithms, and compare everything against the optimum.
+// Quickstart: pull the stock "quickstart" scenario from the engine's
+// registry, solve it offline, and let the engine run and measure every
+// applicable algorithm against the optimum — the whole run→measure→report
+// pipeline in a dozen lines.
 package main
 
 import (
@@ -10,22 +12,11 @@ import (
 )
 
 func main() {
-	// Two server types, as in the paper's introduction: slow commodity
-	// servers (capacity 1) and fast accelerator nodes that process four
-	// times the volume but idle at triple the power.
-	ins := &rightsizing.Instance{
-		Types: []rightsizing.ServerType{
-			{Name: "slow", Count: 8, SwitchCost: 3, MaxLoad: 1,
-				Cost: rightsizing.Static{F: rightsizing.Affine{Idle: 1, Rate: 1}}},
-			{Name: "fast", Count: 3, SwitchCost: 12, MaxLoad: 4,
-				Cost: rightsizing.Static{F: rightsizing.Power{Idle: 3, Coef: 0.4, Exp: 2}}},
-		},
-		// Two days of diurnal load, 1-hour slots.
-		Lambda: rightsizing.Diurnal(48, 2, 16, 24, 0),
+	sc, ok := rightsizing.LookupScenario("quickstart")
+	if !ok {
+		log.Fatal("stock scenario missing from the registry")
 	}
-	if err := ins.Validate(); err != nil {
-		log.Fatal(err)
-	}
+	ins := sc.Instance(1)
 
 	// Offline optimum (Section 4.1) and a (1+ε)-approximation (4.2).
 	opt, err := rightsizing.SolveOptimal(ins)
@@ -41,34 +32,18 @@ func main() {
 	fmt.Printf("(1+0.5)-approx:  %.2f on a lattice of %d configurations\n\n",
 		apx.Cost(), apx.LatticeSize)
 
-	// Online algorithms and baselines, measured against the optimum.
-	cmp, err := rightsizing.NewComparison(ins)
+	// One engine call runs Algorithms A/B/C and every baseline, solving
+	// OPT once as the shared yardstick and skipping whatever does not
+	// apply (here: LCP, which needs a homogeneous fleet).
+	res, err := rightsizing.EvaluateScenario(sc, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	algA, err := rightsizing.NewAlgorithmA(ins)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Print(res.Table())
+	for _, s := range res.Skipped {
+		fmt.Printf("(skipped %s)\n", s)
 	}
-	cmp.RunOnline(algA)
-	algB, err := rightsizing.NewAlgorithmB(ins)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cmp.RunOnline(algB)
-	for _, mk := range []func(*rightsizing.Instance) (rightsizing.Online, error){
-		rightsizing.NewAllOn,
-		rightsizing.NewLoadTracking,
-		rightsizing.NewSkiRental,
-	} {
-		alg, err := mk(ins)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cmp.RunOnline(alg)
-	}
-	fmt.Println(cmp.Table())
-	fmt.Printf("Theorem 8 guarantee for Algorithm A: ratio <= %g\n",
+	fmt.Printf("\nTheorem 8 guarantee for Algorithm A: ratio <= %g\n",
 		rightsizing.RatioBoundA(ins))
 
 	// Peek at the optimal schedule around the first peak.

@@ -15,8 +15,9 @@ import (
 // verbatim algorithms: scalable online variants, the fractional
 // relaxation, randomized baselines, trace I/O and parallel solving.
 
-// AutoWorkers selects one DP worker per available CPU in SolveOptions and
-// AlgorithmOptions.
+// AutoWorkers selects one worker per available CPU in SolveOptions,
+// AlgorithmOptions and SuiteOptions (the solver and the scenario engine
+// share the sentinel value).
 const AutoWorkers = solver.AutoWorkers
 
 // AlgorithmOptions tunes the online algorithms' internal prefix-optimum

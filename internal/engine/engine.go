@@ -1,0 +1,251 @@
+// Package engine is the unified scenario engine: one run→measure→report
+// pipeline shared by the offline solvers, the online algorithms, the
+// baselines, the experiment study and every command-line tool.
+//
+// The pieces compose bottom-up:
+//
+//   - AlgSpec names an algorithm and knows how to produce its schedule for
+//     an instance (online algorithms via core.Online, offline solvers via
+//     their Result), plus an applicability gate (Algorithm A needs
+//     time-independent costs, LCP needs d = 1, ...).
+//   - Measure turns a schedule into Metrics: cost decomposition, switching
+//     activity and the competitive ratio against the exact optimum.
+//   - Scenario bundles a named deterministic instance generator with the
+//     algorithms to run on it; a registry of stock scenarios (diurnal,
+//     bursty, on/off, random walk, heterogeneous fleets, maintenance
+//     windows, price-modulated costs) makes new workloads one struct
+//     literal instead of a new main.go.
+//   - RunSuite fans scenarios out over a bounded worker pool with the
+//     determinism discipline of solver/parallel.go: static partition,
+//     per-unit model.Evaluators, bit-identical results for any worker
+//     count. Each instance's optimum is solved exactly once per run.
+//   - Sinks render one result stream as text tables, JSON, CSV or
+//     markdown for cmd/rightsize, cmd/experiments, benchmarks and
+//     dashboards alike.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// Metrics summarises one algorithm's behaviour on one instance. The JSON
+// field names are part of the suite-result format consumed by the JSON
+// sink and must stay stable.
+type Metrics struct {
+	Name       string  `json:"name"`
+	Operating  float64 `json:"operating"` // Σ_t g_t(x_t)
+	Switching  float64 `json:"switching"` // Σ_t Σ_j β_j (Δ_j)^+
+	Total      float64 `json:"total"`     // Operating + Switching
+	PowerUps   int     `json:"power_ups"` // individual server power-up operations
+	PeakActive int     `json:"peak"`      // max over slots of Σ_j x_{t,j}
+	MeanActive float64 `json:"mean"`      // mean over slots of Σ_j x_{t,j}
+	Ratio      float64 `json:"ratio"`     // Total / OPT; 0 when OPT is unknown
+}
+
+// Measure evaluates a schedule. opt > 0 enables the Ratio field. It
+// allocates a fresh evaluator; hot paths with an evaluator at hand should
+// call MeasureWith.
+func Measure(ins *model.Instance, sched model.Schedule, name string, opt float64) Metrics {
+	return MeasureWith(model.NewEvaluator(ins), sched, name, opt)
+}
+
+// MeasureWith is Measure with a caller-provided evaluator (evaluators
+// carry scratch buffers and are not safe for concurrent use; the suite
+// runner keeps one per work unit).
+func MeasureWith(ev *model.Evaluator, sched model.Schedule, name string, opt float64) Metrics {
+	ins := ev.Instance()
+	br := ev.Cost(sched)
+	m := Metrics{
+		Name:      name,
+		Operating: br.Operating,
+		Switching: br.Switching,
+		Total:     br.Total(),
+	}
+	prev := make(model.Config, ins.D())
+	sumActive := 0
+	for _, x := range sched {
+		total := x.Total()
+		sumActive += total
+		if total > m.PeakActive {
+			m.PeakActive = total
+		}
+		for j := range x {
+			if up := x[j] - prev[j]; up > 0 {
+				m.PowerUps += up
+			}
+		}
+		prev = x
+	}
+	if len(sched) > 0 {
+		m.MeanActive = float64(sumActive) / float64(len(sched))
+	}
+	if opt > 0 {
+		m.Ratio = m.Total / opt
+	}
+	return m
+}
+
+// RatioAgainstOpt runs an online algorithm to completion and returns its
+// cost divided by the exact optimal cost. The optimum is computed with the
+// memory-light solver since no optimal schedule is needed.
+func RatioAgainstOpt(ins *model.Instance, alg core.Online) (float64, error) {
+	sched := core.Run(alg)
+	if err := ins.Feasible(sched); err != nil {
+		return 0, fmt.Errorf("engine: %s produced an infeasible schedule: %v", alg.Name(), err)
+	}
+	cost := model.NewEvaluator(ins).Cost(sched).Total()
+	opt, err := solver.OptimalCost(ins)
+	if err != nil {
+		return 0, err
+	}
+	return cost / opt, nil
+}
+
+// AlgSpec describes one algorithm of a scenario: a display name, a
+// schedule producer and an optional applicability gate.
+type AlgSpec struct {
+	// Name identifies the algorithm in results; it must be unique within
+	// a scenario.
+	Name string
+	// Run computes the algorithm's schedule for the instance. The engine
+	// validates feasibility of whatever it returns.
+	Run func(ins *model.Instance) (model.Schedule, error)
+	// Skip, when non-nil, reports why the spec does not apply to the
+	// instance ("" means it applies). Skipped algorithms are recorded in
+	// the result rather than failing the scenario.
+	Skip func(ins *model.Instance) string
+}
+
+// OnlineSpec wraps a core.Online constructor as an AlgSpec.
+func OnlineSpec(name string, mk func(*model.Instance) (core.Online, error)) AlgSpec {
+	return AlgSpec{
+		Name: name,
+		Run: func(ins *model.Instance) (model.Schedule, error) {
+			alg, err := mk(ins)
+			if err != nil {
+				return nil, err
+			}
+			return core.Run(alg), nil
+		},
+	}
+}
+
+// SpecAlgorithmA is the paper's Algorithm A (Section 2); it applies only
+// to time-independent operating costs.
+func SpecAlgorithmA() AlgSpec {
+	s := OnlineSpec("AlgorithmA", func(ins *model.Instance) (core.Online, error) {
+		return core.NewAlgorithmA(ins)
+	})
+	s.Skip = func(ins *model.Instance) string {
+		if !ins.TimeIndependent() {
+			return "requires time-independent operating costs"
+		}
+		return ""
+	}
+	return s
+}
+
+// SpecAlgorithmB is the paper's Algorithm B (Section 3.1).
+func SpecAlgorithmB() AlgSpec {
+	return OnlineSpec("AlgorithmB", func(ins *model.Instance) (core.Online, error) {
+		return core.NewAlgorithmB(ins)
+	})
+}
+
+// SpecAlgorithmC is the paper's Algorithm C (Section 3.2) with accuracy ε.
+func SpecAlgorithmC(eps float64) AlgSpec {
+	s := OnlineSpec(fmt.Sprintf("AlgorithmC(ε=%g)", eps), func(ins *model.Instance) (core.Online, error) {
+		return core.NewAlgorithmC(ins, eps)
+	})
+	s.Skip = func(ins *model.Instance) string {
+		if eps <= 0 {
+			return "requires ε > 0"
+		}
+		for _, ty := range ins.Types {
+			if ty.SwitchCost <= 0 {
+				return "requires β_j > 0 for every type"
+			}
+		}
+		return ""
+	}
+	return s
+}
+
+// SpecApprox is the offline (1+ε)-approximation (Section 4.2) run as a
+// hindsight policy.
+func SpecApprox(eps float64) AlgSpec {
+	return AlgSpec{
+		Name: fmt.Sprintf("Approx(ε=%g)", eps),
+		Run: func(ins *model.Instance) (model.Schedule, error) {
+			res, err := solver.SolveApprox(ins, eps)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		},
+	}
+}
+
+// SpecAllOn keeps the whole fleet powered (static provisioning).
+func SpecAllOn() AlgSpec {
+	return OnlineSpec("AllOn", func(ins *model.Instance) (core.Online, error) {
+		return baseline.NewAllOn(ins)
+	})
+}
+
+// SpecLoadTracking follows the per-slot operating-cost optimum.
+func SpecLoadTracking() AlgSpec {
+	return OnlineSpec("LoadTracking", func(ins *model.Instance) (core.Online, error) {
+		return baseline.NewLoadTracking(ins)
+	})
+}
+
+// SpecSkiRental is the ski-rental style release baseline.
+func SpecSkiRental() AlgSpec {
+	return OnlineSpec("SkiRental", func(ins *model.Instance) (core.Online, error) {
+		return baseline.NewSkiRental(ins)
+	})
+}
+
+// SpecLCP is discrete lazy capacity provisioning; homogeneous d = 1 only.
+func SpecLCP() AlgSpec {
+	s := OnlineSpec("LCP", func(ins *model.Instance) (core.Online, error) {
+		return baseline.NewLCP(ins)
+	})
+	s.Skip = func(ins *model.Instance) string {
+		if ins.D() != 1 {
+			return "homogeneous (d = 1) instances only"
+		}
+		return ""
+	}
+	return s
+}
+
+// SpecRecedingHorizon is model-predictive control with lookahead w.
+func SpecRecedingHorizon(w int) AlgSpec {
+	return OnlineSpec(fmt.Sprintf("RecedingHorizon(w=%d)", w), func(ins *model.Instance) (core.Online, error) {
+		return baseline.NewRecedingHorizon(ins, w)
+	})
+}
+
+// DefaultAlgorithms is the standard line-up measured against the optimum:
+// the paper's three online algorithms plus every baseline. Inapplicable
+// entries (Algorithm A on time-dependent costs, LCP on heterogeneous
+// fleets) are skipped per instance.
+func DefaultAlgorithms() []AlgSpec {
+	return []AlgSpec{
+		SpecAlgorithmA(),
+		SpecAlgorithmB(),
+		SpecAlgorithmC(1),
+		SpecAllOn(),
+		SpecLoadTracking(),
+		SpecSkiRental(),
+		SpecLCP(),
+		SpecRecedingHorizon(3),
+	}
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Scenario is a named, reproducible workload: an instance generator plus
+// the algorithms to run on it. Registering one is all it takes to make a
+// workload available to cmd/rightsize, the suite runner, the benchmarks
+// and the examples.
+type Scenario struct {
+	// Name is the registry key (kebab-case by convention).
+	Name string
+	// Doc is a one-line description for listings and README tables.
+	Doc string
+	// Instance builds the scenario's instance. It must be deterministic
+	// in seed: the suite runner relies on this for bit-identical results
+	// across worker counts. Scenarios without randomness ignore the seed.
+	Instance func(seed int64) *model.Instance
+	// Algorithms to run and measure against the optimum; nil means
+	// DefaultAlgorithms().
+	Algorithms []AlgSpec
+}
+
+// specs returns the scenario's algorithm line-up.
+func (sc Scenario) specs() []AlgSpec {
+	if sc.Algorithms != nil {
+		return sc.Algorithms
+	}
+	return DefaultAlgorithms()
+}
+
+// ---------- registry ----------
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the registry; the name must be unused.
+func Register(sc Scenario) error {
+	if sc.Name == "" || sc.Instance == nil {
+		return fmt.Errorf("engine: scenario needs a name and an instance generator")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[sc.Name]; dup {
+		return fmt.Errorf("engine: scenario %q already registered", sc.Name)
+	}
+	registry[sc.Name] = sc
+	return nil
+}
+
+// mustRegister is Register for the stock library, where a duplicate is a
+// programming error.
+func mustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup retrieves a registered scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// Scenarios returns every registered scenario sorted by name, so suite
+// runs and listings are deterministic.
+func Scenarios() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ---------- stock library ----------
+
+// cpuGPU is the CPU+GPU cluster used across the experiment study: cheap
+// slow web servers and expensive fast accelerators (the paper's
+// heterogeneity motivation).
+func cpuGPU(lambda []float64) *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Name: "cpu", Count: 16, SwitchCost: 2, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Power{Idle: 1, Coef: 0.6, Exp: 2}}},
+			{Name: "gpu", Count: 4, SwitchCost: 15, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Affine{Idle: 4, Rate: 0.3}}},
+		},
+		Lambda: lambda,
+	}
+}
+
+func init() {
+	mustRegister(Scenario{
+		Name: "quickstart",
+		Doc:  "two-type cluster under clean diurnal load (the README example)",
+		Instance: func(int64) *model.Instance {
+			return &model.Instance{
+				Types: []model.ServerType{
+					{Name: "slow", Count: 8, SwitchCost: 3, MaxLoad: 1,
+						Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 1}}},
+					{Name: "fast", Count: 3, SwitchCost: 12, MaxLoad: 4,
+						Cost: model.Static{F: costfn.Power{Idle: 3, Coef: 0.4, Exp: 2}}},
+				},
+				Lambda: workload.Diurnal(48, 2, 16, 24, 0),
+			}
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "diurnal",
+		Doc:  "CPU+GPU cluster, two days of noisy day/night load",
+		Instance: func(seed int64) *model.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			return cpuGPU(workload.DiurnalNoisy(rng, 48, 4, 20, 24, 0.2))
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "bursty",
+		Doc:  "flat base load with random spikes (cache-miss storms)",
+		Instance: func(seed int64) *model.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			return cpuGPU(workload.Bursty(rng, 48, 5, 16, 0.15))
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "onoff",
+		Doc:  "adversarial on/off phases on a homogeneous fleet (LCP applies)",
+		Instance: func(int64) *model.Instance {
+			return &model.Instance{
+				Types: []model.ServerType{
+					{Name: "std", Count: 12, SwitchCost: 4, MaxLoad: 1,
+						Cost: model.Static{F: costfn.Affine{Idle: 1, Rate: 0.8}}},
+				},
+				Lambda: workload.OnOff(48, 10, 1, 5, 3),
+			}
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "random-walk",
+		Doc:  "bounded mean-reverting demand drift",
+		Instance: func(seed int64) *model.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			return cpuGPU(workload.RandomWalk(rng, 48, 8, 3, 0, 28))
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "heterogeneous",
+		Doc:  "three server generations with mixed convex cost families",
+		Instance: func(seed int64) *model.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			trace := workload.Add(
+				workload.DiurnalNoisy(rng, 48, 3, 14, 24, 0.15),
+				workload.Bursty(rng, 48, 0, 6, 0.1),
+			)
+			return &model.Instance{
+				Types: []model.ServerType{
+					{Name: "gen1", Count: 10, SwitchCost: 1.5, MaxLoad: 1,
+						Cost: model.Static{F: costfn.Constant{C: 1.2}}},
+					{Name: "gen2", Count: 6, SwitchCost: 4, MaxLoad: 2,
+						Cost: model.Static{F: costfn.Affine{Idle: 1.5, Rate: 0.6}}},
+					{Name: "gen3", Count: 3, SwitchCost: 11, MaxLoad: 4,
+						Cost: model.Static{F: costfn.Power{Idle: 2.5, Coef: 0.3, Exp: 2}}},
+				},
+				Lambda: workload.Clamp(trace, 30),
+			}
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "maintenance",
+		Doc:  "time-varying fleet sizes: maintenance window then commissioning (Section 4.3)",
+		Instance: func(int64) *model.Instance {
+			const T = 36
+			counts := make([][]int, T)
+			for t := 0; t < T; t++ {
+				old, fresh := 24, 4
+				switch {
+				case t >= 12 && t < 18:
+					old = 10 // maintenance: most old servers offline
+				case t >= 24:
+					fresh = 8 // commissioning: the new rack doubles
+				}
+				counts[t] = []int{old, fresh}
+			}
+			return &model.Instance{
+				Types: []model.ServerType{
+					{Name: "old", Count: 24, SwitchCost: 2, MaxLoad: 1,
+						Cost: model.Static{F: costfn.Affine{Idle: 1.2, Rate: 1}}},
+					{Name: "new", Count: 8, SwitchCost: 9, MaxLoad: 4,
+						Cost: model.Static{F: costfn.Affine{Idle: 2.5, Rate: 0.4}}},
+				},
+				Lambda: workload.Diurnal(T, 4, 20, 12, 0),
+				Counts: counts,
+			}
+		},
+		Algorithms: []AlgSpec{
+			SpecAlgorithmA(),
+			SpecAlgorithmB(),
+			SpecApprox(0.5),
+			SpecAllOn(),
+			SpecLoadTracking(),
+		},
+	})
+
+	mustRegister(Scenario{
+		Name: "price-modulated",
+		Doc:  "electricity-price signal scaling all operating costs (time-dependent f_{t,j})",
+		Instance: func(seed int64) *model.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			const T = 48
+			price := make([]float64, T)
+			for t := range price {
+				hour := t % 24
+				switch {
+				case hour >= 18 && hour <= 21:
+					price[t] = 1.8
+				case hour <= 5:
+					price[t] = 0.6
+				default:
+					price[t] = 1.0
+				}
+			}
+			return &model.Instance{
+				Types: []model.ServerType{
+					{Name: "standard", Count: 10, SwitchCost: 4, MaxLoad: 1,
+						Cost: model.Modulated{F: costfn.Affine{Idle: 1, Rate: 0.8}, Scale: price}},
+					{Name: "highmem", Count: 4, SwitchCost: 10, MaxLoad: 3,
+						Cost: model.Modulated{F: costfn.Affine{Idle: 2.5, Rate: 0.4}, Scale: price}},
+				},
+				Lambda: workload.DiurnalNoisy(rng, T, 1, 10, 24, 0.3),
+			}
+		},
+	})
+}

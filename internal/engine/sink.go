@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sink renders a suite result stream to a writer. Every emitter is
+// deterministic: same SuiteResult, same bytes — the determinism tests and
+// the committed experiment reports rely on this.
+type Sink interface {
+	Emit(w io.Writer, res *SuiteResult) error
+}
+
+// SinkFor returns the sink registered under the given format name
+// (text, json, csv, markdown).
+func SinkFor(format string) (Sink, error) {
+	switch format {
+	case "text":
+		return TextSink{}, nil
+	case "json":
+		return JSONSink{Indent: true}, nil
+	case "csv":
+		return CSVSink{}, nil
+	case "markdown":
+		return MarkdownSink{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown sink format %q (want text, json, csv or markdown)", format)
+	}
+}
+
+// TextSink renders one aligned table per scenario.
+type TextSink struct{}
+
+// Emit implements Sink.
+func (TextSink) Emit(w io.Writer, res *SuiteResult) error {
+	for i := range res.Results {
+		r := &res.Results[i]
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "scenario %s (seed %d, %d types, %d slots, OPT %.2f)\n",
+			r.Scenario, r.Seed, r.Types, r.Slots, r.Opt); err != nil {
+			return err
+		}
+		r.Table().Render(w)
+		for _, s := range r.Skipped {
+			if _, err := fmt.Fprintf(w, "(skipped %s)\n", s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSONSink marshals the suite result as one JSON document.
+type JSONSink struct {
+	// Indent pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// Emit implements Sink.
+func (s JSONSink) Emit(w io.Writer, res *SuiteResult) error {
+	enc := json.NewEncoder(w)
+	if s.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(res)
+}
+
+// CSVSink emits one flat row per (scenario, algorithm) pair — the shape
+// spreadsheet and dashboard ingestion wants.
+type CSVSink struct{}
+
+// Emit implements Sink.
+func (CSVSink) Emit(w io.Writer, res *SuiteResult) error {
+	if _, err := fmt.Fprintln(w,
+		"scenario,seed,types,slots,opt,algorithm,total,operating,switching,power_ups,peak,mean,ratio"); err != nil {
+		return err
+	}
+	for i := range res.Results {
+		r := &res.Results[i]
+		for _, m := range r.Rows {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%g,%s,%g,%g,%g,%d,%d,%g,%g\n",
+				csvEscape(r.Scenario), r.Seed, r.Types, r.Slots, r.Opt,
+				csvEscape(m.Name), m.Total, m.Operating, m.Switching,
+				m.PowerUps, m.PeakActive, m.MeanActive, m.Ratio); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvEscape guards the free-form CSV fields (scenario and algorithm
+// names, both user-definable) against commas and quotes.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// MarkdownSink renders one GitHub-flavoured markdown table per scenario,
+// for EXPERIMENTS.md-style reports.
+type MarkdownSink struct{}
+
+// Emit implements Sink.
+func (MarkdownSink) Emit(w io.Writer, res *SuiteResult) error {
+	for i := range res.Results {
+		r := &res.Results[i]
+		if _, err := fmt.Fprintf(w, "### Scenario `%s` (seed %d, %d types, %d slots, OPT %.2f)\n\n",
+			r.Scenario, r.Seed, r.Types, r.Slots, r.Opt); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, r.Table().Markdown()); err != nil {
+			return err
+		}
+		for _, s := range r.Skipped {
+			if _, err := fmt.Fprintf(w, "\n*skipped: %s*\n", s); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

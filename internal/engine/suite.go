@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// AutoWorkers selects one suite worker per available CPU; it shares the
+// solver's sentinel so the facade can expose a single constant.
+const AutoWorkers = solver.AutoWorkers
+
+// SuiteOptions controls a suite run.
+type SuiteOptions struct {
+	// Workers bounds the worker pool: 0 or 1 runs serially, AutoWorkers
+	// uses one worker per CPU. Results are bit-identical regardless of
+	// the worker count: scenarios are statically partitioned, every work
+	// unit owns its evaluator, and each unit depends only on (scenario,
+	// seed).
+	Workers int
+	// Seed parameterises every scenario's instance generator.
+	Seed int64
+	// KeepSchedules retains each algorithm's schedule on the result
+	// (memory O(T·d) per row) for rendering and post-processing.
+	KeepSchedules bool
+}
+
+// Result is one scenario's outcome: the optimum plus one metrics row per
+// algorithm, OPT first.
+type Result struct {
+	Scenario string    `json:"scenario"`
+	Seed     int64     `json:"seed"`
+	Types    int       `json:"types"`
+	Slots    int       `json:"slots"`
+	Opt      float64   `json:"opt"`
+	Rows     []Metrics `json:"rows"`
+	// Skipped lists inapplicable algorithms as "name: reason".
+	Skipped []string `json:"skipped,omitempty"`
+
+	// Schedules holds one schedule per row (when requested via
+	// SuiteOptions.KeepSchedules); excluded from JSON.
+	Schedules []model.Schedule `json:"-"`
+}
+
+// Table renders the result's metric rows as an aligned text table.
+func (r *Result) Table() *Table { return metricsTable(r.Rows) }
+
+// SuiteResult is the outcome of a whole suite run, ordered like the input
+// scenario slice.
+type SuiteResult struct {
+	Seed    int64    `json:"seed"`
+	Results []Result `json:"results"`
+}
+
+// optSolves counts exact-optimum solves for the engine-level invariant
+// "OPT is solved once per instance per suite run"; tests read it.
+var optSolves atomic.Int64
+
+// Evaluate runs one scenario: it builds the instance, solves the optimum
+// exactly once, then runs and measures every applicable algorithm with a
+// single shared evaluator.
+func Evaluate(sc Scenario, seed int64, keepSchedules bool) (Result, error) {
+	ins := sc.Instance(seed)
+	if err := ins.Validate(); err != nil {
+		return Result{}, fmt.Errorf("engine: scenario %q: %v", sc.Name, err)
+	}
+	optSolves.Add(1)
+	opt, err := solver.SolveOptimal(ins)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: scenario %q: %v", sc.Name, err)
+	}
+	res := Result{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Types:    ins.D(),
+		Slots:    ins.T(),
+		Opt:      opt.Cost(),
+	}
+	ev := model.NewEvaluator(ins)
+	record := func(name string, sched model.Schedule) {
+		res.Rows = append(res.Rows, MeasureWith(ev, sched, name, res.Opt))
+		if keepSchedules {
+			res.Schedules = append(res.Schedules, sched)
+		}
+	}
+	record("OPT", opt.Schedule)
+	for _, spec := range sc.specs() {
+		if spec.Skip != nil {
+			if reason := spec.Skip(ins); reason != "" {
+				res.Skipped = append(res.Skipped, spec.Name+": "+reason)
+				continue
+			}
+		}
+		sched, err := spec.Run(ins)
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: scenario %q, algorithm %s: %v", sc.Name, spec.Name, err)
+		}
+		if err := ins.Feasible(sched); err != nil {
+			return Result{}, fmt.Errorf("engine: scenario %q: %s produced an infeasible schedule: %v",
+				sc.Name, spec.Name, err)
+		}
+		record(spec.Name, sched)
+	}
+	return res, nil
+}
+
+// RunSuite fans the scenarios out over a bounded worker pool and collects
+// one Result per scenario, in input order. It reuses the determinism
+// discipline of the DP layer evaluator (solver/parallel.go): a static
+// chunk partition and per-unit state make the output bit-identical for
+// any worker count. The first scenario error aborts the run.
+func RunSuite(scenarios []Scenario, opts SuiteOptions) (*SuiteResult, error) {
+	workers := opts.Workers
+	if workers == AutoWorkers {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	out := &SuiteResult{Seed: opts.Seed}
+	results := make([]Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], errs[i] = Evaluate(scenarios[i], opts.Seed, opts.KeepSchedules)
+		}
+	}
+	if workers <= 1 {
+		run(0, len(scenarios))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(scenarios) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(scenarios) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(scenarios) {
+				hi = len(scenarios)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				run(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.Results = results
+	return out, nil
+}

@@ -1,13 +1,14 @@
-package sim
+package engine
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
-// Table is a minimal aligned text-table builder used by the experiment
-// binaries and EXPERIMENTS.md generator.
+// Table is a minimal aligned text-table builder used by the result sinks,
+// the experiment binaries and the EXPERIMENTS.md generator.
 type Table struct {
 	headers []string
 	rows    [][]string
@@ -21,7 +22,7 @@ func NewTable(headers ...string) *Table {
 // Add appends a row; missing cells render empty, surplus cells panic.
 func (t *Table) Add(cells ...string) {
 	if len(cells) > len(t.headers) {
-		panic(fmt.Sprintf("sim: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+		panic(fmt.Sprintf("engine: row has %d cells, table has %d columns", len(cells), len(t.headers)))
 	}
 	row := make([]string, len(t.headers))
 	copy(row, cells)
@@ -93,4 +94,20 @@ func (t *Table) Markdown() string {
 		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
 	}
 	return b.String()
+}
+
+// FmtF formats a cost for tables.
+func FmtF(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// FmtRatio formats a competitive ratio.
+func FmtRatio(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
 }

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"repro/internal/costfn"
+	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/model"
-	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/workload"
 )
@@ -24,7 +24,7 @@ func E5ApproxRatio(seed int64, instances int) Report {
 		Paper: "Theorem 16: the shortest path in G^γ is a (2γ−1)-approximation; γ = 1+ε/2 gives 1+ε (Theorem 21)",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("gamma", "eps=2γ-2", "instances", "mean factor", "max factor", "bound 2γ-1", "holds")
+	rep.Table = engine.NewTable("gamma", "eps=2γ-2", "instances", "mean factor", "max factor", "bound 2γ-1", "holds")
 	for _, gamma := range []float64{1.1, 1.25, 1.5, 2, 3} {
 		rng := rand.New(rand.NewSource(seed))
 		var sum, max float64
@@ -66,7 +66,7 @@ func E5ApproxRuntime() Report {
 		Paper: "Theorem 21: runtime O(T·ε^{-d}·Π_j log m_j) — polynomial despite the exponential full lattice",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("m per type", "full lattice", "reduced (ε=0.5)", "reduced (ε=0.1)", "solve ms (ε=0.5)")
+	rep.Table = engine.NewTable("m per type", "full lattice", "reduced (ε=0.5)", "reduced (ε=0.1)", "solve ms (ε=0.5)")
 	T := 48
 	for _, m := range []int{64, 256, 1024, 4096} {
 		lambda := workload.Diurnal(T, float64(m)/20, float64(m), 24, 0)
@@ -119,7 +119,7 @@ func E6TimeVarying(seed int64, instances int) Report {
 		Paper: "Theorem 22: the (1+ε)-approximation extends to time-dependent m_{t,j} in O(ε^{-d}·Σ_t Π_j log m_{t,j}) time",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("instance", "opt cost", "approx (ε=0.5)", "factor", "bound", "feasible", "holds")
+	rep.Table = engine.NewTable("instance", "opt cost", "approx (ε=0.5)", "factor", "bound", "feasible", "holds")
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < instances; i++ {
 		ins := randomStatic(rng, 2, 6, 12)
@@ -153,7 +153,7 @@ func E6TimeVarying(seed int64, instances int) Report {
 		feasible := ins.Feasible(apx.Schedule) == nil && ins.Feasible(opt.Schedule) == nil
 		holds := factor <= 1.5+tol && feasible
 		rep.Pass = rep.Pass && holds
-		rep.Table.Add(fmt.Sprintf("random #%d", i+1), sim.FmtF(opt.Cost()), sim.FmtF(apx.Cost()),
+		rep.Table.Add(fmt.Sprintf("random #%d", i+1), engine.FmtF(opt.Cost()), engine.FmtF(apx.Cost()),
 			fmt.Sprintf("%.4f", factor), "1.50", fmt.Sprintf("%v", feasible), fmt.Sprintf("%v", holds))
 	}
 	return rep

@@ -21,9 +21,8 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/costfn"
+	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/sim"
-	"repro/internal/solver"
 	"repro/internal/workload"
 )
 
@@ -32,7 +31,7 @@ type Report struct {
 	ID    string
 	Title string
 	Paper string // the paper's claim being checked
-	Table *sim.Table
+	Table *engine.Table
 	Notes []string
 	Pass  bool // measured values respect every proven bound
 }
@@ -94,16 +93,11 @@ func modulate(rng *rand.Rand, ins *model.Instance) *model.Instance {
 
 // ratioAgainstOpt runs an online algorithm and returns C(alg)/OPT.
 func ratioAgainstOpt(ins *model.Instance, alg core.Online) float64 {
-	sched := core.Run(alg)
-	if err := ins.Feasible(sched); err != nil {
-		panic(fmt.Sprintf("experiments: %s infeasible: %v", alg.Name(), err))
-	}
-	cost := model.NewEvaluator(ins).Cost(sched).Total()
-	opt, err := solver.OptimalCost(ins)
+	r, err := engine.RatioAgainstOpt(ins, alg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	return cost / opt
+	return r
 }
 
 // ---------- E1: Theorem 8 ----------
@@ -117,7 +111,7 @@ func E1CompetitiveA(seed int64, perD int) Report {
 		Paper: "Theorem 8: C(X^A) <= (2d+1)·C(OPT) for time-independent operating costs",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d+1", "holds")
+	rep.Table = engine.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d+1", "holds")
 	rng := rand.New(rand.NewSource(seed))
 	for d := 1; d <= 3; d++ {
 		var sum, max float64
@@ -156,7 +150,7 @@ func E2ConstantCosts(seed int64, perD int) Report {
 		Paper: "Corollary 9: with load- and time-independent costs, Algorithm A is 2d-competitive (optimal)",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d", "holds")
+	rep.Table = engine.NewTable("d", "instances", "mean ratio", "max ratio", "bound 2d", "holds")
 	rng := rand.New(rand.NewSource(seed))
 	for d := 1; d <= 3; d++ {
 		var sum, max float64
@@ -196,7 +190,7 @@ func E3CompetitiveB(seed int64, perD int) Report {
 		Paper: "Theorem 13: C(X^B) <= (2d+1+c(I))·C(OPT), c(I) = Σ_j max_t f_{t,j}(0)/β_j",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("d", "instances", "mean ratio", "max ratio", "max bound", "holds")
+	rep.Table = engine.NewTable("d", "instances", "mean ratio", "max ratio", "max bound", "holds")
 	rng := rand.New(rand.NewSource(seed))
 	for d := 1; d <= 3; d++ {
 		var sum, max, maxBound float64
@@ -239,7 +233,7 @@ func E4CompetitiveC(seed int64, instances int) Report {
 		Paper: "Theorem 15: for any ε > 0, Algorithm C is (2d+1+ε)-competitive",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("eps", "instances", "mean ratio", "max ratio", "max ñ_t", "bound (d=2)", "holds")
+	rep.Table = engine.NewTable("eps", "instances", "mean ratio", "max ratio", "max ñ_t", "bound (d=2)", "holds")
 	for _, eps := range []float64{2, 1, 0.5, 0.25} {
 		rng := rand.New(rand.NewSource(seed)) // same instances per ε
 		var sum, max float64
@@ -284,7 +278,7 @@ func E7Adversarial() Report {
 		Paper: "[Albers–Quedenfeld CIAC 2021]: no deterministic online algorithm beats 2d; Theorems 8/13 are nearly tight",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("instance", "d", "measured ratio", "predicted", "lower bound 2d", "upper bound", "within")
+	rep.Table = engine.NewTable("instance", "d", "measured ratio", "predicted", "lower bound 2d", "upper bound", "within")
 
 	// d=1 ski-rental spike trains: Algorithm A pays ≈ 2β per spike while
 	// OPT power-cycles for β+1; the ratio 2β/(β+1) → 2 = 2d.
@@ -339,7 +333,7 @@ func E8CostSavings(seed int64) Report {
 		Paper: "Motivation (Section 1, after Lin et al.): right-sizing saves the idle cost of overnight troughs",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("peak/mean", "algorithm", "cost", "saving vs AllOn", "ratio vs OPT")
+	rep.Table = engine.NewTable("peak/mean", "algorithm", "cost", "saving vs AllOn", "ratio vs OPT")
 	rng := rand.New(rand.NewSource(seed))
 	for _, ptm := range []float64{2, 4, 8} {
 		peak := 24.0
@@ -357,7 +351,7 @@ func E8CostSavings(seed int64) Report {
 			},
 			Lambda: trace,
 		}
-		cmp, err := sim.NewComparison(ins)
+		cmp, err := engine.NewComparison(ins)
 		if err != nil {
 			panic(err)
 		}
@@ -386,8 +380,8 @@ func E8CostSavings(seed int64) Report {
 		}
 		for _, m := range cmp.Row {
 			saving := (1 - m.Total/allOn) * 100
-			rep.Table.Add(fmt.Sprintf("%gx", ptm), m.Name, sim.FmtF(m.Total),
-				fmt.Sprintf("%.1f%%", saving), sim.FmtRatio(m.Ratio))
+			rep.Table.Add(fmt.Sprintf("%gx", ptm), m.Name, engine.FmtF(m.Total),
+				fmt.Sprintf("%.1f%%", saving), engine.FmtRatio(m.Ratio))
 			if m.Name == "AlgorithmA" && m.Ratio > core.RatioBoundA(ins)+tol {
 				rep.Pass = false
 			}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/figures"
-	"repro/internal/sim"
 )
 
 // figureReport wraps a figure rendering as an experiment, with Pass
@@ -17,7 +17,7 @@ func figureReport(id, title, paper string, render func() string, golden func() b
 		Paper: paper,
 		Pass:  golden(),
 	}
-	rep.Table = sim.NewTable("rendering")
+	rep.Table = engine.NewTable("rendering")
 	rep.Table.Add("(see cmd/paperfig -fig " + id[1:] + ")")
 	rep.Notes = append(rep.Notes, "```\n"+render()+"```")
 	return rep

@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costfn"
+	"repro/internal/engine"
 	"repro/internal/fractional"
 	"repro/internal/grid"
 	"repro/internal/model"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -26,7 +26,7 @@ func E9IntegralityGap(seed int64, instances int) Report {
 		Paper: "Related work: rounding fractional schedules is open; the gap quantifies what rounding must pay",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("workload", "instances", "mean gap", "max gap", "note")
+	rep.Table = engine.NewTable("workload", "instances", "mean gap", "max gap", "note")
 	rng := rand.New(rand.NewSource(seed))
 
 	measure := func(name string, gen func(i int) *model.Instance, note string) {
@@ -97,7 +97,7 @@ func E10ScaledTracker(seed int64, instances int) Report {
 		Paper: "Beyond the paper: the proofs need exact prefix optima; this measures the cost of approximating them",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("gamma", "instances", "mean ratio", "max ratio", "mean ratio (exact)", "lattice shrink")
+	rep.Table = engine.NewTable("gamma", "instances", "mean ratio", "max ratio", "mean ratio (exact)", "lattice shrink")
 	rng := rand.New(rand.NewSource(seed))
 
 	type insCase struct {

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/engine"
 	"repro/internal/solver"
 )
 
@@ -25,7 +25,7 @@ func E12ProofTerms(seed int64, instances int) Report {
 		Paper: "Lemma 5: Σ L(X^A) <= OPT; Lemma 7: Σ_i H_{j,i} <= 2·OPT per type; Theorem 8: C(X^A) <= ΣH + L <= (2d+1)·OPT",
 		Pass:  true,
 	}
-	rep.Table = sim.NewTable("quantity", "mean /OPT", "max /OPT", "proof bound /OPT", "holds")
+	rep.Table = engine.NewTable("quantity", "mean /OPT", "max /OPT", "proof bound /OPT", "holds")
 	rng := rand.New(rand.NewSource(seed))
 
 	var sumL, maxL float64          // Lemma 5 term

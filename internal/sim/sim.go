@@ -1,125 +1,40 @@
-// Package sim is the experiment harness: it runs offline and online
-// algorithms over problem instances, measures cost decompositions,
-// switching activity and competitive ratios against the exact optimum, and
-// renders aligned text tables (and CSV) for the experiment reports.
+// Package sim kept the original measurement harness; the run→measure→
+// report pipeline now lives in internal/engine and this package re-exports
+// it for source compatibility, keeping only the schedule renderer
+// (render.go) as its own code.
 package sim
 
 import (
-	"fmt"
-	"math"
-
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/solver"
 )
 
 // Metrics summarises one algorithm's behaviour on one instance.
-type Metrics struct {
-	Name       string
-	Operating  float64 // Σ_t g_t(x_t)
-	Switching  float64 // Σ_t Σ_j β_j (Δ_j)^+
-	Total      float64
-	PowerUps   int     // number of individual server power-up operations
-	PeakActive int     // max over slots of Σ_j x_{t,j}
-	MeanActive float64 // mean over slots of Σ_j x_{t,j}
-	Ratio      float64 // Total / OPT; 0 when OPT is unknown
-}
+type Metrics = engine.Metrics
 
 // Measure evaluates a schedule. opt > 0 enables the Ratio field.
 func Measure(ins *model.Instance, sched model.Schedule, name string, opt float64) Metrics {
-	br := model.NewEvaluator(ins).Cost(sched)
-	m := Metrics{
-		Name:      name,
-		Operating: br.Operating,
-		Switching: br.Switching,
-		Total:     br.Total(),
-	}
-	prev := make(model.Config, ins.D())
-	sumActive := 0
-	for _, x := range sched {
-		total := x.Total()
-		sumActive += total
-		if total > m.PeakActive {
-			m.PeakActive = total
-		}
-		for j := range x {
-			if up := x[j] - prev[j]; up > 0 {
-				m.PowerUps += up
-			}
-		}
-		prev = x
-	}
-	if len(sched) > 0 {
-		m.MeanActive = float64(sumActive) / float64(len(sched))
-	}
-	if opt > 0 {
-		m.Ratio = m.Total / opt
-	}
-	return m
+	return engine.Measure(ins, sched, name, opt)
 }
 
 // Comparison accumulates metrics for several algorithms on one instance,
 // with the exact optimum computed once as the shared yardstick.
-type Comparison struct {
-	Ins *model.Instance
-	Opt float64
-	Row []Metrics
-}
+type Comparison = engine.Comparison
 
 // NewComparison solves the instance optimally and seeds the table with the
 // OPT row.
 func NewComparison(ins *model.Instance) (*Comparison, error) {
-	res, err := solver.SolveOptimal(ins)
-	if err != nil {
-		return nil, err
-	}
-	c := &Comparison{Ins: ins, Opt: res.Cost()}
-	c.Row = append(c.Row, Measure(ins, res.Schedule, "OPT", c.Opt))
-	return c, nil
+	return engine.NewComparison(ins)
 }
 
-// RunOnline drives an online algorithm to completion and records it.
-// The schedule is validated for feasibility; an infeasible schedule is a
-// bug in the algorithm and panics.
-func (c *Comparison) RunOnline(alg core.Online) Metrics {
-	sched := core.Run(alg)
-	if err := c.Ins.Feasible(sched); err != nil {
-		panic(fmt.Sprintf("sim: %s produced an infeasible schedule: %v", alg.Name(), err))
-	}
-	m := Measure(c.Ins, sched, alg.Name(), c.Opt)
-	c.Row = append(c.Row, m)
-	return m
-}
+// Table is a minimal aligned text-table builder.
+type Table = engine.Table
 
-// Add records a pre-computed schedule under the given name.
-func (c *Comparison) Add(name string, sched model.Schedule) Metrics {
-	m := Measure(c.Ins, sched, name, c.Opt)
-	c.Row = append(c.Row, m)
-	return m
-}
-
-// Table renders the comparison as an aligned text table.
-func (c *Comparison) Table() *Table {
-	t := NewTable("algorithm", "total", "operating", "switching", "power-ups", "peak", "ratio")
-	for _, m := range c.Row {
-		t.Add(m.Name, FmtF(m.Total), FmtF(m.Operating), FmtF(m.Switching),
-			fmt.Sprintf("%d", m.PowerUps), fmt.Sprintf("%d", m.PeakActive), FmtRatio(m.Ratio))
-	}
-	return t
-}
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return engine.NewTable(headers...) }
 
 // FmtF formats a cost for tables.
-func FmtF(v float64) string {
-	if math.IsInf(v, 1) {
-		return "inf"
-	}
-	return fmt.Sprintf("%.2f", v)
-}
+func FmtF(v float64) string { return engine.FmtF(v) }
 
 // FmtRatio formats a competitive ratio.
-func FmtRatio(v float64) string {
-	if v == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.3f", v)
-}
+func FmtRatio(v float64) string { return engine.FmtRatio(v) }

@@ -50,13 +50,14 @@
 package rightsizing
 
 import (
+	"io"
 	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/costfn"
+	"repro/internal/engine"
 	"repro/internal/model"
-	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/workload"
 )
@@ -263,19 +264,104 @@ func RandomWalk(rng *rand.Rand, T int, start, step, min, max float64) []float64 
 // ---------- measurement ----------
 
 // Metrics summarises an algorithm's behaviour on an instance.
-type Metrics = sim.Metrics
+type Metrics = engine.Metrics
 
 // Comparison accumulates metrics for several algorithms against the exact
 // optimum.
-type Comparison = sim.Comparison
+type Comparison = engine.Comparison
 
 // Table is an aligned text-table builder.
-type Table = sim.Table
+type Table = engine.Table
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return engine.NewTable(headers...) }
 
 // NewComparison solves the instance optimally and seeds the comparison.
-func NewComparison(ins *Instance) (*Comparison, error) { return sim.NewComparison(ins) }
+func NewComparison(ins *Instance) (*Comparison, error) { return engine.NewComparison(ins) }
 
 // Measure evaluates a schedule; opt > 0 fills the competitive Ratio.
 func Measure(ins *Instance, sched Schedule, name string, opt float64) Metrics {
-	return sim.Measure(ins, sched, name, opt)
+	return engine.Measure(ins, sched, name, opt)
 }
+
+// ---------- scenario engine ----------
+
+// Scenario is a named, reproducible workload: an instance generator plus
+// the algorithms to run on it (see internal/engine).
+type Scenario = engine.Scenario
+
+// AlgSpec describes one algorithm of a scenario: name, schedule producer
+// and applicability gate.
+type AlgSpec = engine.AlgSpec
+
+// SuiteOptions controls a suite run (worker count, seed, schedule
+// retention).
+type SuiteOptions = engine.SuiteOptions
+
+// SuiteResult is the outcome of a whole suite run.
+type SuiteResult = engine.SuiteResult
+
+// ScenarioResult is one scenario's outcome: the optimum plus one metrics
+// row per algorithm.
+type ScenarioResult = engine.Result
+
+// ResultSink renders a suite result stream (text, JSON, CSV, markdown).
+type ResultSink = engine.Sink
+
+// Scenarios returns every registered scenario sorted by name. The stock
+// library covers diurnal, bursty, on/off, random-walk, heterogeneous,
+// maintenance (time-varying fleets) and price-modulated workloads.
+func Scenarios() []Scenario { return engine.Scenarios() }
+
+// LookupScenario retrieves a registered scenario by name.
+func LookupScenario(name string) (Scenario, bool) { return engine.Lookup(name) }
+
+// RegisterScenario adds a scenario to the registry; new workloads are one
+// struct literal, not a new main.go.
+func RegisterScenario(sc Scenario) error { return engine.Register(sc) }
+
+// EvaluateScenario runs one scenario: it solves the optimum exactly once,
+// then runs and measures every applicable algorithm.
+func EvaluateScenario(sc Scenario, seed int64) (ScenarioResult, error) {
+	return engine.Evaluate(sc, seed, false)
+}
+
+// RunSuite fans scenarios × algorithms out over a bounded worker pool;
+// results are bit-identical for any worker count.
+func RunSuite(scenarios []Scenario, opts SuiteOptions) (*SuiteResult, error) {
+	return engine.RunSuite(scenarios, opts)
+}
+
+// NewSink returns the result sink for a format name: "text", "json",
+// "csv" or "markdown".
+func NewSink(format string) (ResultSink, error) { return engine.SinkFor(format) }
+
+// EmitSuite renders a suite result in the given format.
+func EmitSuite(w io.Writer, res *SuiteResult, format string) error {
+	sink, err := engine.SinkFor(format)
+	if err != nil {
+		return err
+	}
+	return sink.Emit(w, res)
+}
+
+// DefaultAlgorithms is the standard scenario line-up: Algorithms A, B, C
+// plus every baseline, with per-instance applicability gates.
+func DefaultAlgorithms() []AlgSpec { return engine.DefaultAlgorithms() }
+
+// OnlineSpec wraps an Online constructor as a scenario algorithm.
+func OnlineSpec(name string, mk func(*Instance) (Online, error)) AlgSpec {
+	return engine.OnlineSpec(name, mk)
+}
+
+// SpecAlgorithmA .. SpecRecedingHorizon are the stock scenario algorithm
+// specs, applicability gates included.
+func SpecAlgorithmA() AlgSpec            { return engine.SpecAlgorithmA() }
+func SpecAlgorithmB() AlgSpec            { return engine.SpecAlgorithmB() }
+func SpecAlgorithmC(eps float64) AlgSpec { return engine.SpecAlgorithmC(eps) }
+func SpecApprox(eps float64) AlgSpec     { return engine.SpecApprox(eps) }
+func SpecAllOn() AlgSpec                 { return engine.SpecAllOn() }
+func SpecLoadTracking() AlgSpec          { return engine.SpecLoadTracking() }
+func SpecSkiRental() AlgSpec             { return engine.SpecSkiRental() }
+func SpecLCP() AlgSpec                   { return engine.SpecLCP() }
+func SpecRecedingHorizon(w int) AlgSpec  { return engine.SpecRecedingHorizon(w) }
