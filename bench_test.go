@@ -161,11 +161,11 @@ func BenchmarkAlgorithmAPublic(b *testing.B) {
 	ins := benchmarkInstance(48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		alg, err := NewAlgorithmA(ins)
+		alg, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			b.Fatal(err)
 		}
-		Run(alg)
+		Run(alg, ins)
 	}
 }
 
@@ -173,11 +173,11 @@ func BenchmarkAlgorithmBPublic(b *testing.B) {
 	ins := benchmarkInstance(48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		alg, err := NewAlgorithmB(ins)
+		alg, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			b.Fatal(err)
 		}
-		Run(alg)
+		Run(alg, ins)
 	}
 }
 
@@ -185,11 +185,11 @@ func BenchmarkAlgorithmCPublic(b *testing.B) {
 	ins := benchmarkInstance(48)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		alg, err := NewAlgorithmC(ins, 1)
+		alg, err := NewAlgorithmC(ins.Types, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		Run(alg)
+		Run(alg, ins)
 	}
 }
 
@@ -226,6 +226,39 @@ func benchmarkSuite(b *testing.B, workers int) {
 
 func BenchmarkSuiteSerial(b *testing.B)   { benchmarkSuite(b, 1) }
 func BenchmarkSuiteParallel(b *testing.B) { benchmarkSuite(b, AutoWorkers) }
+
+// ---------- live advisory sessions ----------
+
+// benchmarkStreamSession drives the full session loop — validation,
+// algorithm step, cost accounting and (optionally) the prefix-optimum
+// telemetry tracker — over a two-day trace, the per-slot hot path of
+// `rightsize -stream`.
+func benchmarkStreamSession(b *testing.B, opts SessionOptions) {
+	ins := benchmarkInstance(48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sess, err := OpenSession("alg-b", ins.Types, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range ins.Lambda {
+			if _, err := sess.FeedDemand(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if sess.Decided() != ins.T() {
+			b.Fatalf("decided %d slots, want %d", sess.Decided(), ins.T())
+		}
+	}
+}
+
+func BenchmarkStreamSession(b *testing.B) { benchmarkStreamSession(b, SessionOptions{}) }
+func BenchmarkStreamSessionNoTelemetry(b *testing.B) {
+	benchmarkStreamSession(b, SessionOptions{DisableOpt: true})
+}
 
 // BenchmarkScaleApproxT720 exercises production scale: a month of hourly
 // slots over a 2000-server fleet, solvable only because the reduced

@@ -1,5 +1,6 @@
 // Command rightsize solves data-center right-sizing workloads: either a
-// JSON instance file or a named scenario from the engine's registry.
+// JSON instance file, a named scenario from the engine's registry, or a
+// live demand stream advised slot-by-slot.
 //
 // Usage:
 //
@@ -7,7 +8,10 @@
 //	          [-eps 0.5] [-schedule] [-render] [-compare]
 //	rightsize -scenario diurnal [-seed 1] [-format text|json|csv|markdown] [-render]
 //	rightsize -suite [-workers N] [-seed 1] [-format text|json|csv|markdown]
+//	rightsize -stream [-alg algA] [-fleet quickstart | -input instance.json]
+//	          [-replay] [-interval 500ms] [-checkpoint cp.json | -resume cp.json]
 //	rightsize -list
+//	rightsize -list-algs
 //
 // Modes (with -input):
 //
@@ -17,6 +21,15 @@
 //	online-b  Algorithm B (Section 3.1)
 //	online-c  Algorithm C (Section 3.2, uses -eps)
 //
+// Stream mode opens a live advisory session: demand values are read one
+// per line from stdin (or replayed from -input's trace with -replay) and
+// one JSON advisory is emitted per decided slot — the configuration to
+// run plus running cost and competitive-ratio telemetry. The algorithm is
+// resolved by name through the registry (-list-algs shows it; spellings
+// like "algA", "alg-a" and "AlgorithmA" are equivalent). -checkpoint
+// writes the session's replay log on exit; -resume rebuilds a session
+// from such a log before reading further input.
+//
 // -schedule prints the slot-by-slot configurations; -compare runs every
 // applicable algorithm through the scenario engine and prints a table.
 // -scenario runs one registered scenario; -suite runs the whole registry
@@ -24,10 +37,15 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	rightsizing "repro"
 	"repro/internal/sim"
@@ -46,14 +64,26 @@ func main() {
 	scenario := flag.String("scenario", "", "run a named scenario from the registry")
 	suite := flag.Bool("suite", false, "run every registered scenario")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
+	listAlgs := flag.Bool("list-algs", false, "list registered algorithms and exit")
 	seed := flag.Int64("seed", 1, "scenario seed (workload randomness)")
 	workers := flag.Int("workers", rightsizing.AutoWorkers, "suite worker pool size (-1 = one per CPU)")
 	format := flag.String("format", "text", "result format: text | json | csv | markdown")
+	streamMode := flag.Bool("stream", false, "advise a live demand stream (stdin lines or -replay)")
+	alg := flag.String("alg", "alg-a", "stream algorithm (registry name; see -list-algs)")
+	fleet := flag.String("fleet", "quickstart", "stream fleet template: scenario name (or use -input)")
+	replay := flag.Bool("replay", false, "stream the -input (or -fleet scenario) trace instead of stdin")
+	interval := flag.Duration("interval", 0, "pause between replayed slots (e.g. 500ms)")
+	checkpoint := flag.String("checkpoint", "", "write the session checkpoint JSON here on exit")
+	resume := flag.String("resume", "", "resume a session from a checkpoint JSON before reading input")
 	flag.Parse()
 
 	switch {
 	case *list:
 		listScenarios()
+	case *listAlgs:
+		listAlgorithms()
+	case *streamMode:
+		runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume)
 	case *suite:
 		runScenarios(rightsizing.Scenarios(), *seed, *workers, *format, false)
 	case *scenario != "":
@@ -80,6 +110,154 @@ func listScenarios() {
 	}
 	for _, sc := range scs {
 		fmt.Printf("%-*s  %s\n", width, sc.Name, sc.Doc)
+	}
+}
+
+func listAlgorithms() {
+	t := rightsizing.NewTable("key", "name", "bound", "applies to", "stream", "description")
+	for _, s := range rightsizing.Algorithms() {
+		streamable := "yes"
+		if !s.Streamable() {
+			streamable = "no"
+		}
+		t.Add(s.Key, s.Name, s.Bound, s.Applies, streamable, s.Doc)
+	}
+	fmt.Print(t)
+}
+
+// streamFleet resolves the stream mode's fleet template and optional
+// replay trace.
+func streamFleet(fleet, input string, seed int64) ([]rightsizing.ServerType, []float64) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ins, err := rightsizing.ParseInstance(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ins.Types, ins.Lambda
+	}
+	sc, ok := rightsizing.LookupScenario(fleet)
+	if !ok {
+		log.Fatalf("unknown fleet scenario %q; -list shows the registry", fleet)
+	}
+	ins := sc.Instance(seed)
+	return ins.Types, ins.Lambda
+}
+
+// runStream drives a live advisory session: demand arrives on stdin (one
+// value per line) or from the replayed trace, and one JSON advisory is
+// written per decided slot.
+func runStream(alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string) {
+	types, trace := streamFleet(fleet, input, seed)
+
+	var sess *rightsizing.Session
+	var err error
+	if resumePath != "" {
+		// The checkpoint names the algorithm; an explicit -alg alongside
+		// -resume is a conflict, not a silent override.
+		algSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "alg" {
+				algSet = true
+			}
+		})
+		if algSet {
+			log.Fatal("-alg cannot be combined with -resume: the checkpoint determines the algorithm")
+		}
+		data, rerr := os.ReadFile(resumePath)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		var cp rightsizing.SessionCheckpoint
+		if jerr := json.Unmarshal(data, &cp); jerr != nil {
+			log.Fatal(jerr)
+		}
+		sess, err = rightsizing.ResumeSession(&cp, types, rightsizing.SessionOptions{})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "rightsize: resumed %s at slot %d (cum cost %.4f)\n",
+				sess.Name(), sess.Fed(), sess.CumCost())
+		}
+	} else {
+		sess, err = rightsizing.OpenSession(alg, types, rightsizing.SessionOptions{})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(advs []rightsizing.Advisory) {
+		for _, adv := range advs {
+			if err := enc.Encode(adv); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	feed := func(lambda float64) {
+		advs, err := sess.FeedDemand(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(advs)
+	}
+
+	if replay {
+		// A resumed session already holds its checkpointed prefix; replay
+		// only the remainder of the trace so slots are not fed twice.
+		if done := sess.Fed(); done < len(trace) {
+			trace = trace[done:]
+		} else {
+			trace = nil
+		}
+		for _, lambda := range trace {
+			feed(lambda)
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+		}
+	} else {
+		scan := bufio.NewScanner(os.Stdin)
+		for scan.Scan() {
+			line := strings.TrimSpace(scan.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			lambda, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				log.Fatalf("bad demand line %q: %v", line, err)
+			}
+			feed(lambda)
+		}
+		if err := scan.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	advs, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit(advs)
+	fmt.Fprintf(os.Stderr, "rightsize: %s advised %d slots, total cost %.4f\n",
+		sess.Name(), sess.Decided(), sess.CumCost())
+
+	if checkpointPath != "" {
+		cp := sess.Checkpoint()
+		if !cp.Portable() {
+			log.Fatal("session fed explicit cost functions; checkpoint is not JSON-portable")
+		}
+		data, err := json.MarshalIndent(cp, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(checkpointPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rightsize: checkpoint written to %s\n", checkpointPath)
 	}
 }
 
@@ -151,16 +329,16 @@ func runInstanceFile(input, mode string, eps float64, printSched, render, compar
 		var alg rightsizing.Online
 		switch mode {
 		case "online-a":
-			alg, err = rightsizing.NewAlgorithmA(ins)
+			alg, err = rightsizing.NewAlgorithmA(ins.Types)
 		case "online-b":
-			alg, err = rightsizing.NewAlgorithmB(ins)
+			alg, err = rightsizing.NewAlgorithmB(ins.Types)
 		default:
-			alg, err = rightsizing.NewAlgorithmC(ins, eps)
+			alg, err = rightsizing.NewAlgorithmC(ins.Types, eps)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		sched = rightsizing.Run(alg)
+		sched = rightsizing.Run(alg, ins)
 		m := rightsizing.Measure(ins, sched, alg.Name(), 0)
 		fmt.Printf("%s cost %.4f (operating %.4f, switching %.4f)\n",
 			m.Name, m.Total, m.Operating, m.Switching)
@@ -188,20 +366,28 @@ func runInstanceFile(input, mode string, eps float64, printSched, render, compar
 
 // runComparison measures every applicable algorithm on the instance as a
 // one-off engine scenario (OPT solved once, ε from the command line for
-// Algorithm C).
+// Algorithm C), resolving the line-up from the algorithm registry.
 func runComparison(ins *rightsizing.Instance, eps float64) {
+	lineup := make([]rightsizing.AlgSpec, 0, 7)
+	for _, key := range []string{"alg-a", "alg-b"} {
+		s, ok := rightsizing.LookupAlgorithm(key)
+		if !ok {
+			log.Fatalf("stock algorithm %q missing from registry", key)
+		}
+		lineup = append(lineup, s)
+	}
+	lineup = append(lineup, rightsizing.AlgorithmCSpec(eps))
+	for _, key := range []string{"all-on", "load-tracking", "ski-rental", "lcp"} {
+		s, ok := rightsizing.LookupAlgorithm(key)
+		if !ok {
+			log.Fatalf("stock algorithm %q missing from registry", key)
+		}
+		lineup = append(lineup, s)
+	}
 	sc := rightsizing.Scenario{
-		Name:     "instance",
-		Instance: func(int64) *rightsizing.Instance { return ins },
-		Algorithms: []rightsizing.AlgSpec{
-			rightsizing.SpecAlgorithmA(),
-			rightsizing.SpecAlgorithmB(),
-			rightsizing.SpecAlgorithmC(eps),
-			rightsizing.SpecAllOn(),
-			rightsizing.SpecLoadTracking(),
-			rightsizing.SpecSkiRental(),
-			rightsizing.SpecLCP(),
-		},
+		Name:       "instance",
+		Instance:   func(int64) *rightsizing.Instance { return ins },
+		Algorithms: lineup,
 	}
 	res, err := rightsizing.EvaluateScenario(sc, 0)
 	if err != nil {

@@ -1,13 +1,18 @@
 // Command tracegen generates synthetic workload traces and complete
-// instance files for cmd/rightsize.
+// instance files for cmd/rightsize — including its stream mode.
 //
 // Usage:
 //
 //	tracegen -kind diurnal -T 48 -peak 16 -base 2 -period 24 > trace.json
 //	tracegen -kind bursty -T 96 -peak 20 -base 3 -prob 0.15 -seed 7 -instance > instance.json
+//	tracegen -scenario price-modulated -seed 3 > instance.json
+//	tracegen -list
 //
-// With -instance the output is a full two-type (cpu+gpu) instance JSON;
-// otherwise it is a bare array of job volumes.
+// With -scenario the output is the named registry scenario's instance,
+// serialised as JSON — any workload registered with the engine becomes a
+// file cmd/rightsize can solve or stream-replay. With -instance the
+// output is a full two-type (cpu+gpu) instance JSON; otherwise it is a
+// bare array of job volumes.
 package main
 
 import (
@@ -35,7 +40,32 @@ func main() {
 	dwell := flag.Int("dwell", 6, "steps: dwell per level; onoff: phase length")
 	seed := flag.Int64("seed", 1, "random seed")
 	asInstance := flag.Bool("instance", false, "emit a complete two-type instance JSON")
+	scenario := flag.String("scenario", "", "emit a registered scenario's instance JSON")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	flag.Parse()
+
+	if *list {
+		for _, sc := range rightsizing.Scenarios() {
+			fmt.Printf("%s  %s\n", sc.Name, sc.Doc)
+		}
+		return
+	}
+	if *scenario != "" {
+		sc, ok := rightsizing.LookupScenario(*scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q; -list shows the registry", *scenario)
+		}
+		ins := sc.Instance(*seed)
+		if err := ins.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if err := rightsizing.EncodeInstance(os.Stdout, ins); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: scenario %s, %d types, %d slots\n",
+			sc.Name, ins.D(), ins.T())
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var trace []float64

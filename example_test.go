@@ -46,11 +46,11 @@ func ExampleNewAlgorithmA() {
 		},
 		Lambda: []float64{1, 2, 4, 3, 1, 0, 2},
 	}
-	alg, err := rightsizing.NewAlgorithmA(ins)
+	alg, err := rightsizing.NewAlgorithmA(ins.Types)
 	if err != nil {
 		panic(err)
 	}
-	sched := rightsizing.Run(alg)
+	sched := rightsizing.Run(alg, ins)
 	cost := rightsizing.NewEvaluator(ins).Cost(sched).Total()
 	opt, err := rightsizing.OptimalCost(ins)
 	if err != nil {
@@ -108,11 +108,11 @@ func ExampleNewAlgorithmC() {
 		}},
 		Lambda: []float64{1, 2, 1, 1},
 	}
-	alg, err := rightsizing.NewAlgorithmC(ins, 0.5)
+	alg, err := rightsizing.NewAlgorithmC(ins.Types, 0.5)
 	if err != nil {
 		panic(err)
 	}
-	sched := rightsizing.Run(alg)
+	sched := rightsizing.Run(alg, ins)
 	fmt.Printf("guarantee: %g-competitive\n", alg.RatioBound())
 	fmt.Printf("feasible: %v\n", ins.Feasible(sched) == nil)
 	// Output:

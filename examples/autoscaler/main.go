@@ -1,8 +1,11 @@
-// Streaming autoscaler: drives Algorithm B slot by slot, the way a
-// production control loop would — each tick delivers the next job volume
-// and the current electricity price, and the algorithm decides how many
-// servers of each type stay powered. Demonstrates the online information
-// model (Section 3) and time-dependent operating costs.
+// Streaming autoscaler: a live advisory session around Algorithm B, the
+// way a production control loop would run it — each tick the monitoring
+// system pushes the next job volume, and the session returns the
+// configuration to run plus running cost/ratio telemetry against the
+// streaming prefix optimum. Mid-stream the session is checkpointed and
+// resumed into a fresh process image, continuing bit-identically —
+// demonstrating the online information model (Section 3), time-dependent
+// operating costs and the event-sourcing recovery story.
 //
 // The workload is the registry's stock "price-modulated" scenario; the
 // final accounting runs through the engine so the ratios line up with
@@ -24,23 +27,50 @@ func main() {
 	const seed = 7
 	ins := sc.Instance(seed)
 
-	alg, err := rightsizing.NewAlgorithmB(ins)
+	// Open a live session: the algorithm is resolved from the registry by
+	// name and sees nothing beyond the slots we feed it.
+	sess, err := rightsizing.OpenSession("alg-b", ins.Types, rightsizing.SessionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("tick-by-tick decisions (Algorithm B):")
-	fmt.Println("hour  demand  standard  highmem")
-	for t := 1; !alg.Done(); t++ {
-		x := alg.Step() // consumes exactly one tick of input
-		if t%4 == 1 {   // print every 4th tick to keep the log short
-			fmt.Printf("%4d  %6.2f  %8d  %7d\n", t-1, ins.Lambda[t-1], x[0], x[1])
+	fmt.Println("tick-by-tick advisories (Algorithm B):")
+	fmt.Println("hour  demand  standard  highmem  cum-cost  ratio")
+	half := ins.T() / 2
+	feed := func(from, to int) {
+		for t := from; t <= to; t++ {
+			advs, err := sess.FeedDemand(ins.Lambda[t-1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, adv := range advs {
+				if adv.Slot%4 == 1 { // print every 4th tick to keep the log short
+					fmt.Printf("%4d  %6.2f  %8d  %7d  %8.1f  %.3f\n",
+						adv.Slot-1, adv.Lambda, adv.Config[0], adv.Config[1], adv.CumCost, adv.Ratio)
+				}
+			}
 		}
 	}
+	feed(1, half)
+
+	// Checkpoint mid-stream and resume into a brand-new session — the
+	// replay log reconstructs the algorithm state bit-identically, so the
+	// second half continues exactly where the first left off.
+	cp := sess.Checkpoint()
+	sess, err = rightsizing.ResumeSession(cp, ins.Types, rightsizing.SessionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -- checkpointed at slot %d, resumed (cum cost %.1f) --\n", half, sess.CumCost())
+	feed(half+1, ins.T())
+	if _, err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session total: %.2f over %d slots\n", sess.CumCost(), sess.Decided())
 
 	// The engine re-runs the same deterministic algorithm (plus the other
 	// applicable policies) and measures everything against the hindsight
-	// optimum, solved once.
+	// optimum, solved once. Batch and stream agree bit-for-bit.
 	res, err := rightsizing.EvaluateScenario(sc, seed)
 	if err != nil {
 		log.Fatal(err)

@@ -32,6 +32,19 @@ func cluster(trace []float64) *rightsizing.Instance {
 	}
 }
 
+// lineup resolves registry keys into a scenario algorithm selection.
+func lineup(keys ...string) []rightsizing.AlgSpec {
+	out := make([]rightsizing.AlgSpec, 0, len(keys))
+	for _, k := range keys {
+		s, ok := rightsizing.LookupAlgorithm(k)
+		if !ok {
+			log.Fatalf("algorithm %q missing from the registry", k)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 func main() {
 	// One scenario per peak-to-mean ratio: the whole sweep is data.
 	var sweep []rightsizing.Scenario
@@ -48,13 +61,7 @@ func main() {
 				}
 				return cluster(rightsizing.DiurnalNoisy(rng, 72, base, peak, 24, 0.2))
 			},
-			Algorithms: []rightsizing.AlgSpec{
-				rightsizing.SpecAlgorithmA(),
-				rightsizing.SpecAllOn(),
-				rightsizing.SpecLoadTracking(),
-				rightsizing.SpecSkiRental(),
-				rightsizing.SpecRecedingHorizon(3),
-			},
+			Algorithms: lineup("alg-a", "all-on", "load-tracking", "ski-rental", "receding-horizon"),
 		})
 	}
 

@@ -20,6 +20,15 @@ import (
 	rightsizing "repro"
 )
 
+// mustAlg resolves a stock registry key.
+func mustAlg(key string) rightsizing.AlgSpec {
+	s, ok := rightsizing.LookupAlgorithm(key)
+	if !ok {
+		log.Fatalf("algorithm %q missing from the registry", key)
+	}
+	return s
+}
+
 func main() {
 	// 1. "Raw" demand samples, as a monitoring system would export them:
 	// 5-minute samples over two days with bursts (synthesised here; in
@@ -81,14 +90,14 @@ func main() {
 		Name:     "imported-trace",
 		Instance: func(int64) *rightsizing.Instance { return ins },
 		Algorithms: []rightsizing.AlgSpec{
-			rightsizing.SpecAlgorithmA(),
+			mustAlg("alg-a"),
 			rightsizing.OnlineSpec("AlgorithmA(γ=1.25)",
-				func(i *rightsizing.Instance) (rightsizing.Online, error) {
-					return rightsizing.NewAlgorithmAWithOptions(i,
+				func(types []rightsizing.ServerType) (rightsizing.Online, error) {
+					return rightsizing.NewAlgorithmAWithOptions(types,
 						rightsizing.AlgorithmOptions{TrackerGamma: 1.25})
 				}),
-			rightsizing.SpecSkiRental(),
-			rightsizing.SpecAllOn(),
+			mustAlg("ski-rental"),
+			mustAlg("all-on"),
 		},
 	}
 	res, err := rightsizing.EvaluateScenario(sc, 0)

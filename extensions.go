@@ -27,20 +27,20 @@ const AutoWorkers = solver.AutoWorkers
 type AlgorithmOptions = core.Options
 
 // NewAlgorithmAWithOptions is NewAlgorithmA with tracker tuning.
-func NewAlgorithmAWithOptions(ins *Instance, opts AlgorithmOptions) (*AlgorithmA, error) {
-	return core.NewAlgorithmAWithOptions(ins, opts)
+func NewAlgorithmAWithOptions(types []ServerType, opts AlgorithmOptions) (*AlgorithmA, error) {
+	return core.NewAlgorithmAWithOptions(types, opts)
 }
 
 // NewAlgorithmBWithOptions is NewAlgorithmB with tracker tuning.
-func NewAlgorithmBWithOptions(ins *Instance, opts AlgorithmOptions) (*AlgorithmB, error) {
-	return core.NewAlgorithmBWithOptions(ins, opts)
+func NewAlgorithmBWithOptions(types []ServerType, opts AlgorithmOptions) (*AlgorithmB, error) {
+	return core.NewAlgorithmBWithOptions(types, opts)
 }
 
 // NewRandomizedTimeout is the randomized ski-rental baseline: surplus
 // servers draw their idle-cost budget from the optimal e/(e−1)
 // distribution. Seeded for reproducibility.
-func NewRandomizedTimeout(ins *Instance, seed int64) (Online, error) {
-	return baseline.NewRandomizedTimeout(ins, seed)
+func NewRandomizedTimeout(types []ServerType, seed int64) (Online, error) {
+	return baseline.NewRandomizedTimeout(types, seed)
 }
 
 // FractionalResult is the outcome of solving the fractional relaxation on

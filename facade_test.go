@@ -21,18 +21,18 @@ func TestFacadeWrappers(t *testing.T) {
 	}
 
 	// Algorithm B with options; randomized baseline.
-	b, err := NewAlgorithmBWithOptions(ins, AlgorithmOptions{TrackerGamma: 1.5})
+	b, err := NewAlgorithmBWithOptions(ins.Types, AlgorithmOptions{TrackerGamma: 1.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ins.Feasible(Run(b)); err != nil {
+	if err := ins.Feasible(Run(b, ins)); err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRandomizedTimeout(ins, 7)
+	rt, err := NewRandomizedTimeout(ins.Types, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ins.Feasible(Run(rt)); err != nil {
+	if err := ins.Feasible(Run(rt, ins)); err != nil {
 		t.Fatal(err)
 	}
 

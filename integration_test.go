@@ -76,27 +76,27 @@ func TestIntegrationMatrix(t *testing.T) {
 					bound float64 // 0 = no proven bound
 				}
 				var entries []entry
-				a, err := NewAlgorithmA(ins)
+				a, err := NewAlgorithmA(ins.Types)
 				if err != nil {
 					t.Fatal(err)
 				}
 				entries = append(entries, entry{a, RatioBoundA(ins)})
-				b, err := NewAlgorithmB(ins)
+				b, err := NewAlgorithmB(ins.Types)
 				if err != nil {
 					t.Fatal(err)
 				}
 				entries = append(entries, entry{b, RatioBoundB(ins)})
-				c, err := NewAlgorithmC(ins, 1)
+				c, err := NewAlgorithmC(ins.Types, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
 				entries = append(entries, entry{c, 2*float64(ins.D()) + 1 + 1})
 				for _, mkb := range []func() (Online, error){
-					func() (Online, error) { return NewAllOn(ins) },
-					func() (Online, error) { return NewLoadTracking(ins) },
-					func() (Online, error) { return NewSkiRental(ins) },
-					func() (Online, error) { return NewRandomizedTimeout(ins, 5) },
-					func() (Online, error) { return NewRecedingHorizon(ins, 3) },
+					func() (Online, error) { return NewAllOn(ins.Types) },
+					func() (Online, error) { return NewLoadTracking(ins.Types) },
+					func() (Online, error) { return NewSkiRental(ins.Types) },
+					func() (Online, error) { return NewRandomizedTimeout(ins.Types, 5) },
+					func() (Online, error) { return NewLookahead(ins.Types, 3) },
 				} {
 					alg, err := mkb()
 					if err != nil {
@@ -105,7 +105,7 @@ func TestIntegrationMatrix(t *testing.T) {
 					entries = append(entries, entry{alg, 0})
 				}
 				if ins.D() == 1 {
-					l, err := NewLCP(ins)
+					l, err := NewLCP(ins.Types)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -113,7 +113,7 @@ func TestIntegrationMatrix(t *testing.T) {
 				}
 
 				for _, e := range entries {
-					sched := Run(e.alg)
+					sched := Run(e.alg, ins)
 					if err := ins.Feasible(sched); err != nil {
 						t.Errorf("%s: infeasible: %v", e.alg.Name(), err)
 						continue

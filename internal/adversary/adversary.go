@@ -107,7 +107,7 @@ func HillClimb(cfg Config) (Result, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		sched := core.Run(alg)
+		sched := core.Run(alg, ins)
 		if err := ins.Feasible(sched); err != nil {
 			return 0, nil, fmt.Errorf("adversary: algorithm infeasible: %w", err)
 		}

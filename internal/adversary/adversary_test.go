@@ -13,11 +13,11 @@ import (
 func TestSkiRentalSpikesRatioMatchesPrediction(t *testing.T) {
 	for _, beta := range []float64{4, 9, 19} {
 		ins, predicted := SkiRentalSpikes(beta, 6)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(a)
+		sched := core.Run(a, ins)
 		cost := model.NewEvaluator(ins).Cost(sched).Total()
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
@@ -68,7 +68,7 @@ func searchConfig(seed int64) Config {
 		Iters: 40,
 		Seed:  seed,
 		NewAlg: func(ins *model.Instance) (core.Online, error) {
-			return core.NewAlgorithmA(ins)
+			return core.NewAlgorithmA(ins.Types)
 		},
 	}
 }

@@ -85,11 +85,11 @@ func TestLemma5LoadDependentBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 30; i++ {
 		ins := randomStatic(rng, 2, 3, 8)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(a)
+		sched := core.Run(a, ins)
 		p, err := Decompose(ins, sched)
 		if err != nil {
 			t.Fatal(err)
@@ -110,11 +110,11 @@ func TestLemma7BlockBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 30; i++ {
 		ins := randomStatic(rng, 2, 3, 8)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(a)
+		sched := core.Run(a, ins)
 		tbars := make([]int, ins.D())
 		for j := range tbars {
 			tbars[j] = a.Timeout(j)
@@ -160,13 +160,13 @@ func TestLemma4PerSlotDomination(t *testing.T) {
 	eachOwnSplitViolated := false
 	for i := 0; i < 20; i++ {
 		ins := randomStatic(rng, 2, 3, 6)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
 		eval := model.NewEvaluator(ins)
-		for tt := 1; !a.Done(); tt++ {
-			x := a.Step()
+		for tt := 1; tt <= ins.T(); tt++ {
+			x := a.Step(ins.Slot(tt)).Clone()
 			xhat := a.PrefixOpt()
 			y := eval.Split(tt, xhat).Y // common split: x̂'s optimal dispatch
 			la := LoadDependentWithVolumes(ins, tt, x, y)
@@ -210,11 +210,11 @@ func TestBlockCostsInfiniteTimeoutClamped(t *testing.T) {
 		}},
 		Lambda: []float64{1, 1, 1},
 	}
-	a, err := core.NewAlgorithmA(ins)
+	a, err := core.NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.Run(a)
+	core.Run(a, ins)
 	hs, err := BlockCostsA(ins, a.PowerUpHistory(), []int{a.Timeout(0)})
 	if err != nil {
 		t.Fatal(err)

@@ -1,8 +1,8 @@
 // Package baseline provides comparison algorithms for the experiments:
 // the static and memoryless strategies a data-center operator might deploy
 // without the paper's machinery, plus the homogeneous lazy-capacity
-// baseline from the prior literature and a semi-online receding-horizon
-// control. All of them implement core.Online and are driven slot-by-slot.
+// baseline from the prior literature and a semi-online lookahead control.
+// All of them implement core.Online and are fed slot data push-style.
 package baseline
 
 import (
@@ -10,52 +10,80 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/costfn"
 	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
 // compile-time interface checks.
 var (
-	_ core.Online = (*AllOn)(nil)
-	_ core.Online = (*LoadTracking)(nil)
-	_ core.Online = (*SkiRental)(nil)
-	_ core.Online = (*LCP)(nil)
-	_ core.Online = (*RecedingHorizon)(nil)
+	_ core.Online   = (*AllOn)(nil)
+	_ core.Online   = (*LoadTracking)(nil)
+	_ core.Online   = (*SkiRental)(nil)
+	_ core.Online   = (*LCP)(nil)
+	_ core.Online   = (*Lookahead)(nil)
+	_ core.Buffered = (*Lookahead)(nil)
 )
+
+// resolveInto materialises the input's template fallbacks into the given
+// scratch slices and returns a fully-resolved SlotInput.
+func resolveInto(in model.SlotInput, fleet []model.ServerType, costs []costfn.Func, counts []int) model.SlotInput {
+	for j := range fleet {
+		costs[j] = in.Cost(j, fleet[j].Cost)
+		counts[j] = in.Count(j, fleet[j].Count)
+	}
+	return model.SlotInput{T: in.T, Lambda: in.Lambda, Costs: costs, Counts: counts}
+}
+
+// validateFleet checks the static per-type parameters shared by every
+// baseline constructor.
+func validateFleet(types []model.ServerType) error {
+	if len(types) == 0 {
+		return fmt.Errorf("baseline: fleet has no server types")
+	}
+	for j, st := range types {
+		if st.Count < 0 {
+			return fmt.Errorf("baseline: type %d has negative count %d", j, st.Count)
+		}
+		if st.SwitchCost < 0 {
+			return fmt.Errorf("baseline: type %d has negative switching cost %g", j, st.SwitchCost)
+		}
+		if st.MaxLoad <= 0 {
+			return fmt.Errorf("baseline: type %d has non-positive capacity %g", j, st.MaxLoad)
+		}
+	}
+	return nil
+}
 
 // AllOn keeps the whole fleet powered for the entire horizon: the
 // "static provisioning" strategy right-sizing is measured against. With
 // time-varying sizes it keeps every available server powered.
 type AllOn struct {
-	ins *model.Instance
-	t   int
+	fleet []model.ServerType
+	out   model.Config
 }
 
-// NewAllOn builds the baseline.
-func NewAllOn(ins *model.Instance) (*AllOn, error) {
-	if err := ins.Validate(); err != nil {
+// NewAllOn builds the baseline for a fleet template.
+func NewAllOn(types []model.ServerType) (*AllOn, error) {
+	if err := validateFleet(types); err != nil {
 		return nil, err
 	}
-	return &AllOn{ins: ins}, nil
+	return &AllOn{
+		fleet: append([]model.ServerType(nil), types...),
+		out:   make(model.Config, len(types)),
+	}, nil
 }
 
 // Name implements core.Online.
 func (a *AllOn) Name() string { return "AllOn" }
 
-// Done implements core.Online.
-func (a *AllOn) Done() bool { return a.t >= a.ins.T() }
-
 // Step implements core.Online.
-func (a *AllOn) Step() model.Config {
-	if a.Done() {
-		panic("baseline: AllOn stepped past the last slot")
+func (a *AllOn) Step(in model.SlotInput) model.Config {
+	for j := range a.out {
+		a.out[j] = in.Count(j, a.fleet[j].Count)
 	}
-	a.t++
-	x := make(model.Config, a.ins.D())
-	for j := range x {
-		x[j] = a.ins.CountAt(a.t, j)
-	}
-	return x
+	return a.out
 }
 
 // LoadTracking picks, every slot, a configuration minimising the slot's
@@ -64,65 +92,68 @@ func (a *AllOn) Step() model.Config {
 // is exactly what the experiments need it to demonstrate. Ties break
 // toward the lexicographically smallest configuration.
 type LoadTracking struct {
-	ins    *model.Instance
-	eval   *model.Evaluator
-	static *grid.Grid // cached lattice when fleet sizes are static
-	t      int
-	cfg    model.Config
+	fleet  []model.ServerType
+	eval   *model.SlotEval
+	g      *grid.Grid   // lattice cached while the counts stay unchanged
+	gm     []int        // counts the cached lattice was built for
+	cfg    model.Config // decode scratch
+	out    model.Config // scratch returned by Step
+	costs  []costfn.Func
+	counts []int
 }
 
-// NewLoadTracking builds the baseline.
-func NewLoadTracking(ins *model.Instance) (*LoadTracking, error) {
-	if err := ins.Validate(); err != nil {
+// NewLoadTracking builds the baseline for a fleet template.
+func NewLoadTracking(types []model.ServerType) (*LoadTracking, error) {
+	if err := validateFleet(types); err != nil {
 		return nil, err
 	}
-	lt := &LoadTracking{
-		ins:  ins,
-		eval: model.NewEvaluator(ins),
-		cfg:  make(model.Config, ins.D()),
-	}
-	if !ins.TimeVarying() {
-		lt.static = grid.NewFull(countsAt(ins, 1))
-	}
-	return lt, nil
+	d := len(types)
+	return &LoadTracking{
+		fleet:  append([]model.ServerType(nil), types...),
+		eval:   model.NewSlotEval(types),
+		cfg:    make(model.Config, d),
+		out:    make(model.Config, d),
+		costs:  make([]costfn.Func, d),
+		counts: make([]int, d),
+	}, nil
 }
 
 // Name implements core.Online.
 func (l *LoadTracking) Name() string { return "LoadTracking" }
 
-// Done implements core.Online.
-func (l *LoadTracking) Done() bool { return l.t >= l.ins.T() }
-
 // Step implements core.Online.
-func (l *LoadTracking) Step() model.Config {
-	if l.Done() {
-		panic("baseline: LoadTracking stepped past the last slot")
+func (l *LoadTracking) Step(in model.SlotInput) model.Config {
+	rin := resolveInto(in, l.fleet, l.costs, l.counts)
+	return l.bestConfig(rin)
+}
+
+// lattice returns the slot's full configuration lattice, rebuilding only
+// when the counts changed (static fleets keep one grid for the whole run).
+func (l *LoadTracking) lattice(counts []int) *grid.Grid {
+	if l.g == nil || !numeric.EqualInts(counts, l.gm) {
+		l.g = grid.NewFull(counts)
+		l.gm = append(l.gm[:0], counts...)
 	}
-	l.t++
-	return l.bestConfig(l.t)
+	return l.g
 }
 
 // bestConfig scans the slot's full lattice for the cheapest configuration.
-func (l *LoadTracking) bestConfig(t int) model.Config {
-	g := l.static
-	if g == nil {
-		g = grid.NewFull(countsAt(l.ins, t))
-	}
+func (l *LoadTracking) bestConfig(in model.SlotInput) model.Config {
+	g := l.lattice(in.Counts)
 	best := math.Inf(1)
 	bestIdx := -1
 	for idx := 0; idx < g.Size(); idx++ {
 		g.Decode(idx, l.cfg)
-		if v := l.eval.G(t, l.cfg); v < best {
+		if v := l.eval.G(in, l.cfg); v < best {
 			best = v
 			bestIdx = idx
 		}
 	}
 	if bestIdx < 0 {
-		panic(fmt.Sprintf("baseline: no feasible configuration at slot %d", t))
+		panic(fmt.Sprintf("baseline: no feasible configuration at slot %d", in.T))
 	}
-	out := make(model.Config, l.ins.D())
-	g.Decode(bestIdx, out)
-	return out
+	g.Decode(bestIdx, l.out)
+	return l.out
 }
 
 // SkiRental is the classic timeout heuristic: follow the load-tracking
@@ -132,40 +163,35 @@ func (l *LoadTracking) bestConfig(t int) model.Config {
 // glued to a memoryless power-up rule — competitive in neither sense, but
 // the natural operator policy.
 type SkiRental struct {
-	lt  *LoadTracking
-	ins *model.Instance
-	t   int
-	x   model.Config
-	acc []float64 // accumulated idle cost while surplus, per type
+	lt    *LoadTracking
+	fleet []model.ServerType
+	x     model.Config
+	acc   []float64 // accumulated idle cost while surplus, per type
 }
 
-// NewSkiRental builds the baseline.
-func NewSkiRental(ins *model.Instance) (*SkiRental, error) {
-	lt, err := NewLoadTracking(ins)
+// NewSkiRental builds the baseline for a fleet template.
+func NewSkiRental(types []model.ServerType) (*SkiRental, error) {
+	lt, err := NewLoadTracking(types)
 	if err != nil {
 		return nil, err
 	}
 	return &SkiRental{
-		lt:  lt,
-		ins: ins,
-		x:   make(model.Config, ins.D()),
-		acc: make([]float64, ins.D()),
+		lt:    lt,
+		fleet: lt.fleet,
+		x:     make(model.Config, len(types)),
+		acc:   make([]float64, len(types)),
 	}, nil
 }
 
 // Name implements core.Online.
 func (s *SkiRental) Name() string { return "SkiRental" }
 
-// Done implements core.Online.
-func (s *SkiRental) Done() bool { return s.t >= s.ins.T() }
-
 // Step implements core.Online.
-func (s *SkiRental) Step() model.Config {
-	target := s.lt.Step() // advances the shared slot counter
-	s.t++
+func (s *SkiRental) Step(in model.SlotInput) model.Config {
+	target := s.lt.Step(in) // shares the per-slot lattice scan
 	for j := range s.x {
 		// Respect shrinking fleets before anything else.
-		if m := s.ins.CountAt(s.t, j); s.x[j] > m {
+		if m := in.Count(j, s.fleet[j].Count); s.x[j] > m {
 			s.x[j] = m
 			s.acc[j] = 0
 		}
@@ -176,21 +202,12 @@ func (s *SkiRental) Step() model.Config {
 		case s.x[j] == target[j]:
 			s.acc[j] = 0
 		default: // surplus servers: rent until the budget is spent
-			s.acc[j] += s.ins.Types[j].Cost.At(s.t).Value(0)
-			if s.acc[j] > s.ins.Types[j].SwitchCost {
+			s.acc[j] += in.Cost(j, s.fleet[j].Cost).Value(0)
+			if s.acc[j] > s.fleet[j].SwitchCost {
 				s.x[j] = target[j]
 				s.acc[j] = 0
 			}
 		}
 	}
-	return s.x.Clone()
-}
-
-// countsAt materialises the per-slot fleet sizes.
-func countsAt(ins *model.Instance, t int) []int {
-	m := make([]int, ins.D())
-	for j := range m {
-		m[j] = ins.CountAt(t, j)
-	}
-	return m
+	return s.x
 }

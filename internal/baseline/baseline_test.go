@@ -39,7 +39,7 @@ func runAll(t *testing.T, ins *model.Instance, algs ...core.Online) map[string]m
 	t.Helper()
 	out := map[string]model.Schedule{}
 	for _, a := range algs {
-		s := core.Run(a)
+		s := core.Run(a, ins)
 		if err := ins.Feasible(s); err != nil {
 			t.Fatalf("%s: infeasible schedule: %v", a.Name(), err)
 		}
@@ -50,26 +50,23 @@ func runAll(t *testing.T, ins *model.Instance, algs ...core.Online) map[string]m
 
 func TestAllOnKeepsFleetUp(t *testing.T) {
 	ins := smallInstance()
-	a, err := NewAllOn(ins)
+	a, err := NewAllOn(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := core.Run(a)
+	sched := core.Run(a, ins)
 	for tt, x := range sched {
 		if x[0] != 3 || x[1] != 2 {
 			t.Fatalf("slot %d: %v, want (3, 2)", tt+1, x)
 		}
-	}
-	if !a.Done() {
-		t.Error("should be done")
 	}
 }
 
 func TestAllOnTimeVarying(t *testing.T) {
 	ins := smallInstance()
 	ins.Counts = [][]int{{3, 2}, {2, 2}, {3, 1}, {3, 2}, {3, 2}}
-	a, _ := NewAllOn(ins)
-	sched := core.Run(a)
+	a, _ := NewAllOn(ins.Types)
+	sched := core.Run(a, ins)
 	if sched[1][0] != 2 || sched[2][1] != 1 {
 		t.Error("AllOn should track available counts")
 	}
@@ -80,13 +77,13 @@ func TestAllOnTimeVarying(t *testing.T) {
 
 func TestLoadTrackingMinimisesSlotCost(t *testing.T) {
 	ins := smallInstance()
-	lt, err := NewLoadTracking(ins)
+	lt, err := NewLoadTracking(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eval := model.NewEvaluator(ins)
-	for tt := 1; !lt.Done(); tt++ {
-		x := lt.Step()
+	for tt := 1; tt <= ins.T(); tt++ {
+		x := lt.Step(ins.Slot(tt))
 		got := eval.G(tt, x)
 		// Exhaustively verify optimality.
 		best := math.Inf(1)
@@ -105,11 +102,8 @@ func TestLoadTrackingMinimisesSlotCost(t *testing.T) {
 
 func TestLoadTrackingZeroDemandShutsDown(t *testing.T) {
 	ins := smallInstance() // slot 4 has λ=0 and positive idle costs
-	lt, _ := NewLoadTracking(ins)
-	var sched model.Schedule
-	for !lt.Done() {
-		sched = append(sched, lt.Step())
-	}
+	lt, _ := NewLoadTracking(ins.Types)
+	sched := core.Run(lt, ins)
 	if !sched[3].IsZero() {
 		t.Errorf("slot 4 config %v, want all-off at zero demand", sched[3])
 	}
@@ -125,11 +119,11 @@ func TestSkiRentalHoldsThenReleases(t *testing.T) {
 		}},
 		Lambda: []float64{2, 0, 0, 0, 0},
 	}
-	s, err := NewSkiRental(ins)
+	s, err := NewSkiRental(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := core.Run(s)
+	sched := core.Run(s, ins)
 	want := []int{2, 2, 2, 0, 0}
 	for i := range want {
 		if sched[i][0] != want[i] {
@@ -142,11 +136,11 @@ func TestSkiRentalFeasibleOnRandomInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 25; i++ {
 		ins := randomInstance(rng)
-		s, err := NewSkiRental(ins)
+		s, err := NewSkiRental(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(s)
+		sched := core.Run(s, ins)
 		if err := ins.Feasible(sched); err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -162,8 +156,8 @@ func TestSkiRentalTimeVaryingClamp(t *testing.T) {
 		Lambda: []float64{3, 1, 1},
 		Counts: [][]int{{3}, {1}, {3}},
 	}
-	s, _ := NewSkiRental(ins)
-	sched := core.Run(s)
+	s, _ := NewSkiRental(ins.Types)
+	sched := core.Run(s, ins)
 	if sched[1][0] != 1 {
 		t.Errorf("slot 2 keeps %d servers, fleet only has 1", sched[1][0])
 	}
@@ -173,18 +167,18 @@ func TestSkiRentalTimeVaryingClamp(t *testing.T) {
 }
 
 func TestLCPRequiresHomogeneous(t *testing.T) {
-	if _, err := NewLCP(smallInstance()); err == nil {
+	if _, err := NewLCP(smallInstance().Types); err == nil {
 		t.Error("d=2 should be rejected")
 	}
 }
 
 func TestLCPFeasibleAndReasonable(t *testing.T) {
 	ins := homogeneousInstance()
-	l, err := NewLCP(ins)
+	l, err := NewLCP(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := core.Run(l)
+	sched := core.Run(l, ins)
 	if err := ins.Feasible(sched); err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +203,8 @@ func TestLCPLazyness(t *testing.T) {
 		}},
 		Lambda: []float64{2, 2, 2, 2, 2, 2},
 	}
-	l, _ := NewLCP(ins)
-	sched := core.Run(l)
+	l, _ := NewLCP(ins.Types)
+	sched := core.Run(l, ins)
 	for tt := 1; tt < len(sched); tt++ {
 		if sched[tt][0] != sched[0][0] {
 			t.Fatalf("LCP moved on constant demand: %v", sched)
@@ -219,7 +213,7 @@ func TestLCPLazyness(t *testing.T) {
 }
 
 func TestRecedingHorizonWindowValidation(t *testing.T) {
-	if _, err := NewRecedingHorizon(smallInstance(), 0); err == nil {
+	if _, err := NewLookahead(smallInstance().Types, 0); err == nil {
 		t.Error("w=0 should be rejected")
 	}
 }
@@ -230,11 +224,11 @@ func TestRecedingHorizonFullLookaheadIsOptimalPrefixWise(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 10; i++ {
 		ins := randomInstance(rng)
-		rh, err := NewRecedingHorizon(ins, ins.T())
+		rh, err := NewLookahead(ins.Types, ins.T())
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(rh)
+		sched := core.Run(rh, ins)
 		cost := model.NewEvaluator(ins).Cost(sched).Total()
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
@@ -251,11 +245,11 @@ func TestRecedingHorizonImprovesWithWindow(t *testing.T) {
 	eval := model.NewEvaluator(ins)
 	costs := map[int]float64{}
 	for _, w := range []int{1, 3, ins.T()} {
-		rh, err := NewRecedingHorizon(ins, w)
+		rh, err := NewLookahead(ins.Types, w)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(rh)
+		sched := core.Run(rh, ins)
 		if err := ins.Feasible(sched); err != nil {
 			t.Fatalf("w=%d: %v", w, err)
 		}
@@ -268,31 +262,49 @@ func TestRecedingHorizonImprovesWithWindow(t *testing.T) {
 
 func TestAllBaselinesOnHeterogeneousInstance(t *testing.T) {
 	ins := smallInstance()
-	allOn, _ := NewAllOn(ins)
-	lt, _ := NewLoadTracking(smallInstance())
-	sr, _ := NewSkiRental(smallInstance())
-	rh, _ := NewRecedingHorizon(smallInstance(), 2)
+	allOn, _ := NewAllOn(ins.Types)
+	lt, _ := NewLoadTracking(ins.Types)
+	sr, _ := NewSkiRental(ins.Types)
+	rh, _ := NewLookahead(ins.Types, 2)
 	runAll(t, ins, allOn, lt, sr, rh)
 }
 
-func TestBaselinesPanicPastEnd(t *testing.T) {
+// Lookahead is the only Buffered baseline: its decisions lag the input by
+// w-1 slots and Flush drains the tail, reproducing the batch policy's
+// shrinking end-of-horizon windows.
+func TestLookaheadBuffersAndFlushes(t *testing.T) {
 	ins := smallInstance()
-	algs := []core.Online{}
-	a, _ := NewAllOn(ins)
-	lt, _ := NewLoadTracking(smallInstance())
-	rh, _ := NewRecedingHorizon(smallInstance(), 2)
-	algs = append(algs, a, lt, rh)
-	for _, alg := range algs {
-		core.Run(alg)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic past end", alg.Name())
-				}
-			}()
-			alg.Step()
-		}()
+	rh, err := NewLookahead(ins.Types, 3)
+	if err != nil {
+		t.Fatal(err)
 	}
+	var got model.Schedule
+	for ts := 1; ts <= ins.T(); ts++ {
+		x := rh.Step(ins.Slot(ts))
+		if ts < 3 {
+			if x != nil {
+				t.Fatalf("slot %d: decision before the window filled", ts)
+			}
+			continue
+		}
+		if x == nil {
+			t.Fatalf("slot %d: expected a decision", ts)
+		}
+		got = append(got, x.Clone())
+	}
+	if rh.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", rh.Pending())
+	}
+	for _, x := range rh.Flush() {
+		got = append(got, x.Clone())
+	}
+	if len(got) != ins.T() {
+		t.Fatalf("decided %d slots, want %d", len(got), ins.T())
+	}
+	if err := ins.Feasible(got); err != nil {
+		t.Fatal(err)
+	}
+	var _ core.Buffered = rh
 }
 
 func randomInstance(rng *rand.Rand) *model.Instance {
@@ -334,10 +346,10 @@ func BenchmarkLoadTrackingT48(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		lt, err := NewLoadTracking(ins)
+		lt, err := NewLoadTracking(ins.Types)
 		if err != nil {
 			b.Fatal(err)
 		}
-		core.Run(lt)
+		core.Run(lt, ins)
 	}
 }

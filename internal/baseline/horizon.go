@@ -4,77 +4,105 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/costfn"
 	"repro/internal/grid"
 	"repro/internal/model"
 )
 
-// RecedingHorizon is model-predictive control with a lookahead window: at
-// slot t it assumes exact knowledge of the next w slots (a semi-online
-// model, strictly stronger than the paper's online model), solves the
-// window optimally starting from its current configuration, commits only
-// the first decision, and rolls forward. It quantifies how much limited
-// lookahead buys relative to the fully online algorithms.
+// Lookahead is receding-horizon control (model-predictive control) recast
+// for the push-based streaming API: a wrapper that buffers w slots of
+// input before committing each decision, making its semi-online nature
+// explicit in the interface rather than by convention. The advisory for
+// slot t is produced only once slots t..t+w-1 have been ingested (Step
+// returns nil while the window fills) or the stream has been flushed; it
+// solves the buffered window optimally starting from the current
+// configuration, commits only the first decision, and rolls forward —
+// exactly the classic receding-horizon policy, which assumed oracle access
+// to the next w slots.
 //
-// The window DP is the naive O(w·|M|²·d) transition; baselines run on
+// The window DP is the naive O(w·|M|²·d) transition; the wrapper runs on
 // small lattices, and keeping it independent of the solver package's fast
 // sweep gives the tests another differential oracle.
-type RecedingHorizon struct {
-	ins  *model.Instance
-	w    int
-	eval *model.Evaluator
-	t    int
-	x    model.Config
+type Lookahead struct {
+	fleet []model.ServerType
+	w     int
+	eval  *model.SlotEval
+	buf   []model.SlotInput // ingested, undecided slots (deep copies)
+	x     model.Config      // configuration committed for the newest decided slot
+	out   model.Config      // scratch returned by Step
 }
 
-// NewRecedingHorizon builds the baseline with lookahead window w >= 1
-// (w = 1 sees only the current slot: greedy with switching awareness).
-func NewRecedingHorizon(ins *model.Instance, w int) (*RecedingHorizon, error) {
-	if err := ins.Validate(); err != nil {
+// NewLookahead builds the wrapper with lookahead window w >= 1 (w = 1 sees
+// only the current slot: greedy with switching awareness, and decisions
+// never lag).
+func NewLookahead(types []model.ServerType, w int) (*Lookahead, error) {
+	if err := validateFleet(types); err != nil {
 		return nil, err
 	}
 	if w < 1 {
 		return nil, fmt.Errorf("baseline: lookahead window must be >= 1, got %d", w)
 	}
-	return &RecedingHorizon{
-		ins:  ins,
-		w:    w,
-		eval: model.NewEvaluator(ins),
-		x:    make(model.Config, ins.D()),
+	return &Lookahead{
+		fleet: append([]model.ServerType(nil), types...),
+		w:     w,
+		eval:  model.NewSlotEval(types),
+		x:     make(model.Config, len(types)),
+		out:   make(model.Config, len(types)),
 	}, nil
 }
 
-// Name implements core.Online.
-func (r *RecedingHorizon) Name() string { return fmt.Sprintf("RecedingHorizon(w=%d)", r.w) }
+// Name implements core.Online. The display name keeps the policy's
+// literature name (the Lookahead type is the streaming wrapper around it).
+func (l *Lookahead) Name() string { return fmt.Sprintf("RecedingHorizon(w=%d)", l.w) }
 
-// Done implements core.Online.
-func (r *RecedingHorizon) Done() bool { return r.t >= r.ins.T() }
+// Window returns the lookahead width w.
+func (l *Lookahead) Window() int { return l.w }
 
-// Step implements core.Online.
-func (r *RecedingHorizon) Step() model.Config {
-	if r.Done() {
-		panic("baseline: RecedingHorizon stepped past the last slot")
+// Step implements core.Online: it buffers the slot and, once the window
+// holds w slots, decides and returns the oldest undecided slot's
+// configuration. While the window fills it returns nil.
+func (l *Lookahead) Step(in model.SlotInput) model.Config {
+	d := len(l.fleet)
+	costs := make([]costfn.Func, d)
+	counts := make([]int, d)
+	l.buf = append(l.buf, resolveInto(in, l.fleet, costs, counts))
+	if len(l.buf) < l.w {
+		return nil
 	}
-	r.t++
-	end := r.t + r.w - 1
-	if end > r.ins.T() {
-		end = r.ins.T()
-	}
+	return l.decideOne()
+}
 
-	// Backward DP over the window: V_k[x] = g_k(x) + min_{x'} (sw(x→x') +
-	// V_{k+1}[x']). The first-slot argmin including the switch from the
-	// current configuration is the committed decision.
-	d := r.ins.D()
+// Pending implements core.Buffered.
+func (l *Lookahead) Pending() int { return len(l.buf) }
+
+// Flush implements core.Buffered: the stream has ended, so the remaining
+// windows shrink toward the horizon exactly as the batch policy's do.
+func (l *Lookahead) Flush() []model.Config {
+	out := make([]model.Config, 0, len(l.buf))
+	for len(l.buf) > 0 {
+		out = append(out, l.decideOne().Clone())
+	}
+	return out
+}
+
+// decideOne solves the buffered window [t, t+len(buf)-1] by backward DP
+// and commits the first decision: V_k[x] = g_k(x) + min_{x'} (sw(x→x') +
+// V_{k+1}[x']). The first-slot argmin including the switch from the
+// current configuration is the committed decision.
+func (l *Lookahead) decideOne() model.Config {
+	d := len(l.fleet)
 	cfg := make(model.Config, d)
 	next := make(model.Config, d)
 
 	var value []float64 // V_{k+1}
 	var vGrid *grid.Grid
-	for k := end; k >= r.t; k-- {
-		g := grid.NewFull(countsAt(r.ins, k))
+	for k := len(l.buf) - 1; k >= 0; k-- {
+		in := l.buf[k]
+		g := grid.NewFull(in.Counts)
 		cur := make([]float64, g.Size())
 		for idx := range cur {
 			g.Decode(idx, cfg)
-			op := r.eval.G(k, cfg)
+			op := l.eval.G(in, cfg)
 			if math.IsInf(op, 1) {
 				cur[idx] = op
 				continue
@@ -84,7 +112,7 @@ func (r *RecedingHorizon) Step() model.Config {
 				best := math.Inf(1)
 				for nIdx := range value {
 					vGrid.Decode(nIdx, next)
-					c := value[nIdx] + r.ins.SwitchCost(cfg, next)
+					c := value[nIdx] + model.SwitchCostOf(l.fleet, cfg, next)
 					if c < best {
 						best = c
 					}
@@ -99,14 +127,16 @@ func (r *RecedingHorizon) Step() model.Config {
 	bestIdx, bestVal := -1, math.Inf(1)
 	for idx := range value {
 		vGrid.Decode(idx, cfg)
-		c := value[idx] + r.ins.SwitchCost(r.x, cfg)
+		c := value[idx] + model.SwitchCostOf(l.fleet, l.x, cfg)
 		if c < bestVal {
 			bestVal, bestIdx = c, idx
 		}
 	}
 	if bestIdx < 0 {
-		panic(fmt.Sprintf("baseline: no feasible window plan at slot %d", r.t))
+		panic(fmt.Sprintf("baseline: no feasible window plan at slot %d", l.buf[0].T))
 	}
-	vGrid.Decode(bestIdx, r.x)
-	return r.x.Clone()
+	vGrid.Decode(bestIdx, l.x)
+	l.buf = l.buf[1:]
+	copy(l.out, l.x)
+	return l.out
 }

@@ -15,38 +15,39 @@ import (
 // and largest final configurations of optimal schedules for the prefix
 // instance I_t. It serves as the strongest prior-work baseline on
 // homogeneous instances; the paper's Algorithm A generalises the idea to
-// d > 1.
+// d > 1. The corridor is maintained by a streaming prefix tracker, so LCP
+// is push-based like every other algorithm here.
 type LCP struct {
-	ins     *model.Instance
 	tracker *solver.PrefixTracker
 	x       int
+	out     model.Config
 }
 
-// NewLCP builds the baseline; it requires a homogeneous instance (d = 1).
-func NewLCP(ins *model.Instance) (*LCP, error) {
-	if err := ins.Validate(); err != nil {
+// NewLCP builds the baseline; it requires a homogeneous fleet (d = 1).
+func NewLCP(types []model.ServerType) (*LCP, error) {
+	if err := validateFleet(types); err != nil {
 		return nil, err
 	}
-	if ins.D() != 1 {
-		return nil, fmt.Errorf("baseline: LCP requires d = 1, got %d server types", ins.D())
+	if len(types) != 1 {
+		return nil, fmt.Errorf("baseline: LCP requires d = 1, got %d server types", len(types))
 	}
-	tracker, err := solver.NewPrefixTracker(ins, solver.Options{})
+	tracker, err := solver.NewStreamTracker(types, solver.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &LCP{ins: ins, tracker: tracker}, nil
+	return &LCP{tracker: tracker, out: make(model.Config, 1)}, nil
 }
 
 // Name implements core.Online.
 func (l *LCP) Name() string { return "LCP" }
 
-// Done implements core.Online.
-func (l *LCP) Done() bool { return l.tracker.Done() }
-
 // Step implements core.Online.
-func (l *LCP) Step() model.Config {
-	l.tracker.Advance()
+func (l *LCP) Step(in model.SlotInput) model.Config {
+	if _, _, err := l.tracker.Push(in); err != nil {
+		panic("baseline: " + err.Error())
+	}
 	lo, hi := l.tracker.OptRange()
 	l.x = numeric.ClampInt(l.x, lo[0], hi[0])
-	return model.Config{l.x}
+	l.out[0] = l.x
+	return l.out
 }

@@ -20,28 +20,28 @@ import (
 //
 // Seeded explicitly so experiments remain reproducible.
 type RandomizedTimeout struct {
-	lt  *LoadTracking
-	ins *model.Instance
-	rng *rand.Rand
-	t   int
-	x   model.Config
-	acc []float64 // accumulated idle cost while surplus, per type
-	cut []float64 // sampled budget for the current surplus episode
+	lt    *LoadTracking
+	fleet []model.ServerType
+	rng   *rand.Rand
+	t     int
+	x     model.Config
+	acc   []float64 // accumulated idle cost while surplus, per type
+	cut   []float64 // sampled budget for the current surplus episode
 }
 
 // NewRandomizedTimeout builds the baseline with the given seed.
-func NewRandomizedTimeout(ins *model.Instance, seed int64) (*RandomizedTimeout, error) {
-	lt, err := NewLoadTracking(ins)
+func NewRandomizedTimeout(types []model.ServerType, seed int64) (*RandomizedTimeout, error) {
+	lt, err := NewLoadTracking(types)
 	if err != nil {
 		return nil, err
 	}
 	r := &RandomizedTimeout{
-		lt:  lt,
-		ins: ins,
-		rng: rand.New(rand.NewSource(seed)),
-		x:   make(model.Config, ins.D()),
-		acc: make([]float64, ins.D()),
-		cut: make([]float64, ins.D()),
+		lt:    lt,
+		fleet: lt.fleet,
+		rng:   rand.New(rand.NewSource(seed)),
+		x:     make(model.Config, len(types)),
+		acc:   make([]float64, len(types)),
+		cut:   make([]float64, len(types)),
 	}
 	for j := range r.cut {
 		r.cut[j] = -1 // no active episode
@@ -52,15 +52,12 @@ func NewRandomizedTimeout(ins *model.Instance, seed int64) (*RandomizedTimeout, 
 // Name implements core.Online.
 func (r *RandomizedTimeout) Name() string { return "RandomizedTimeout" }
 
-// Done implements core.Online.
-func (r *RandomizedTimeout) Done() bool { return r.t >= r.ins.T() }
-
 // Step implements core.Online.
-func (r *RandomizedTimeout) Step() model.Config {
-	target := r.lt.Step()
+func (r *RandomizedTimeout) Step(in model.SlotInput) model.Config {
+	target := r.lt.Step(in)
 	r.t++
 	for j := range r.x {
-		if m := r.ins.CountAt(r.t, j); r.x[j] > m {
+		if m := in.Count(j, r.fleet[j].Count); r.x[j] > m {
 			r.x[j] = m
 			r.endEpisode(j)
 		}
@@ -72,17 +69,17 @@ func (r *RandomizedTimeout) Step() model.Config {
 			r.endEpisode(j)
 		default:
 			if r.cut[j] < 0 {
-				r.cut[j] = r.sampleBudget(r.ins.Types[j].SwitchCost)
+				r.cut[j] = r.sampleBudget(r.fleet[j].SwitchCost)
 				r.acc[j] = 0
 			}
-			r.acc[j] += r.ins.Types[j].Cost.At(r.t).Value(0)
+			r.acc[j] += in.Cost(j, r.fleet[j].Cost).Value(0)
 			if r.acc[j] > r.cut[j] {
 				r.x[j] = target[j]
 				r.endEpisode(j)
 			}
 		}
 	}
-	return r.x.Clone()
+	return r.x
 }
 
 func (r *RandomizedTimeout) endEpisode(j int) {

@@ -14,11 +14,11 @@ func TestRandomizedTimeoutFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 25; i++ {
 		ins := randomInstance(rng)
-		alg, err := NewRandomizedTimeout(ins, int64(i))
+		alg, err := NewRandomizedTimeout(ins.Types, int64(i))
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := core.Run(alg)
+		sched := core.Run(alg, ins)
 		if err := ins.Feasible(sched); err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -27,10 +27,10 @@ func TestRandomizedTimeoutFeasible(t *testing.T) {
 
 func TestRandomizedTimeoutDeterministicPerSeed(t *testing.T) {
 	ins := smallInstance()
-	a, _ := NewRandomizedTimeout(ins, 42)
-	b, _ := NewRandomizedTimeout(smallInstance(), 42)
-	sa := core.Run(a)
-	sb := core.Run(b)
+	a, _ := NewRandomizedTimeout(ins.Types, 42)
+	b, _ := NewRandomizedTimeout(smallInstance().Types, 42)
+	sa := core.Run(a, ins)
+	sb := core.Run(b, ins)
 	for i := range sa {
 		if !sa[i].Equal(sb[i]) {
 			t.Fatal("same seed must reproduce the schedule")
@@ -42,7 +42,7 @@ func TestRandomizedTimeoutBudgetDistribution(t *testing.T) {
 	// The sampled budget must lie in [0, β]. With X = β·ln(1+(e−1)U),
 	// E[X] = β·∫₀¹ ln(1+(e−1)u) du = β/(e−1) ≈ 0.582β.
 	ins := smallInstance()
-	r, _ := NewRandomizedTimeout(ins, 7)
+	r, _ := NewRandomizedTimeout(ins.Types, 7)
 	const n = 20000
 	beta := 3.0
 	sum := 0.0
@@ -73,8 +73,8 @@ func TestRandomizedTimeoutReleasesEventually(t *testing.T) {
 		}},
 		Lambda: []float64{3, 0, 0, 0, 0, 0},
 	}
-	alg, _ := NewRandomizedTimeout(ins, 1)
-	sched := core.Run(alg)
+	alg, _ := NewRandomizedTimeout(ins.Types, 1)
+	sched := core.Run(alg, ins)
 	if sched[0][0] != 3 {
 		t.Fatalf("slot 1: %v", sched[0])
 	}
@@ -88,13 +88,13 @@ func TestRandomizedTimeoutMeanBehaviour(t *testing.T) {
 	// Averaged over seeds, the randomized policy should not be wildly
 	// worse than the deterministic SkiRental on a bursty trace.
 	ins := smallInstance()
-	det, _ := NewSkiRental(smallInstance())
-	detCost := model.NewEvaluator(ins).Cost(core.Run(det)).Total()
+	det, _ := NewSkiRental(smallInstance().Types)
+	detCost := model.NewEvaluator(ins).Cost(core.Run(det, ins)).Total()
 	sum := 0.0
 	const seeds = 20
 	for s := int64(0); s < seeds; s++ {
-		alg, _ := NewRandomizedTimeout(smallInstance(), s)
-		sum += model.NewEvaluator(ins).Cost(core.Run(alg)).Total()
+		alg, _ := NewRandomizedTimeout(smallInstance().Types, s)
+		sum += model.NewEvaluator(ins).Cost(core.Run(alg, ins)).Total()
 	}
 	mean := sum / seeds
 	if mean > detCost*1.6 {

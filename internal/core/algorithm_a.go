@@ -115,10 +115,11 @@ func (s *TypeA) ClampTo(m int) int {
 // AlgorithmA is the (2d+1)-competitive online algorithm of Section 2 for
 // time-independent operating cost functions.
 type AlgorithmA struct {
-	ins     *model.Instance
+	fleet   []model.ServerType
 	tracker *solver.PrefixTracker
 	types   []*TypeA
 	lastOpt model.Config
+	out     model.Config // scratch returned by Step
 }
 
 // Options tunes the online algorithms' internal prefix-optimum tracker.
@@ -140,31 +141,35 @@ func (o Options) solverOptions() solver.Options {
 	return solver.Options{Gamma: o.TrackerGamma, Workers: o.TrackerWorkers}
 }
 
-// NewAlgorithmA prepares Algorithm A. The instance must have
-// time-independent cost profiles (model.Static); Algorithm B or C handles
-// the general case.
-func NewAlgorithmA(ins *model.Instance) (*AlgorithmA, error) {
-	return NewAlgorithmAWithOptions(ins, Options{})
+// NewAlgorithmA prepares Algorithm A for a fleet template. Every type must
+// carry a time-independent (model.Static) cost profile — Algorithm B or C
+// handles the general case — because t̄_j is derived from f_j(0) before
+// the first slot arrives.
+func NewAlgorithmA(types []model.ServerType) (*AlgorithmA, error) {
+	return NewAlgorithmAWithOptions(types, Options{})
 }
 
 // NewAlgorithmAWithOptions is NewAlgorithmA with tracker tuning.
-func NewAlgorithmAWithOptions(ins *model.Instance, opts Options) (*AlgorithmA, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
+func NewAlgorithmAWithOptions(types []model.ServerType, opts Options) (*AlgorithmA, error) {
+	for j, st := range types {
+		if st.Cost == nil {
+			return nil, fmt.Errorf("core: type %d has no cost profile", j)
+		}
+		if _, ok := st.Cost.(model.Static); !ok {
+			return nil, fmt.Errorf("core: Algorithm A requires time-independent operating costs")
+		}
 	}
-	if !ins.TimeIndependent() {
-		return nil, fmt.Errorf("core: Algorithm A requires time-independent operating costs")
-	}
-	tracker, err := solver.NewPrefixTracker(ins, opts.solverOptions())
+	tracker, err := solver.NewStreamTracker(types, opts.solverOptions())
 	if err != nil {
 		return nil, err
 	}
 	a := &AlgorithmA{
-		ins:     ins,
+		fleet:   append([]model.ServerType(nil), types...),
 		tracker: tracker,
-		types:   make([]*TypeA, ins.D()),
+		types:   make([]*TypeA, len(types)),
+		out:     make(model.Config, len(types)),
 	}
-	for j, st := range ins.Types {
+	for j, st := range types {
 		a.types[j] = NewTypeA(TimeoutA(st.SwitchCost, st.Cost.At(1).Value(0)))
 	}
 	return a, nil
@@ -173,25 +178,22 @@ func NewAlgorithmAWithOptions(ins *model.Instance, opts Options) (*AlgorithmA, e
 // Name implements Online.
 func (a *AlgorithmA) Name() string { return "AlgorithmA" }
 
-// Done implements Online.
-func (a *AlgorithmA) Done() bool { return a.tracker.Done() }
-
 // Step implements Online.
-func (a *AlgorithmA) Step() model.Config {
-	xhat, _ := a.tracker.Advance()
-	a.lastOpt = xhat
-	t := a.tracker.T()
-	out := make(model.Config, len(a.types))
-	for j, st := range a.types {
-		out[j] = st.Step(xhat[j])
-		if a.ins.TimeVarying() {
-			// Fleet shrinkage (Section 4.3 extension): release the newest
-			// power-ups down to the available count. x̂ respects the
-			// counts, so the invariant out[j] >= x̂[j] survives.
-			out[j] = st.ClampTo(a.ins.CountAt(t, j))
-		}
+func (a *AlgorithmA) Step(in model.SlotInput) model.Config {
+	xhat, _, err := a.tracker.Push(in)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
-	return out
+	a.lastOpt = append(a.lastOpt[:0], xhat...)
+	for j, st := range a.types {
+		st.Step(xhat[j])
+		// Fleet shrinkage (Section 4.3 extension): release the newest
+		// power-ups down to the available count. x̂ respects the counts,
+		// so the invariant out[j] >= x̂[j] survives; with static fleets
+		// the clamp is a no-op.
+		a.out[j] = st.ClampTo(in.Count(j, a.fleet[j].Count))
+	}
+	return a.out
 }
 
 // PrefixOpt returns x̂^t_t from the most recent Step: the final

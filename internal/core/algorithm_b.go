@@ -92,34 +92,34 @@ func (s *TypeB) ClampTo(m int) int {
 // Section 3.1 for time-dependent operating cost functions, where
 // c(I) = Σ_j max_t f_{t,j}(0)/β_j.
 type AlgorithmB struct {
-	ins     *model.Instance
+	fleet   []model.ServerType
 	tracker *solver.PrefixTracker
 	types   []*TypeB
-	t       int
 	lastOpt model.Config
+	out     model.Config // scratch returned by Step
 }
 
-// NewAlgorithmB prepares Algorithm B for any valid instance.
-func NewAlgorithmB(ins *model.Instance) (*AlgorithmB, error) {
-	return NewAlgorithmBWithOptions(ins, Options{})
+// NewAlgorithmB prepares Algorithm B for a fleet template. Per-slot cost
+// functions arrive through Step; types whose SlotInputs omit costs fall
+// back to the template profile.
+func NewAlgorithmB(types []model.ServerType) (*AlgorithmB, error) {
+	return NewAlgorithmBWithOptions(types, Options{})
 }
 
 // NewAlgorithmBWithOptions is NewAlgorithmB with tracker tuning (see
 // Options).
-func NewAlgorithmBWithOptions(ins *model.Instance, opts Options) (*AlgorithmB, error) {
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	tracker, err := solver.NewPrefixTracker(ins, opts.solverOptions())
+func NewAlgorithmBWithOptions(types []model.ServerType, opts Options) (*AlgorithmB, error) {
+	tracker, err := solver.NewStreamTracker(types, opts.solverOptions())
 	if err != nil {
 		return nil, err
 	}
 	b := &AlgorithmB{
-		ins:     ins,
+		fleet:   append([]model.ServerType(nil), types...),
 		tracker: tracker,
-		types:   make([]*TypeB, ins.D()),
+		types:   make([]*TypeB, len(types)),
+		out:     make(model.Config, len(types)),
 	}
-	for j, st := range ins.Types {
+	for j, st := range types {
 		b.types[j] = NewTypeB(st.SwitchCost)
 	}
 	return b, nil
@@ -128,24 +128,20 @@ func NewAlgorithmBWithOptions(ins *model.Instance, opts Options) (*AlgorithmB, e
 // Name implements Online.
 func (b *AlgorithmB) Name() string { return "AlgorithmB" }
 
-// Done implements Online.
-func (b *AlgorithmB) Done() bool { return b.tracker.Done() }
-
 // Step implements Online.
-func (b *AlgorithmB) Step() model.Config {
-	xhat, _ := b.tracker.Advance()
-	b.lastOpt = xhat
-	b.t++
-	out := make(model.Config, len(b.types))
-	for j, st := range b.types {
-		l := b.ins.Types[j].Cost.At(b.t).Value(0)
-		out[j] = st.Step(l, xhat[j])
-		if b.ins.TimeVarying() {
-			// Fleet shrinkage extension; see AlgorithmA.Step.
-			out[j] = st.ClampTo(b.ins.CountAt(b.t, j))
-		}
+func (b *AlgorithmB) Step(in model.SlotInput) model.Config {
+	xhat, _, err := b.tracker.Push(in)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
-	return out
+	b.lastOpt = append(b.lastOpt[:0], xhat...)
+	for j, st := range b.types {
+		l := in.Cost(j, b.fleet[j].Cost).Value(0)
+		st.Step(l, xhat[j])
+		// Fleet shrinkage extension; see AlgorithmA.Step.
+		b.out[j] = st.ClampTo(in.Count(j, b.fleet[j].Count))
+	}
+	return b.out
 }
 
 // PrefixOpt returns x̂^t_t from the most recent Step.

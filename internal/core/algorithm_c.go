@@ -4,90 +4,66 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/costfn"
 	"repro/internal/model"
 )
 
 // AlgorithmC is the (2d+1+ε)-competitive online algorithm of Section 3.2
-// for time-dependent operating cost functions. It splits each original
+// for time-dependent operating cost functions. It splits each arriving
 // slot t into
 //
 //	ñ_t = ⌈ (d/ε) · max_j l_{t,j}/β_j ⌉   (at least 1)
 //
-// sub-slots carrying cost f_{t,j}/ñ_t, runs Algorithm B on the modified
-// instance Ĩ — whose constant c(Ĩ) <= d/(d/ε) = ε — and then keeps, for
-// each original slot, the sub-slot configuration x^B_{µ(t)} of minimal
-// operating cost (Algorithm 3). Lemma 14 shows the projection never
-// increases the cost.
+// sub-slots carrying cost f_{t,j}/ñ_t, feeds them to an embedded
+// Algorithm B — the modified instance Ĩ has constant c(Ĩ) <= d/(d/ε) = ε —
+// and keeps, per original slot, the sub-slot configuration x^B_{µ(t)} of
+// minimal operating cost (Algorithm 3). Lemma 14 shows the projection
+// never increases the cost.
 //
-// The subdivision counts ñ_t depend only on slot-t data, so the algorithm
-// is a valid online algorithm; the modified instance is materialised
-// up-front purely as an implementation convenience.
+// The subdivision count ñ_t depends only on slot-t data, so the push-based
+// implementation is a valid online algorithm with no materialised modified
+// instance at all: sub-slots are synthesised and consumed on the fly.
 type AlgorithmC struct {
-	ins   *model.Instance
+	fleet []model.ServerType
 	eps   float64
-	sub   *model.Subdivision
 	inner *AlgorithmB
-	eval  *model.Evaluator // evaluator on the modified instance
-	t     int              // original slots processed
-	u     int              // sub-slots processed by the inner algorithm
+	eval  *model.SlotEval
+	t     int // original slots processed
+	u     int // sub-slots pushed into the inner algorithm
 	maxN  int
+
+	best   model.Config  // scratch returned by Step
+	costs  []costfn.Func // scratch: scaled sub-slot cost functions
+	counts []int         // scratch: resolved sub-slot counts
 }
 
 // NewAlgorithmC prepares Algorithm C for accuracy parameter eps > 0.
 // Every type needs β_j > 0: with a free power-up, the subdivision count
 // ñ_t is unbounded (and the 2d+1+c(I) analysis of Algorithm B already
-// degenerates). MaxSubdivision caps ñ_t defensively; instances that would
+// degenerates). MaxSubdivision caps ñ_t defensively; slots that would
 // exceed it are rejected rather than silently degraded.
-func NewAlgorithmC(ins *model.Instance, eps float64) (*AlgorithmC, error) {
+func NewAlgorithmC(types []model.ServerType, eps float64) (*AlgorithmC, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("core: Algorithm C needs eps > 0, got %g", eps)
 	}
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	for j, st := range ins.Types {
+	for j, st := range types {
 		if st.SwitchCost <= 0 {
 			return nil, fmt.Errorf("core: Algorithm C requires β_j > 0 (type %d has %g)", j, st.SwitchCost)
 		}
 	}
-	d := float64(ins.D())
-	ns := make([]int, ins.T())
-	maxN := 1
-	for t := 1; t <= ins.T(); t++ {
-		ratio := 0.0
-		for _, st := range ins.Types {
-			if r := st.Cost.At(t).Value(0) / st.SwitchCost; r > ratio {
-				ratio = r
-			}
-		}
-		n := int(math.Ceil(d / eps * ratio))
-		if n < 1 {
-			n = 1
-		}
-		if n > MaxSubdivision {
-			return nil, fmt.Errorf("core: slot %d needs ñ_t = %d sub-slots (cap %d); idle costs are too large relative to switching costs for eps=%g",
-				t, n, MaxSubdivision, eps)
-		}
-		ns[t-1] = n
-		if n > maxN {
-			maxN = n
-		}
-	}
-	sub, err := model.Subdivide(ins, ns)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := NewAlgorithmB(sub.Mod)
+	inner, err := NewAlgorithmB(types)
 	if err != nil {
 		return nil, err
 	}
 	return &AlgorithmC{
-		ins:   ins,
-		eps:   eps,
-		sub:   sub,
-		inner: inner,
-		eval:  model.NewEvaluator(sub.Mod),
-		maxN:  maxN,
+		fleet:  append([]model.ServerType(nil), types...),
+		eps:    eps,
+		inner:  inner,
+		eval:   model.NewSlotEval(types),
+		maxN:   1,
+		best:   make(model.Config, len(types)),
+		costs:  make([]costfn.Func, len(types)),
+		counts: make([]int, len(types)),
 	}, nil
 }
 
@@ -99,42 +75,58 @@ const MaxSubdivision = 1 << 20
 // Name implements Online.
 func (c *AlgorithmC) Name() string { return fmt.Sprintf("AlgorithmC(eps=%g)", c.eps) }
 
-// Done implements Online.
-func (c *AlgorithmC) Done() bool { return c.t >= c.ins.T() }
-
-// Step implements Online: it executes the ñ_t sub-slots of the next
-// original slot in the embedded Algorithm B and returns
+// Step implements Online: it synthesises the ñ_t sub-slots of the arrived
+// slot, drives the embedded Algorithm B through them, and returns
 // x^C_t = x^B_{µ(t)}, µ(t) = argmin_{u ∈ U(t)} g̃_u(x^B_u).
-func (c *AlgorithmC) Step() model.Config {
-	if c.Done() {
-		panic("core: Algorithm C stepped past the last slot")
-	}
+func (c *AlgorithmC) Step(in model.SlotInput) model.Config {
 	c.t++
-	n := c.sub.N(c.t)
-	var best model.Config
-	bestVal := math.Inf(1)
-	for k := 0; k < n; k++ {
-		x := c.inner.Step()
-		c.u++
-		// All sub-slots of an original slot have identical g̃_u up to the
-		// 1/ñ_t factor, so comparing g̃ values is comparing g values.
-		if v := c.eval.G(c.u, x); v < bestVal {
-			bestVal = v
-			best = x
+	if in.T != 0 && in.T != c.t {
+		panic(fmt.Sprintf("core: Algorithm C fed slot %d out of order, want %d", in.T, c.t))
+	}
+	d := float64(len(c.fleet))
+	ratio := 0.0
+	for j := range c.fleet {
+		c.counts[j] = in.Count(j, c.fleet[j].Count)
+		if r := in.Cost(j, c.fleet[j].Cost).Value(0) / c.fleet[j].SwitchCost; r > ratio {
+			ratio = r
 		}
 	}
-	return best
+	n := int(math.Ceil(d / c.eps * ratio))
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxSubdivision {
+		panic(fmt.Sprintf("core: slot %d needs ñ_t = %d sub-slots (cap %d); idle costs are too large relative to switching costs for eps=%g",
+			c.t, n, MaxSubdivision, c.eps))
+	}
+	if n > c.maxN {
+		c.maxN = n
+	}
+
+	factor := 1.0 / float64(n)
+	for j := range c.fleet {
+		c.costs[j] = costfn.Scaled{F: in.Cost(j, c.fleet[j].Cost), Factor: factor}
+	}
+	bestVal := math.Inf(1)
+	for k := 0; k < n; k++ {
+		c.u++
+		sub := model.SlotInput{T: c.u, Lambda: in.Lambda, Costs: c.costs, Counts: c.counts}
+		x := c.inner.Step(sub)
+		// All sub-slots of an original slot have identical g̃_u up to the
+		// 1/ñ_t factor, so comparing g̃ values is comparing g values.
+		if v := c.eval.G(sub, x); v < bestVal {
+			bestVal = v
+			copy(c.best, x)
+		}
+	}
+	return c.best
 }
 
-// Subdivision exposes the modified-instance mapping (for tests and
-// instrumentation).
-func (c *AlgorithmC) Subdivision() *model.Subdivision { return c.sub }
-
-// MaxN returns the largest ñ_t used.
+// MaxN returns the largest ñ_t used so far.
 func (c *AlgorithmC) MaxN() int { return c.maxN }
 
 // RatioBound returns the proven competitive ratio 2d+1+ε of Theorem 15.
-func (c *AlgorithmC) RatioBound() float64 { return 2*float64(c.ins.D()) + 1 + c.eps }
+func (c *AlgorithmC) RatioBound() float64 { return 2*float64(len(c.fleet)) + 1 + c.eps }
 
 // RatioBoundA returns Theorem 8's bound 2d+1 for instances with
 // time-independent costs, for comparison tables.

@@ -13,32 +13,69 @@
 // type than the final configuration x̂^t_t of an optimal schedule for the
 // prefix instance I_t — and differ in their power-down rule (a ski-rental
 // style timeout measured in accumulated idle cost).
+//
+// The API is push-based: algorithms are constructed from the fleet
+// template ([]model.ServerType) alone and receive each slot's demand, cost
+// functions and fleet counts through Step as they arrive, so the online
+// information model holds by construction. Batch replay over a recorded
+// instance is a thin driver (Run) on top of the same streaming path.
 package core
 
 import (
 	"repro/internal/model"
 )
 
-// Online is a deterministic online right-sizing algorithm. A Step consumes
-// exactly one time slot: the implementation reads only that slot's job
-// volume and cost functions, honouring the online information model.
+// Online is a deterministic push-based online right-sizing algorithm. A
+// Step consumes exactly one time slot's observable data — the
+// implementation never sees further into the future.
 type Online interface {
 	// Name identifies the algorithm in reports.
 	Name() string
-	// Done reports whether every slot has been consumed.
-	Done() bool
-	// Step consumes the next slot and returns the configuration the
-	// algorithm keeps active during it. The returned value is a fresh
-	// copy. Step panics when Done.
-	Step() model.Config
+	// Step consumes slot in.T (slots must arrive consecutively, starting
+	// at 1) and returns the configuration the algorithm keeps active
+	// during it. The returned slice is algorithm-owned scratch, valid only
+	// until the next Step; clone it to retain. Step panics on infeasible
+	// or out-of-order input — live drivers validate before stepping (see
+	// internal/stream.Session).
+	//
+	// Semi-online algorithms (see Buffered) may return nil while their
+	// lookahead window fills; the returned configuration is then always
+	// for the oldest undecided slot, not necessarily for in.T.
+	Step(in model.SlotInput) model.Config
 }
 
-// Run drives an online algorithm over its whole instance and returns the
-// resulting schedule.
-func Run(a Online) model.Schedule {
-	var out model.Schedule
-	for !a.Done() {
-		out = append(out, a.Step())
+// Buffered is the optional interface of semi-online algorithms whose
+// decisions lag their inputs: a Lookahead(w) controller needs slots
+// t..t+w-1 before it can commit slot t, so its Step returns nil for the
+// first w-1 slots and drivers must Flush once the stream ends. Fully
+// online algorithms never implement Buffered.
+type Buffered interface {
+	Online
+	// Pending reports the number of ingested slots not yet decided.
+	Pending() int
+	// Flush decides every pending slot as if the stream had ended and
+	// returns their configurations in slot order. The returned
+	// configurations are fresh copies.
+	Flush() []model.Config
+}
+
+// Run drives an online algorithm over a pre-recorded instance — the batch
+// facade over the streaming API. The schedule is preallocated and each
+// slot's scratch configuration is cloned exactly once into it.
+func Run(a Online, ins *model.Instance) model.Schedule {
+	T := ins.T()
+	out := make(model.Schedule, 0, T)
+	var in model.SlotInput
+	for t := 1; t <= T; t++ {
+		ins.SlotInto(t, &in)
+		if x := a.Step(in); x != nil {
+			out = append(out, x.Clone())
+		}
+	}
+	if b, ok := a.(Buffered); ok {
+		for _, x := range b.Flush() {
+			out = append(out, x.Clone())
+		}
 	}
 	return out
 }

@@ -202,7 +202,7 @@ func TestTypeBNegativeBetaPanics(t *testing.T) {
 
 func TestAlgorithmARejectsTimeDependentCosts(t *testing.T) {
 	ins := randomVaryingInstance(rand.New(rand.NewSource(1)), 2, 2, 4)
-	if _, err := NewAlgorithmA(ins); err == nil {
+	if _, err := NewAlgorithmA(ins.Types); err == nil {
 		t.Error("expected error for time-dependent costs")
 	}
 }
@@ -211,13 +211,13 @@ func TestAlgorithmAFeasibleAndInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 40; i++ {
 		ins := randomStaticInstance(rng, 3, 3, 10)
-		a, err := NewAlgorithmA(ins)
+		a, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var sched model.Schedule
-		for !a.Done() {
-			x := a.Step()
+		for ts := 1; ts <= ins.T(); ts++ {
+			x := a.Step(ins.Slot(ts)).Clone()
 			// Power-up rule: x^A >= x̂^t_t (Lemma 1's key invariant).
 			xhat := a.PrefixOpt()
 			for j := range x {
@@ -238,11 +238,11 @@ func TestAlgorithmACompetitiveBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	for i := 0; i < 40; i++ {
 		ins := randomStaticInstance(rng, 2, 3, 8)
-		a, err := NewAlgorithmA(ins)
+		a, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := Run(a)
+		sched := Run(a, ins)
 		cost := model.NewEvaluator(ins).Cost(sched).Total()
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
@@ -264,11 +264,11 @@ func TestAlgorithmAConstantCostBound(t *testing.T) {
 		for j := range ins.Types {
 			ins.Types[j].Cost = model.Static{F: costfn.Constant{C: 0.1 + rng.Float64()*3}}
 		}
-		a, err := NewAlgorithmA(ins)
+		a, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := Run(a)
+		sched := Run(a, ins)
 		cost := model.NewEvaluator(ins).Cost(sched).Total()
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
@@ -289,7 +289,7 @@ func TestAlgorithmATimeoutAccessor(t *testing.T) {
 		}},
 		Lambda: []float64{1, 1},
 	}
-	a, err := NewAlgorithmA(ins)
+	a, err := NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,13 +307,13 @@ func TestAlgorithmBFeasibleAndInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 40; i++ {
 		ins := randomVaryingInstance(rng, 3, 3, 10)
-		b, err := NewAlgorithmB(ins)
+		b, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var sched model.Schedule
-		for !b.Done() {
-			x := b.Step()
+		for ts := 1; ts <= ins.T(); ts++ {
+			x := b.Step(ins.Slot(ts)).Clone()
 			xhat := b.PrefixOpt()
 			for j := range x {
 				if x[j] < xhat[j] {
@@ -333,11 +333,11 @@ func TestAlgorithmBCompetitiveBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(18))
 	for i := 0; i < 40; i++ {
 		ins := randomVaryingInstance(rng, 2, 3, 8)
-		b, err := NewAlgorithmB(ins)
+		b, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := Run(b)
+		sched := Run(b, ins)
 		cost := model.NewEvaluator(ins).Cost(sched).Total()
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
@@ -359,11 +359,11 @@ func TestAlgorithmBMatchesAOnStaticInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	for i := 0; i < 20; i++ {
 		ins := randomStaticInstance(rng, 2, 3, 8)
-		b, err := NewAlgorithmB(ins)
+		b, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cost := model.NewEvaluator(ins).Cost(Run(b)).Total()
+		cost := model.NewEvaluator(ins).Cost(Run(b, ins)).Total()
 		opt, _ := solver.OptimalCost(ins)
 		// B's guarantee on static instances: 2d+1+c(I).
 		if !numeric.LessEqual(cost, RatioBoundB(ins)*opt, 1e-9) {
@@ -407,11 +407,11 @@ func TestCIZeroBeta(t *testing.T) {
 
 func TestAlgorithmCArgValidation(t *testing.T) {
 	ins := randomVaryingInstance(rand.New(rand.NewSource(2)), 2, 2, 4)
-	if _, err := NewAlgorithmC(ins, 0); err == nil {
+	if _, err := NewAlgorithmC(ins.Types, 0); err == nil {
 		t.Error("eps = 0 should error")
 	}
 	ins.Types[0].SwitchCost = 0
-	if _, err := NewAlgorithmC(ins, 0.5); err == nil {
+	if _, err := NewAlgorithmC(ins.Types, 0.5); err == nil {
 		t.Error("β = 0 should error")
 	}
 }
@@ -428,18 +428,25 @@ func TestAlgorithmCSubdivisionCounts(t *testing.T) {
 		}},
 		Lambda: []float64{1, 1},
 	}
-	c, err := NewAlgorithmC(ins, 0.5)
+	c, err := NewAlgorithmC(ins.Types, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Subdivision().N(1) != 1 || c.Subdivision().N(2) != 3 {
-		t.Errorf("ñ = (%d, %d), want (1, 3)", c.Subdivision().N(1), c.Subdivision().N(2))
+	c.Step(ins.Slot(1))
+	if c.MaxN() != 1 {
+		t.Errorf("ñ_1 = %d, want 1", c.MaxN())
 	}
+	c.Step(ins.Slot(2))
 	if c.MaxN() != 3 {
-		t.Errorf("MaxN = %d, want 3", c.MaxN())
+		t.Errorf("max ñ = %d, want 3", c.MaxN())
 	}
-	// Equation (16): c(Ĩ) <= eps (here d=1, n=d/eps).
-	if got := CI(c.Subdivision().Mod); got > 0.5+1e-9 {
+	// Equation (16): c(Ĩ) <= eps (here d=1, n=d/eps) on the materialised
+	// modified instance the push-based run corresponds to.
+	sub, err := model.Subdivide(ins, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CI(sub.Mod); got > 0.5+1e-9 {
 		t.Errorf("c(Ĩ) = %g, want <= 0.5", got)
 	}
 }
@@ -448,11 +455,11 @@ func TestAlgorithmCFeasibleSchedules(t *testing.T) {
 	rng := rand.New(rand.NewSource(27))
 	for i := 0; i < 25; i++ {
 		ins := randomVaryingInstance(rng, 2, 3, 6)
-		c, err := NewAlgorithmC(ins, 1)
+		c, err := NewAlgorithmC(ins.Types, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := Run(c)
+		sched := Run(c, ins)
 		if len(sched) != ins.T() {
 			t.Fatalf("case %d: schedule has %d slots, want %d", i, len(sched), ins.T())
 		}
@@ -468,11 +475,11 @@ func TestAlgorithmCCompetitiveBound(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		ins := randomVaryingInstance(rng, 2, 2, 6)
 		for _, eps := range []float64{2, 0.5} {
-			c, err := NewAlgorithmC(ins, eps)
+			c, err := NewAlgorithmC(ins.Types, eps)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sched := Run(c)
+			sched := Run(c, ins)
 			cost := model.NewEvaluator(ins).Cost(sched).Total()
 			opt, err := solver.OptimalCost(ins)
 			if err != nil {
@@ -491,48 +498,62 @@ func TestAlgorithmCProjectionLemma(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for i := 0; i < 20; i++ {
 		ins := randomVaryingInstance(rng, 2, 2, 5)
-		c, err := NewAlgorithmC(ins, 1)
+		c, err := NewAlgorithmC(ins.Types, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Drive C while mirroring the inner B schedule.
-		var cSched model.Schedule
-		for !c.Done() {
-			cSched = append(cSched, c.Step())
+		cSched := Run(c, ins)
+		// Rebuild the modified instance Ĩ the push-based run synthesised
+		// (ñ_t from slot-t data alone) and rerun B on it (deterministic).
+		ns := make([]int, ins.T())
+		d := float64(ins.D())
+		for t := 1; t <= ins.T(); t++ {
+			ratio := 0.0
+			for _, st := range ins.Types {
+				if r := st.Cost.At(t).Value(0) / st.SwitchCost; r > ratio {
+					ratio = r
+				}
+			}
+			ns[t-1] = int(math.Ceil(d / 1 * ratio))
+			if ns[t-1] < 1 {
+				ns[t-1] = 1
+			}
 		}
-		// Rebuild the inner schedule by rerunning B on the same modified
-		// instance (deterministic).
-		b, err := NewAlgorithmB(c.Subdivision().Mod)
+		sub, err := model.Subdivide(ins, ns)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bSched := Run(b)
+		b, err := NewAlgorithmB(sub.Mod.Types)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bSched := Run(b, sub.Mod)
 		cCost := model.NewEvaluator(ins).Cost(cSched).Total()
-		bCost := model.NewEvaluator(c.Subdivision().Mod).Cost(bSched).Total()
+		bCost := model.NewEvaluator(sub.Mod).Cost(bSched).Total()
 		if !numeric.LessEqual(cCost, bCost, 1e-6) {
 			t.Fatalf("case %d: C(X^C)=%g exceeds C(X^B on Ĩ)=%g", i, cCost, bCost)
 		}
 	}
 }
 
-func TestAlgorithmCStepPastEndPanics(t *testing.T) {
+func TestAlgorithmCOutOfOrderSlotPanics(t *testing.T) {
 	ins := randomVaryingInstance(rand.New(rand.NewSource(3)), 1, 2, 2)
-	c, err := NewAlgorithmC(ins, 1)
+	c, err := NewAlgorithmC(ins.Types, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	Run(c)
+	Run(c, ins)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	c.Step()
+	c.Step(ins.Slot(1)) // slot 1 again: protocol violation
 }
 
 func TestAlgorithmCNameAndBound(t *testing.T) {
 	ins := randomVaryingInstance(rand.New(rand.NewSource(4)), 2, 2, 3)
-	c, err := NewAlgorithmC(ins, 0.25)
+	c, err := NewAlgorithmC(ins.Types, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -549,16 +570,13 @@ func TestAlgorithmCNameAndBound(t *testing.T) {
 
 func TestRunCollectsFullSchedule(t *testing.T) {
 	ins := randomStaticInstance(rand.New(rand.NewSource(5)), 2, 3, 7)
-	a, err := NewAlgorithmA(ins)
+	a, err := NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := Run(a)
+	sched := Run(a, ins)
 	if len(sched) != ins.T() {
 		t.Fatalf("schedule length %d, want %d", len(sched), ins.T())
-	}
-	if !a.Done() {
-		t.Error("algorithm should be done after Run")
 	}
 }
 
@@ -584,11 +602,11 @@ func BenchmarkAlgorithmAT48M16(b *testing.B) {
 	ins := benchStaticInstance(48, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		a, err := NewAlgorithmA(ins)
+		a, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			b.Fatal(err)
 		}
-		Run(a)
+		Run(a, ins)
 	}
 }
 
@@ -596,11 +614,11 @@ func BenchmarkAlgorithmBT48M16(b *testing.B) {
 	ins := benchStaticInstance(48, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		alg, err := NewAlgorithmB(ins)
+		alg, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			b.Fatal(err)
 		}
-		Run(alg)
+		Run(alg, ins)
 	}
 }
 
@@ -613,22 +631,29 @@ func TestAlgorithmCRejectsExcessiveSubdivision(t *testing.T) {
 		}},
 		Lambda: []float64{0.5},
 	}
-	if _, err := NewAlgorithmC(ins, 0.5); err == nil {
-		t.Error("expected MaxSubdivision rejection")
+	c, err := NewAlgorithmC(ins.Types, 0.5)
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected MaxSubdivision rejection")
+		}
+	}()
+	Run(c, ins)
 }
 
 func TestAlgorithmAWithOptionsParallelTracker(t *testing.T) {
 	ins := benchStaticInstance(24, 8)
-	exact, err := NewAlgorithmA(ins)
+	exact, err := NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := NewAlgorithmAWithOptions(ins, Options{TrackerWorkers: 3})
+	par, err := NewAlgorithmAWithOptions(ins.Types, Options{TrackerWorkers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	se, sp := Run(exact), Run(par)
+	se, sp := Run(exact, ins), Run(par, ins)
 	for i := range se {
 		if !se[i].Equal(sp[i]) {
 			t.Fatalf("slot %d: parallel tracker changed decisions", i+1)

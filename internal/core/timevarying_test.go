@@ -35,13 +35,13 @@ func TestAlgorithmATimeVaryingFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	for i := 0; i < 30; i++ {
 		ins := timeVaryingInstance(rng)
-		a, err := NewAlgorithmA(ins)
+		a, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var sched model.Schedule
-		for !a.Done() {
-			x := a.Step()
+		for ts := 1; ts <= ins.T(); ts++ {
+			x := a.Step(ins.Slot(ts)).Clone()
 			xhat := a.PrefixOpt()
 			for j := range x {
 				if x[j] < xhat[j] {
@@ -60,13 +60,13 @@ func TestAlgorithmBTimeVaryingFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(92))
 	for i := 0; i < 30; i++ {
 		ins := timeVaryingInstance(rng)
-		b, err := NewAlgorithmB(ins)
+		b, err := NewAlgorithmB(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var sched model.Schedule
-		for !b.Done() {
-			x := b.Step()
+		for ts := 1; ts <= ins.T(); ts++ {
+			x := b.Step(ins.Slot(ts)).Clone()
 			xhat := b.PrefixOpt()
 			for j := range x {
 				if x[j] < xhat[j] {

@@ -36,7 +36,7 @@ func NewComparison(ins *model.Instance) (*Comparison, error) {
 // The schedule is validated for feasibility; an infeasible schedule is a
 // bug in the algorithm and panics.
 func (c *Comparison) RunOnline(alg core.Online) Metrics {
-	sched := core.Run(alg)
+	sched := core.Run(alg, c.Ins)
 	if err := c.Ins.Feasible(sched); err != nil {
 		panic(fmt.Sprintf("engine: %s produced an infeasible schedule: %v", alg.Name(), err))
 	}

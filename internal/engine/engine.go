@@ -4,17 +4,18 @@
 //
 // The pieces compose bottom-up:
 //
-//   - AlgSpec names an algorithm and knows how to produce its schedule for
-//     an instance (online algorithms via core.Online, offline solvers via
-//     their Result), plus an applicability gate (Algorithm A needs
-//     time-independent costs, LCP needs d = 1, ...).
+//   - AlgSpec names an algorithm and knows how to produce its behaviour
+//     for an instance: a push-based streaming constructor (New) for the
+//     online algorithms and baselines, or a hindsight schedule producer
+//     (Offline) for the offline policies, plus an applicability gate
+//     (Algorithm A needs time-independent costs, LCP needs d = 1, ...).
+//   - The algorithm registry (RegisterAlgorithm / Algorithms /
+//     LookupAlgorithm) mirrors the scenario registry, so scenarios, the
+//     CLI, live sessions and the facade all resolve algorithms by name.
 //   - Measure turns a schedule into Metrics: cost decomposition, switching
 //     activity and the competitive ratio against the exact optimum.
 //   - Scenario bundles a named deterministic instance generator with the
-//     algorithms to run on it; a registry of stock scenarios (diurnal,
-//     bursty, on/off, random walk, heterogeneous fleets, maintenance
-//     windows, price-modulated costs) makes new workloads one struct
-//     literal instead of a new main.go.
+//     algorithms to run on it.
 //   - RunSuite fans scenarios out over a bounded worker pool with the
 //     determinism discipline of solver/parallel.go: static partition,
 //     per-unit model.Evaluators, bit-identical results for any worker
@@ -90,11 +91,11 @@ func MeasureWith(ev *model.Evaluator, sched model.Schedule, name string, opt flo
 	return m
 }
 
-// RatioAgainstOpt runs an online algorithm to completion and returns its
-// cost divided by the exact optimal cost. The optimum is computed with the
-// memory-light solver since no optimal schedule is needed.
+// RatioAgainstOpt runs an online algorithm over the instance and returns
+// its cost divided by the exact optimal cost. The optimum is computed with
+// the memory-light solver since no optimal schedule is needed.
 func RatioAgainstOpt(ins *model.Instance, alg core.Online) (float64, error) {
-	sched := core.Run(alg)
+	sched := core.Run(alg, ins)
 	if err := ins.Feasible(sched); err != nil {
 		return 0, fmt.Errorf("engine: %s produced an infeasible schedule: %v", alg.Name(), err)
 	}
@@ -106,62 +107,83 @@ func RatioAgainstOpt(ins *model.Instance, alg core.Online) (float64, error) {
 	return cost / opt, nil
 }
 
-// AlgSpec describes one algorithm of a scenario: a display name, a
-// schedule producer and an optional applicability gate.
+// AlgSpec describes one algorithm: registry identity, documentation, a
+// streaming constructor and/or an offline schedule producer, and an
+// optional applicability gate.
 type AlgSpec struct {
+	// Key is the registry key (kebab-case by convention, e.g. "alg-a").
+	// Lookup is normalisation-insensitive, so "algA" finds "alg-a".
+	Key string
 	// Name identifies the algorithm in results; it must be unique within
-	// a scenario.
+	// a scenario and stays stable across releases (the suite-result format
+	// depends on it).
 	Name string
-	// Run computes the algorithm's schedule for the instance. The engine
-	// validates feasibility of whatever it returns.
-	Run func(ins *model.Instance) (model.Schedule, error)
+	// Doc is a one-line description for listings and README tables.
+	Doc string
+	// Bound is the proven competitive ratio, informational ("2d+1",
+	// "2d+1+c(I)", "—" for heuristics).
+	Bound string
+	// Applies is the human-readable applicability gate for tables ("any
+	// instance", "time-independent costs", "d = 1").
+	Applies string
+	// New constructs the push-based online algorithm for a fleet
+	// template; nil for offline-only policies.
+	New func(types []model.ServerType) (core.Online, error)
+	// Offline, when non-nil, computes a hindsight schedule directly and
+	// takes precedence over New in batch runs.
+	Offline func(ins *model.Instance) (model.Schedule, error)
 	// Skip, when non-nil, reports why the spec does not apply to the
 	// instance ("" means it applies). Skipped algorithms are recorded in
 	// the result rather than failing the scenario.
 	Skip func(ins *model.Instance) string
 }
 
-// OnlineSpec wraps a core.Online constructor as an AlgSpec.
-func OnlineSpec(name string, mk func(*model.Instance) (core.Online, error)) AlgSpec {
-	return AlgSpec{
-		Name: name,
-		Run: func(ins *model.Instance) (model.Schedule, error) {
-			alg, err := mk(ins)
-			if err != nil {
-				return nil, err
-			}
-			return core.Run(alg), nil
+// Streamable reports whether the algorithm can serve a live session.
+func (s AlgSpec) Streamable() bool { return s.New != nil }
+
+// Run computes the algorithm's schedule for the instance: offline policies
+// solve in hindsight, online algorithms are constructed for the instance's
+// fleet and driven through the streaming path (batch replay is a thin
+// driver over Step). Step panics from per-slot rejections (e.g. Algorithm
+// C's subdivision cap) are converted into ordinary errors, matching the
+// construction-time errors the pre-streaming API reported (Evaluate still
+// treats any algorithm error as a scenario failure).
+func (s AlgSpec) Run(ins *model.Instance) (sched model.Schedule, err error) {
+	if s.Offline != nil {
+		return s.Offline(ins)
+	}
+	if s.New == nil {
+		return nil, fmt.Errorf("engine: algorithm %q has no constructor", s.Name)
+	}
+	alg, err := s.New(ins.Types)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sched, err = nil, fmt.Errorf("engine: %s rejected the instance: %v", s.Name, r)
+		}
+	}()
+	return core.Run(alg, ins), nil
+}
+
+// OnlineSpec wraps a push-based constructor as an AlgSpec.
+func OnlineSpec(name string, mk func(types []model.ServerType) (core.Online, error)) AlgSpec {
+	return AlgSpec{Name: name, New: mk}
+}
+
+// AlgorithmCSpec is the paper's Algorithm C (Section 3.2) with accuracy ε.
+func AlgorithmCSpec(eps float64) AlgSpec {
+	s := AlgSpec{
+		Key:     "alg-c",
+		Name:    fmt.Sprintf("AlgorithmC(ε=%g)", eps),
+		Doc:     "online, sub-slot subdivision for time-dependent costs (Section 3.2)",
+		Bound:   "2d+1+ε",
+		Applies: "β_j > 0 for every type",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return core.NewAlgorithmC(types, eps)
 		},
 	}
-}
-
-// SpecAlgorithmA is the paper's Algorithm A (Section 2); it applies only
-// to time-independent operating costs.
-func SpecAlgorithmA() AlgSpec {
-	s := OnlineSpec("AlgorithmA", func(ins *model.Instance) (core.Online, error) {
-		return core.NewAlgorithmA(ins)
-	})
-	s.Skip = func(ins *model.Instance) string {
-		if !ins.TimeIndependent() {
-			return "requires time-independent operating costs"
-		}
-		return ""
-	}
-	return s
-}
-
-// SpecAlgorithmB is the paper's Algorithm B (Section 3.1).
-func SpecAlgorithmB() AlgSpec {
-	return OnlineSpec("AlgorithmB", func(ins *model.Instance) (core.Online, error) {
-		return core.NewAlgorithmB(ins)
-	})
-}
-
-// SpecAlgorithmC is the paper's Algorithm C (Section 3.2) with accuracy ε.
-func SpecAlgorithmC(eps float64) AlgSpec {
-	s := OnlineSpec(fmt.Sprintf("AlgorithmC(ε=%g)", eps), func(ins *model.Instance) (core.Online, error) {
-		return core.NewAlgorithmC(ins, eps)
-	})
 	s.Skip = func(ins *model.Instance) string {
 		if eps <= 0 {
 			return "requires ε > 0"
@@ -176,12 +198,16 @@ func SpecAlgorithmC(eps float64) AlgSpec {
 	return s
 }
 
-// SpecApprox is the offline (1+ε)-approximation (Section 4.2) run as a
+// ApproxSpec is the offline (1+ε)-approximation (Section 4.2) run as a
 // hindsight policy.
-func SpecApprox(eps float64) AlgSpec {
+func ApproxSpec(eps float64) AlgSpec {
 	return AlgSpec{
-		Name: fmt.Sprintf("Approx(ε=%g)", eps),
-		Run: func(ins *model.Instance) (model.Schedule, error) {
+		Key:     "approx",
+		Name:    fmt.Sprintf("Approx(ε=%g)", eps),
+		Doc:     "offline (1+ε)-approximation on the γ-reduced lattice (Section 4.2)",
+		Bound:   "1+ε (hindsight)",
+		Applies: "any instance",
+		Offline: func(ins *model.Instance) (model.Schedule, error) {
 			res, err := solver.SolveApprox(ins, eps)
 			if err != nil {
 				return nil, err
@@ -191,61 +217,107 @@ func SpecApprox(eps float64) AlgSpec {
 	}
 }
 
-// SpecAllOn keeps the whole fleet powered (static provisioning).
-func SpecAllOn() AlgSpec {
-	return OnlineSpec("AllOn", func(ins *model.Instance) (core.Online, error) {
-		return baseline.NewAllOn(ins)
-	})
-}
-
-// SpecLoadTracking follows the per-slot operating-cost optimum.
-func SpecLoadTracking() AlgSpec {
-	return OnlineSpec("LoadTracking", func(ins *model.Instance) (core.Online, error) {
-		return baseline.NewLoadTracking(ins)
-	})
-}
-
-// SpecSkiRental is the ski-rental style release baseline.
-func SpecSkiRental() AlgSpec {
-	return OnlineSpec("SkiRental", func(ins *model.Instance) (core.Online, error) {
-		return baseline.NewSkiRental(ins)
-	})
-}
-
-// SpecLCP is discrete lazy capacity provisioning; homogeneous d = 1 only.
-func SpecLCP() AlgSpec {
-	s := OnlineSpec("LCP", func(ins *model.Instance) (core.Online, error) {
-		return baseline.NewLCP(ins)
-	})
-	s.Skip = func(ins *model.Instance) string {
-		if ins.D() != 1 {
-			return "homogeneous (d = 1) instances only"
-		}
-		return ""
+// LookaheadSpec is receding-horizon control with lookahead window w,
+// streamed through the buffering Lookahead wrapper (decisions lag inputs
+// by w−1 slots).
+func LookaheadSpec(w int) AlgSpec {
+	return AlgSpec{
+		Key:     "receding-horizon",
+		Name:    fmt.Sprintf("RecedingHorizon(w=%d)", w),
+		Doc:     fmt.Sprintf("semi-online model-predictive control, %d-slot lookahead buffer", w),
+		Bound:   "—",
+		Applies: "any instance (decisions lag w−1 slots)",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return baseline.NewLookahead(types, w)
+		},
 	}
-	return s
 }
 
-// SpecRecedingHorizon is model-predictive control with lookahead w.
-func SpecRecedingHorizon(w int) AlgSpec {
-	return OnlineSpec(fmt.Sprintf("RecedingHorizon(w=%d)", w), func(ins *model.Instance) (core.Online, error) {
-		return baseline.NewRecedingHorizon(ins, w)
+// stock registry entries.
+func init() {
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "alg-a",
+		Name:    "AlgorithmA",
+		Doc:     "online, (2d+1)-competitive for time-independent costs (Section 2)",
+		Bound:   "2d+1",
+		Applies: "time-independent costs",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return core.NewAlgorithmA(types)
+		},
+		Skip: func(ins *model.Instance) string {
+			if !ins.TimeIndependent() {
+				return "requires time-independent operating costs"
+			}
+			return ""
+		},
 	})
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "alg-b",
+		Name:    "AlgorithmB",
+		Doc:     "online, (2d+1+c(I))-competitive for time-dependent costs (Section 3.1)",
+		Bound:   "2d+1+c(I)",
+		Applies: "any instance",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return core.NewAlgorithmB(types)
+		},
+	})
+	mustRegisterAlgorithm(AlgorithmCSpec(1))
+	mustRegisterAlgorithm(ApproxSpec(0.5))
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "all-on",
+		Name:    "AllOn",
+		Doc:     "static provisioning: every available server stays powered",
+		Bound:   "—",
+		Applies: "any instance",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return baseline.NewAllOn(types)
+		},
+	})
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "load-tracking",
+		Name:    "LoadTracking",
+		Doc:     "memoryless per-slot operating-cost optimiser (ignores switching)",
+		Bound:   "—",
+		Applies: "any instance",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return baseline.NewLoadTracking(types)
+		},
+	})
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "ski-rental",
+		Name:    "SkiRental",
+		Doc:     "follow load up instantly, release surplus after idle cost β_j",
+		Bound:   "—",
+		Applies: "any instance",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return baseline.NewSkiRental(types)
+		},
+	})
+	mustRegisterAlgorithm(AlgSpec{
+		Key:     "lcp",
+		Name:    "LCP",
+		Doc:     "lazy capacity provisioning corridor (prior work, homogeneous)",
+		Bound:   "3 (homogeneous)",
+		Applies: "d = 1",
+		New: func(types []model.ServerType) (core.Online, error) {
+			return baseline.NewLCP(types)
+		},
+		Skip: func(ins *model.Instance) string {
+			if ins.D() != 1 {
+				return "homogeneous (d = 1) instances only"
+			}
+			return ""
+		},
+	})
+	mustRegisterAlgorithm(LookaheadSpec(3))
 }
 
 // DefaultAlgorithms is the standard line-up measured against the optimum:
-// the paper's three online algorithms plus every baseline. Inapplicable
-// entries (Algorithm A on time-dependent costs, LCP on heterogeneous
-// fleets) are skipped per instance.
+// the paper's three online algorithms plus every baseline, resolved from
+// the registry in the canonical result order. Inapplicable entries
+// (Algorithm A on time-dependent costs, LCP on heterogeneous fleets) are
+// skipped per instance.
 func DefaultAlgorithms() []AlgSpec {
-	return []AlgSpec{
-		SpecAlgorithmA(),
-		SpecAlgorithmB(),
-		SpecAlgorithmC(1),
-		SpecAllOn(),
-		SpecLoadTracking(),
-		SpecSkiRental(),
-		SpecLCP(),
-		SpecRecedingHorizon(3),
-	}
+	return algorithmsByKey("alg-a", "alg-b", "alg-c", "all-on", "load-tracking",
+		"ski-rental", "lcp", "receding-horizon")
 }

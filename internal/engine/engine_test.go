@@ -127,7 +127,11 @@ func TestEvaluateRecordsSkips(t *testing.T) {
 	}
 	// An invalid ε must gate, not error the scenario (cmd/rightsize
 	// -compare relies on this to keep printing the table).
-	sc.Algorithms = []AlgSpec{SpecAlgorithmB(), SpecAlgorithmC(0)}
+	algB, ok := LookupAlgorithm("alg-b")
+	if !ok {
+		t.Fatal("alg-b missing from the registry")
+	}
+	sc.Algorithms = []AlgSpec{algB, AlgorithmCSpec(0)}
 	res, err = Evaluate(sc, 1, false)
 	if err != nil {
 		t.Fatalf("eps<=0 should skip Algorithm C, not fail: %v", err)
@@ -221,7 +225,7 @@ func TestRatioAgainstOpt(t *testing.T) {
 		}},
 		Lambda: workload.OnOff(12, 3, 0.5, 3, 3),
 	}
-	alg, err := core.NewAlgorithmA(ins)
+	alg, err := core.NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}

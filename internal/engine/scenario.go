@@ -89,6 +89,15 @@ func Scenarios() []Scenario {
 
 // ---------- stock library ----------
 
+// maintenanceLineup is the maintenance scenario's algorithm selection:
+// the two applicable online algorithms, the offline approximation as a
+// hindsight yardstick, and the cheap baselines.
+func maintenanceLineup() []AlgSpec {
+	out := algorithmsByKey("alg-a", "alg-b")
+	out = append(out, ApproxSpec(0.5))
+	return append(out, algorithmsByKey("all-on", "load-tracking")...)
+}
+
 // cpuGPU is the CPU+GPU cluster used across the experiment study: cheap
 // slow web servers and expensive fast accelerators (the paper's
 // heterogeneity motivation).
@@ -212,13 +221,7 @@ func init() {
 				Counts: counts,
 			}
 		},
-		Algorithms: []AlgSpec{
-			SpecAlgorithmA(),
-			SpecAlgorithmB(),
-			SpecApprox(0.5),
-			SpecAllOn(),
-			SpecLoadTracking(),
-		},
+		Algorithms: maintenanceLineup(),
 	})
 
 	mustRegister(Scenario{

@@ -117,7 +117,7 @@ func E1CompetitiveA(seed int64, perD int) Report {
 		var sum, max float64
 		for i := 0; i < perD; i++ {
 			ins := randomStatic(rng, d, 4-d+1, 8+rng.Intn(6))
-			a, err := core.NewAlgorithmA(ins)
+			a, err := core.NewAlgorithmA(ins.Types)
 			if err != nil {
 				panic(err)
 			}
@@ -159,7 +159,7 @@ func E2ConstantCosts(seed int64, perD int) Report {
 			for j := range ins.Types {
 				ins.Types[j].Cost = model.Static{F: costfn.Constant{C: 0.2 + rng.Float64()*2}}
 			}
-			a, err := core.NewAlgorithmA(ins)
+			a, err := core.NewAlgorithmA(ins.Types)
 			if err != nil {
 				panic(err)
 			}
@@ -197,7 +197,7 @@ func E3CompetitiveB(seed int64, perD int) Report {
 		holds := true
 		for i := 0; i < perD; i++ {
 			ins := modulate(rng, randomStatic(rng, d, 4-d+1, 8+rng.Intn(6)))
-			b, err := core.NewAlgorithmB(ins)
+			b, err := core.NewAlgorithmB(ins.Types)
 			if err != nil {
 				panic(err)
 			}
@@ -241,7 +241,7 @@ func E4CompetitiveC(seed int64, instances int) Report {
 		holds := true
 		for i := 0; i < instances; i++ {
 			ins := modulate(rng, randomStatic(rng, 2, 3, 8+rng.Intn(4)))
-			c, err := core.NewAlgorithmC(ins, eps)
+			c, err := core.NewAlgorithmC(ins.Types, eps)
 			if err != nil {
 				panic(err)
 			}
@@ -284,7 +284,7 @@ func E7Adversarial() Report {
 	// OPT power-cycles for β+1; the ratio 2β/(β+1) → 2 = 2d.
 	for _, beta := range []float64{4, 9, 19, 49} {
 		ins, predicted := adversary.SkiRentalSpikes(beta, 6)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			panic(err)
 		}
@@ -307,7 +307,7 @@ func E7Adversarial() Report {
 		T:    36,
 		Peak: 1, Iters: 150, Seed: 1337,
 		NewAlg: func(ins *model.Instance) (core.Online, error) {
-			return core.NewAlgorithmA(ins)
+			return core.NewAlgorithmA(ins.Types)
 		},
 	})
 	if err != nil {
@@ -355,16 +355,16 @@ func E8CostSavings(seed int64) Report {
 		if err != nil {
 			panic(err)
 		}
-		algA, err := core.NewAlgorithmA(ins)
+		algA, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			panic(err)
 		}
 		cmp.RunOnline(algA)
 		for _, mk := range []func(*model.Instance) (core.Online, error){
-			func(i *model.Instance) (core.Online, error) { return baseline.NewAllOn(i) },
-			func(i *model.Instance) (core.Online, error) { return baseline.NewLoadTracking(i) },
-			func(i *model.Instance) (core.Online, error) { return baseline.NewSkiRental(i) },
-			func(i *model.Instance) (core.Online, error) { return baseline.NewRecedingHorizon(i, 3) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewAllOn(i.Types) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewLoadTracking(i.Types) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewSkiRental(i.Types) },
+			func(i *model.Instance) (core.Online, error) { return baseline.NewLookahead(i.Types, 3) },
 		} {
 			alg, err := mk(ins)
 			if err != nil {

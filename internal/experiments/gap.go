@@ -115,7 +115,7 @@ func E10ScaledTracker(seed int64, instances int) Report {
 			},
 			Lambda: workload.DiurnalNoisy(rng, 36, 5, 100, 24, 0.2),
 		}
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			panic(err)
 		}
@@ -130,7 +130,7 @@ func E10ScaledTracker(seed int64, instances int) Report {
 		var sum, max float64
 		shrink := 0.0
 		for _, c := range cases {
-			a, err := core.NewAlgorithmAWithOptions(c.ins, core.Options{TrackerGamma: gamma})
+			a, err := core.NewAlgorithmAWithOptions(c.ins.Types, core.Options{TrackerGamma: gamma})
 			if err != nil {
 				panic(err)
 			}

@@ -35,11 +35,11 @@ func E12ProofTerms(seed int64, instances int) Report {
 	d := 2
 	for i := 0; i < instances; i++ {
 		ins := randomStatic(rng, d, 3, 10)
-		a, err := core.NewAlgorithmA(ins)
+		a, err := core.NewAlgorithmA(ins.Types)
 		if err != nil {
 			panic(err)
 		}
-		sched := core.Run(a)
+		sched := core.Run(a, ins)
 		opt, err := solver.OptimalCost(ins)
 		if err != nil {
 			panic(err)

@@ -317,10 +317,17 @@ func (e *Evaluator) Split(t int, x Config) dispatch.Assignment {
 // SwitchCost returns Σ_j β_j (cur_j − prev_j)^+, the cost of moving from
 // configuration prev to cur.
 func (ins *Instance) SwitchCost(prev, cur Config) float64 {
+	return SwitchCostOf(ins.Types, prev, cur)
+}
+
+// SwitchCostOf is SwitchCost for a bare fleet template — the single
+// definition of the switching semantics shared by batch evaluation, the
+// lookahead window DP and the session's streaming cost accounting.
+func SwitchCostOf(types []ServerType, prev, cur Config) float64 {
 	total := 0.0
-	for j := range ins.Types {
+	for j := range types {
 		if up := cur[j] - prev[j]; up > 0 {
-			total += ins.Types[j].SwitchCost * float64(up)
+			total += types[j].SwitchCost * float64(up)
 		}
 	}
 	return total

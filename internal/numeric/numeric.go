@@ -135,6 +135,20 @@ func Clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// EqualInts reports whether two int slices are elementwise identical
+// (per-slot fleet-count rows, lattice shapes).
+func EqualInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ClampInt limits v to the integer interval [lo, hi].
 func ClampInt(v, lo, hi int) int {
 	if v < lo {
@@ -159,6 +173,23 @@ func SumKahan(xs []float64) float64 {
 	}
 	return sum
 }
+
+// Kahan is the incremental form of SumKahan for streaming consumers:
+// feeding x_1..x_n through Add yields exactly SumKahan({x_1..x_n}).
+type Kahan struct {
+	sum, comp float64
+}
+
+// Add accumulates one term.
+func (k *Kahan) Add(x float64) {
+	y := x - k.comp
+	t := k.sum + y
+	k.comp = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated running sum.
+func (k *Kahan) Sum() float64 { return k.sum }
 
 // CeilDiv returns ⌈a/b⌉ for positive b and non-negative a.
 func CeilDiv(a, b int) int {

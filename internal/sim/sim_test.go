@@ -61,7 +61,7 @@ func TestComparisonEndToEnd(t *testing.T) {
 	if c.Opt <= 0 {
 		t.Fatal("OPT must be positive here")
 	}
-	a, err := core.NewAlgorithmA(ins)
+	a, err := core.NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestComparisonEndToEnd(t *testing.T) {
 	if !numeric.LessEqual(ma.Ratio, 2*float64(ins.D())+1, 1e-9) {
 		t.Errorf("ratio %g exceeds theorem bound", ma.Ratio)
 	}
-	allOn, err := baseline.NewAllOn(ins)
+	allOn, err := baseline.NewAllOn(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +183,7 @@ func TestComparisonPanicsOnInfeasibleAlgorithm(t *testing.T) {
 type brokenAlg struct{ T, t, d int }
 
 func (b *brokenAlg) Name() string { return "broken" }
-func (b *brokenAlg) Done() bool   { return b.t >= b.T }
-func (b *brokenAlg) Step() model.Config {
+func (b *brokenAlg) Step(model.SlotInput) model.Config {
 	b.t++
 	return make(model.Config, b.d) // all zeros: infeasible under load
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
 // Options controls the offline solvers.
@@ -212,7 +213,7 @@ func buildGrids(ins *model.Instance, gamma float64) (*gridSeq, error) {
 	// grid when the row is identical to keep memory proportional to the
 	// number of distinct size regimes.
 	for t := 1; t <= ins.T(); t++ {
-		if t > 1 && equalInts(ins.Counts[t-1], ins.Counts[t-2]) {
+		if t > 1 && numeric.EqualInts(ins.Counts[t-1], ins.Counts[t-2]) {
 			seq.perT[t-1] = seq.perT[t-2]
 			continue
 		}
@@ -223,18 +224,6 @@ func buildGrids(ins *model.Instance, gamma float64) (*gridSeq, error) {
 		seq.perT[t-1] = grid.New(axes)
 	}
 	return seq, nil
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // argmin returns the lowest index attaining the minimum value.

@@ -3,42 +3,58 @@ package solver
 import (
 	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/numeric"
 )
 
 // PrefixTracker incrementally maintains the optimal-cost DP layer for the
-// growing prefix instances I_1, I_2, …, I_T. The online algorithms of
+// growing prefix instances I_1, I_2, …. The online algorithms of
 // Sections 2 and 3 need, at every slot t, the last configuration x̂^t_t of
 // an optimal schedule for I_t; because power-downs are free, that is the
 // argmin of the forward DP layer — so the whole online run costs no more
 // than a single offline DP sweep, O(T·|M|·d) plus T·|M| operating-cost
 // evaluations.
 //
-// The tracker only reads slot t's job volume and cost functions during the
-// t-th Advance call, so driving an online algorithm with it respects the
-// online information model even though the Instance value is materialised
-// up front.
+// The tracker has two construction modes:
+//
+//   - NewPrefixTracker pre-binds a full instance and consumes it slot by
+//     slot via Advance (the batch/replay driver). Only slot t's job volume
+//     and cost functions are read during the t-th Advance call, so the
+//     online information model is respected even though the Instance value
+//     is materialised up front.
+//   - NewStreamTracker binds only the fleet template; slot data arrives
+//     push-style via Push(SlotInput), making the information model hold by
+//     construction. Both modes share the same relax/evaluate code path and
+//     produce bit-identical layers for equal slot data.
 //
 // Ties in the argmin are broken towards the lowest lattice index, i.e. the
 // lexicographically smallest configuration; any deterministic rule
 // satisfies the paper's requirements.
 type PrefixTracker struct {
 	ins   *model.Instance
+	acc   *model.Accumulator // non-nil in stream mode; ins aliases acc.Instance()
 	le    *layerEvaluator
-	grids *gridSeq
+	grids *gridSeq // batch mode lattice sequence (nil in stream mode)
 	rx    *relaxer
 	naive bool
+	gamma float64
 	betas []float64
 
 	t     int       // slots processed so far
-	layer []float64 // D_t over grids.at(t)
+	layer []float64 // D_t over the slot-t lattice
 	spare []float64 // ping-pong buffer for the next layer
 	cfg   model.Config
+
+	// Stream-mode lattice state: the previous and current slot's grids plus
+	// the counts the current grid was built for (grids are reused while the
+	// counts stay identical, so static fleets keep a single grid).
+	prevGrid, curGrid *grid.Grid
+	curCounts         []int
 }
 
-// NewPrefixTracker prepares a tracker for the instance. Options follow
-// Solve: Gamma > 1 tracks prefix optima over the reduced lattice (used by
-// the scalable variants of the online algorithms; the competitive proofs
-// assume the exact lattice).
+// NewPrefixTracker prepares a tracker for a pre-bound instance. Options
+// follow Solve: Gamma > 1 tracks prefix optima over the reduced lattice
+// (used by the scalable variants of the online algorithms; the competitive
+// proofs assume the exact lattice).
 func NewPrefixTracker(ins *model.Instance, opts Options) (*PrefixTracker, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
@@ -47,6 +63,27 @@ func NewPrefixTracker(ins *model.Instance, opts Options) (*PrefixTracker, error)
 	if err != nil {
 		return nil, err
 	}
+	p := newTracker(ins, opts)
+	p.grids = grids
+	return p, nil
+}
+
+// NewStreamTracker prepares a push-mode tracker for the fleet template:
+// slot data arrives through Push instead of being read from a pre-bound
+// instance. The tracker owns a model.Accumulator that grows one slot per
+// Push.
+func NewStreamTracker(types []model.ServerType, opts Options) (*PrefixTracker, error) {
+	acc, err := model.NewAccumulator(types)
+	if err != nil {
+		return nil, err
+	}
+	p := newTracker(acc.Instance(), opts)
+	p.acc = acc
+	return p, nil
+}
+
+// newTracker builds the mode-independent parts.
+func newTracker(ins *model.Instance, opts Options) *PrefixTracker {
 	betas := make([]float64, ins.D())
 	for j, st := range ins.Types {
 		betas[j] = st.SwitchCost
@@ -54,31 +91,78 @@ func NewPrefixTracker(ins *model.Instance, opts Options) (*PrefixTracker, error)
 	return &PrefixTracker{
 		ins:   ins,
 		le:    newLayerEvaluator(ins, opts.Workers),
-		grids: grids,
 		rx:    newRelaxer(betas),
 		naive: opts.Naive,
+		gamma: opts.Gamma,
 		betas: betas,
 		cfg:   make(model.Config, ins.D()),
-	}, nil
+	}
 }
 
 // T returns the number of slots processed so far.
 func (p *PrefixTracker) T() int { return p.t }
 
-// Done reports whether every slot has been consumed.
-func (p *PrefixTracker) Done() bool { return p.t >= p.ins.T() }
+// Done reports whether every slot of a pre-bound instance has been
+// consumed. Stream-mode trackers have no horizon and are never done.
+func (p *PrefixTracker) Done() bool { return p.acc == nil && p.t >= p.ins.T() }
 
-// Advance consumes the next time slot and returns x̂^t_t — the final
-// configuration of an optimal schedule for the prefix instance I_t — along
-// with C(X̂^t), the optimal prefix cost. The returned configuration is a
-// fresh copy. Advance panics when all slots are consumed.
+// Advance consumes the next time slot of the pre-bound instance and
+// returns x̂^t_t — the final configuration of an optimal schedule for the
+// prefix instance I_t — along with C(X̂^t), the optimal prefix cost. The
+// returned configuration is a fresh copy. Advance panics when all slots
+// are consumed or when the tracker is in stream mode.
 func (p *PrefixTracker) Advance() (model.Config, float64) {
+	if p.acc != nil {
+		panic("solver: Advance on a stream tracker (use Push)")
+	}
 	if p.Done() {
 		panic("solver: PrefixTracker advanced past the last slot")
 	}
+	var prev *grid.Grid
+	if p.t >= 1 {
+		prev = p.grids.at(p.t)
+	}
+	cfg, val := p.step(p.grids.at(p.t+1), prev)
+	return cfg.Clone(), val
+}
+
+// Push appends one slot of data and returns x̂^t_t and the optimal prefix
+// cost. The returned configuration is tracker-owned scratch, valid until
+// the next Push; clone it to retain. Push reports an error for infeasible
+// or out-of-order slots (the layer is unchanged in that case).
+func (p *PrefixTracker) Push(in model.SlotInput) (model.Config, float64, error) {
+	if p.acc == nil {
+		panic("solver: Push on a pre-bound tracker (use Advance)")
+	}
+	if err := p.acc.Push(in); err != nil {
+		return nil, 0, err
+	}
+	t := p.t + 1
+	if p.curGrid == nil || !numeric.EqualInts(p.ins.Counts[t-1], p.curCounts) {
+		axes := make([]grid.Axis, p.ins.D())
+		for j := range axes {
+			m := p.ins.Counts[t-1][j]
+			if p.gamma > 1 {
+				axes[j] = grid.ReducedAxis(m, p.gamma)
+			} else {
+				axes[j] = grid.FullAxis(m)
+			}
+		}
+		p.prevGrid, p.curGrid = p.curGrid, grid.New(axes)
+		p.curCounts = append(p.curCounts[:0], p.ins.Counts[t-1]...)
+	} else {
+		p.prevGrid = p.curGrid
+	}
+	cfg, val := p.step(p.curGrid, p.prevGrid)
+	return cfg, val, nil
+}
+
+// step advances the DP layer onto lattice g for slot p.t+1; prev is the
+// previous slot's lattice (ignored for the first slot). It returns
+// tracker-owned scratch.
+func (p *PrefixTracker) step(g, prev *grid.Grid) (model.Config, float64) {
 	p.t++
 	t := p.t
-	g := p.grids.at(t)
 
 	var layer []float64
 	if t == 1 {
@@ -92,9 +176,9 @@ func (p *PrefixTracker) Advance() (model.Config, float64) {
 			layer[idx] = sw
 		}
 	} else if p.naive {
-		layer = relaxNaive(p.layer, p.grids.at(t-1), g, p.betas)
+		layer = relaxNaive(p.layer, prev, g, p.betas)
 	} else {
-		layer = p.rx.relax(p.layer, p.grids.at(t-1), g, p.grow(&p.spare, g.Size()))
+		layer = p.rx.relax(p.layer, prev, g, p.grow(&p.spare, g.Size()))
 	}
 	p.le.addG(layer, t, g)
 
@@ -103,19 +187,19 @@ func (p *PrefixTracker) Advance() (model.Config, float64) {
 
 	idx, val := argmin(layer)
 	g.Decode(idx, p.cfg)
-	return p.cfg.Clone(), val
+	return p.cfg, val
 }
 
 // OptRange returns the lexicographically smallest and largest
 // configurations attaining the current prefix optimum (up to relative
 // tolerance 1e-12). For homogeneous instances (d = 1) these are the lower
 // and upper envelopes of optimal prefix end states used by lazy
-// capacity provisioning. Only valid after Advance.
+// capacity provisioning. Only valid after the first Advance/Push.
 func (p *PrefixTracker) OptRange() (lo, hi model.Config) {
 	if p.t == 0 {
-		panic("solver: OptRange before first Advance")
+		panic("solver: OptRange before first slot")
 	}
-	g := p.grids.at(p.t)
+	g := p.Lattice()
 	_, best := argmin(p.layer)
 	tol := 1e-12 * (1 + best)
 	loIdx, hiIdx := -1, -1
@@ -135,10 +219,13 @@ func (p *PrefixTracker) OptRange() (lo, hi model.Config) {
 }
 
 // Lattice returns the lattice used at the current slot; it is only valid
-// after the first Advance.
+// after the first Advance/Push.
 func (p *PrefixTracker) Lattice() *grid.Grid {
 	if p.t == 0 {
-		panic("solver: Lattice before first Advance")
+		panic("solver: Lattice before first slot")
+	}
+	if p.acc != nil {
+		return p.curGrid
 	}
 	return p.grids.at(p.t)
 }

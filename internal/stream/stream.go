@@ -1,0 +1,314 @@
+// Package stream manages live advisory sessions: a Session wraps any
+// push-based online algorithm (core.Online), validates and feeds it slot
+// data as it arrives, and reports per-slot advisories — the configuration
+// to run plus running cost and competitive-ratio telemetry against the
+// streaming prefix optimum. Batch replay (core.Run) and live serving share
+// the same algorithm code path, so a session's summed advisory cost equals
+// the batch schedule cost bit-for-bit.
+//
+// Sessions are checkpointable: the fed inputs form a deterministic replay
+// log, so Checkpoint captures everything needed to rebuild an identical
+// session (event-sourcing style) and Resume replays it into a fresh
+// algorithm instance. Deterministic algorithms — all of the library's —
+// continue bit-identically after a resume.
+//
+// State (the replay log, the accumulated instance, algorithm histories)
+// grows linearly with stream length, and resume time is proportional to
+// the checkpointed prefix — the standard event-sourcing trade-off. For
+// the paper-scale horizons served here that is cheap; unbounded streams
+// would want periodic log compaction onto a state snapshot, a deliberate
+// non-goal of this layer for now.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/solver"
+)
+
+// Options tunes a session. The zero value enables full telemetry.
+type Options struct {
+	// DisableOpt turns off the session's internal prefix-optimum tracker.
+	// The tracker costs one DP layer sweep per slot (the same work the
+	// paper's online algorithms already do once); disabling it drops the
+	// Opt/Ratio advisory fields for sessions that only need decisions.
+	DisableOpt bool
+	// Alg overrides the algorithm identifier recorded in checkpoints
+	// (defaults to the algorithm's display name). Registry-based openers
+	// set it to the registry key so Resume can re-resolve the algorithm.
+	Alg string
+}
+
+// Advisory is one slot's decision plus telemetry. Fields with omitempty
+// are absent when the session's optimum tracker is disabled.
+type Advisory struct {
+	// Slot is the 1-based slot the advisory decides.
+	Slot int `json:"slot"`
+	// Lambda echoes the slot's demand.
+	Lambda float64 `json:"lambda"`
+	// Config is the configuration to run during the slot (one count per
+	// server type). It is a fresh copy owned by the caller.
+	Config model.Config `json:"config"`
+	// Active is the total number of active servers.
+	Active int `json:"active"`
+	// Operating and Switching are the slot's cost components; CumCost is
+	// the compensated running total over all decided slots.
+	Operating float64 `json:"operating"`
+	Switching float64 `json:"switching"`
+	CumCost   float64 `json:"cum_cost"`
+	// Opt is the optimal cost of serving the decided prefix in hindsight;
+	// Ratio is CumCost/Opt, the running competitive ratio.
+	Opt   float64 `json:"opt,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
+	// Pending counts slots ingested but not yet decided (only semi-online
+	// algorithms with lookahead lag; 0 for fully online algorithms).
+	Pending int `json:"pending,omitempty"`
+}
+
+// SlotRecord is one entry of a session's replay log: the raw fed input.
+// Explicit per-slot cost functions are retained in memory for in-process
+// resume but are not JSON-portable; demand/counts streams (the CLI case,
+// costs resolved from the fleet template) round-trip losslessly.
+type SlotRecord struct {
+	Lambda float64       `json:"lambda"`
+	Counts []int         `json:"counts,omitempty"`
+	Costs  []costfn.Func `json:"-"`
+}
+
+// Checkpoint captures a session's full input history. Replaying it into a
+// fresh session (Resume) reproduces the algorithm state bit-identically.
+type Checkpoint struct {
+	// Alg names the algorithm; Resume callers use it to construct the
+	// right core.Online. Registry-based resume (engine.ResumeSession) is
+	// only guaranteed to reconstruct the original algorithm for sessions
+	// opened through the registry (engine.OpenSession records the registry
+	// key here). Sessions around hand-constructed algorithms — custom
+	// parameters, non-stock tracker options — must resume in-process via
+	// stream.Resume with an identically-constructed algorithm, or set
+	// Options.Alg to a key they have registered.
+	Alg string `json:"alg,omitempty"`
+	// Slots is the replay log, in feed order.
+	Slots []SlotRecord `json:"slots"`
+}
+
+// Portable reports whether the checkpoint survives JSON serialisation
+// losslessly: true when no slot carried explicit cost functions.
+func (cp *Checkpoint) Portable() bool {
+	for _, r := range cp.Slots {
+		if r.Costs != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Session drives one algorithm over a live slot stream.
+type Session struct {
+	alg   core.Online
+	name  string
+	tag   string // checkpoint identifier (registry key or display name)
+	fleet []model.ServerType
+	acc   *model.Accumulator // validated, resolved input history
+	eval  *model.SlotEval
+	opt   *solver.PrefixTracker // streaming prefix optimum (telemetry)
+
+	fed     int   // slots ingested
+	decided int   // slots decided
+	failed  error // sticky algorithm failure; the session refuses further feeds
+	prev    model.Config
+	opSum   numeric.Kahan
+	swSum   float64
+	optCost float64
+	log     []SlotRecord
+	scratch model.SlotInput // slot being fed (filled by Feed)
+	lagged  model.SlotInput // older slot re-materialised for lagged decisions
+}
+
+// New opens a session for a constructed (never stepped) algorithm over the
+// fleet template.
+func New(alg core.Online, types []model.ServerType, opts Options) (*Session, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("stream: nil algorithm")
+	}
+	acc, err := model.NewAccumulator(types)
+	if err != nil {
+		return nil, err
+	}
+	tag := opts.Alg
+	if tag == "" {
+		tag = alg.Name()
+	}
+	s := &Session{
+		alg:   alg,
+		name:  alg.Name(),
+		tag:   tag,
+		fleet: append([]model.ServerType(nil), types...),
+		acc:   acc,
+		eval:  model.NewSlotEval(types),
+		prev:  make(model.Config, len(types)),
+	}
+	if !opts.DisableOpt {
+		s.opt, err = solver.NewStreamTracker(types, solver.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name returns the wrapped algorithm's display name.
+func (s *Session) Name() string { return s.name }
+
+// Fed returns the number of slots ingested so far.
+func (s *Session) Fed() int { return s.fed }
+
+// Decided returns the number of slots with an emitted advisory.
+func (s *Session) Decided() int { return s.decided }
+
+// CumCost returns the compensated running advisory cost over the decided
+// prefix. After Close it equals the batch schedule cost bit-for-bit.
+func (s *Session) CumCost() float64 { return s.opSum.Sum() + s.swSum }
+
+// Feed ingests one slot and returns the advisories it unlocks: exactly one
+// for fully online algorithms, none while a semi-online algorithm's
+// lookahead window fills. Inputs are validated before the algorithm sees
+// them; an error leaves the session unchanged. Should the algorithm still
+// reject a slot (panic — e.g. Algorithm C's subdivision cap), the panic is
+// converted to an error and the session refuses further feeds: a live
+// advisory server degrades to an error response instead of crashing.
+func (s *Session) Feed(in model.SlotInput) (advs []Advisory, err error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	if in.T != 0 && in.T != s.fed+1 {
+		return nil, fmt.Errorf("stream: fed slot %d out of order, want %d", in.T, s.fed+1)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.failed = fmt.Errorf("stream: %s failed on slot %d: %v", s.name, s.fed, r)
+			advs, err = nil, s.failed
+		}
+	}()
+	rec := SlotRecord{Lambda: in.Lambda}
+	if in.Counts != nil {
+		rec.Counts = append([]int(nil), in.Counts...)
+	}
+	if in.Costs != nil {
+		rec.Costs = append([]costfn.Func(nil), in.Costs...)
+	}
+	if err := s.acc.Push(in); err != nil {
+		return nil, err
+	}
+	s.fed++
+
+	// Hand the algorithm the fully-resolved slot view. The replay log is
+	// appended only after Step succeeds, so a checkpoint taken from a
+	// failed session still replays cleanly up to the last good slot.
+	s.acc.Instance().SlotInto(s.fed, &s.scratch)
+	x := s.alg.Step(s.scratch)
+	s.log = append(s.log, rec)
+	if x == nil {
+		return nil, nil
+	}
+	return []Advisory{s.record(x)}, nil
+}
+
+// FeedDemand is Feed for the common demand-only stream: costs and counts
+// come from the fleet template.
+func (s *Session) FeedDemand(lambda float64) ([]Advisory, error) {
+	return s.Feed(model.SlotInput{Lambda: lambda})
+}
+
+// Close ends the stream: semi-online algorithms decide their buffered
+// slots (shrinking windows toward the horizon), fully online algorithms
+// return nothing. The session stays readable but must not be fed again.
+func (s *Session) Close() ([]Advisory, error) {
+	b, ok := s.alg.(core.Buffered)
+	if !ok {
+		return nil, nil
+	}
+	var out []Advisory
+	for _, x := range b.Flush() {
+		if s.decided >= s.fed {
+			return out, fmt.Errorf("stream: %s flushed more decisions than fed slots", s.name)
+		}
+		out = append(out, s.record(x))
+	}
+	return out, nil
+}
+
+// record accounts one decided slot and builds its advisory. When the
+// decision is for the slot Feed just resolved into s.scratch (every slot,
+// for fully online algorithms) the scratch view is reused; lagged
+// Buffered decisions re-materialise the older slot into a separate buffer
+// (s.lagged) so s.scratch's backing arrays stay untouched — Close() mixes
+// lagged and current-slot records back to back.
+func (s *Session) record(x model.Config) Advisory {
+	s.decided++
+	t := s.decided
+	in := s.scratch
+	if t != s.fed {
+		s.acc.Instance().SlotInto(t, &s.lagged)
+		in = s.lagged
+	}
+
+	op := s.eval.G(in, x)
+	sw := model.SwitchCostOf(s.fleet, s.prev, x)
+	s.opSum.Add(op)
+	s.swSum += sw
+	s.prev = append(s.prev[:0], x...)
+
+	adv := Advisory{
+		Slot:      t,
+		Lambda:    in.Lambda,
+		Config:    x.Clone(),
+		Active:    x.Total(),
+		Operating: op,
+		Switching: sw,
+		CumCost:   s.CumCost(),
+		Pending:   s.fed - s.decided,
+	}
+	if s.opt != nil {
+		_, optCost, err := s.opt.Push(in)
+		if err != nil {
+			// The accumulator accepted the slot, so the tracker must too.
+			panic("stream: telemetry tracker rejected a validated slot: " + err.Error())
+		}
+		s.optCost = optCost
+		adv.Opt = optCost
+		if optCost > 0 {
+			adv.Ratio = adv.CumCost / optCost
+		}
+	}
+	return adv
+}
+
+// Checkpoint snapshots the session's replay log. The returned value is
+// independent of the session's future mutations.
+func (s *Session) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{Alg: s.tag, Slots: make([]SlotRecord, len(s.log))}
+	copy(cp.Slots, s.log)
+	return cp
+}
+
+// Resume rebuilds a session from a checkpoint by replaying its log into a
+// freshly constructed (never stepped) algorithm. The replayed advisories
+// are discarded — they were already emitted by the original session — and
+// the returned session continues exactly where the checkpoint was taken.
+func Resume(alg core.Online, types []model.ServerType, opts Options, cp *Checkpoint) (*Session, error) {
+	s, err := New(alg, types, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range cp.Slots {
+		in := model.SlotInput{T: i + 1, Lambda: rec.Lambda, Costs: rec.Costs, Counts: rec.Counts}
+		if _, err := s.Feed(in); err != nil {
+			return nil, fmt.Errorf("stream: replaying slot %d: %w", i+1, err)
+		}
+	}
+	return s, nil
+}

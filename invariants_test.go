@@ -115,16 +115,16 @@ func TestCostScaleInvariance(t *testing.T) {
 			})
 		}
 
-		a1, err := NewAlgorithmA(ins)
+		a1, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			return false
 		}
-		a2, err := NewAlgorithmA(scaled)
+		a2, err := NewAlgorithmA(scaled.Types)
 		if err != nil {
 			return false
 		}
-		s1 := Run(a1)
-		s2 := Run(a2)
+		s1 := Run(a1, ins)
+		s2 := Run(a2, scaled)
 		for i := range s1 {
 			if !s1[i].Equal(s2[i]) {
 				return false
@@ -176,9 +176,9 @@ func TestOnlineDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 10; i++ {
 		ins := randomPublicInstance(rng)
-		a1, _ := NewAlgorithmA(ins)
-		a2, _ := NewAlgorithmA(ins)
-		s1, s2 := Run(a1), Run(a2)
+		a1, _ := NewAlgorithmA(ins.Types)
+		a2, _ := NewAlgorithmA(ins.Types)
+		s1, s2 := Run(a1, ins), Run(a2, ins)
 		for t2 := range s1 {
 			if !s1[t2].Equal(s2[t2]) {
 				t.Fatalf("case %d: Algorithm A non-deterministic", i)
@@ -193,16 +193,16 @@ func TestScaledTrackerVariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 10; i++ {
 		ins := randomPublicInstance(rng)
-		exact, err := NewAlgorithmA(ins)
+		exact, err := NewAlgorithmA(ins.Types)
 		if err != nil {
 			t.Fatal(err)
 		}
-		scaled, err := NewAlgorithmAWithOptions(ins, AlgorithmOptions{TrackerGamma: 1.5})
+		scaled, err := NewAlgorithmAWithOptions(ins.Types, AlgorithmOptions{TrackerGamma: 1.5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		se := Run(exact)
-		ss := Run(scaled)
+		se := Run(exact, ins)
+		ss := Run(scaled, ins)
 		if err := ins.Feasible(ss); err != nil {
 			t.Fatalf("case %d: scaled variant infeasible: %v", i, err)
 		}

@@ -34,6 +34,15 @@
 // workload generators and a measurement harness support experiments; see
 // EXPERIMENTS.md in the repository for the reproduction study.
 //
+// # Streaming
+//
+// The online algorithms are push-based: they are constructed from the
+// fleet template alone and receive each slot's demand, cost functions and
+// fleet counts through Step as they arrive (SlotInput), so the online
+// information model holds by construction. Run replays a recorded
+// instance through the same path; NewSession/OpenSession manage a live
+// advisory loop with running cost/ratio telemetry and checkpoint/resume.
+//
 // # Quickstart
 //
 //	ins := &rightsizing.Instance{
@@ -45,8 +54,8 @@
 //	}
 //	opt, err := rightsizing.SolveOptimal(ins)
 //	...
-//	alg, err := rightsizing.NewAlgorithmA(ins)
-//	sched := rightsizing.Run(alg)
+//	alg, err := rightsizing.NewAlgorithmA(ins.Types)
+//	sched := rightsizing.Run(alg, ins)
 package rightsizing
 
 import (
@@ -59,6 +68,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/solver"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -164,13 +174,22 @@ func NewPrefixTracker(ins *Instance, opts SolveOptions) (*PrefixTracker, error) 
 
 // ---------- online algorithms (the paper's contribution) ----------
 
-// Online is a deterministic online right-sizing algorithm driven slot by
-// slot.
+// Online is a deterministic push-based online right-sizing algorithm: it
+// receives one SlotInput per slot and returns the configuration to run.
 type Online = core.Online
 
-// Run drives an online algorithm over its instance and collects the
-// schedule.
-func Run(a Online) Schedule { return core.Run(a) }
+// Buffered is the optional interface of semi-online algorithms whose
+// decisions lag their inputs (RecedingHorizon/Lookahead); drivers Flush
+// once the stream ends.
+type Buffered = core.Buffered
+
+// SlotInput is one slot's observable data: index, demand, cost functions
+// and fleet counts.
+type SlotInput = model.SlotInput
+
+// Run replays a recorded instance through an online algorithm — the batch
+// facade over the streaming Step path — and collects the schedule.
+func Run(a Online, ins *Instance) Schedule { return core.Run(a, ins) }
 
 // AlgorithmA is the (2d+1)-competitive algorithm for time-independent
 // costs (Section 2).
@@ -184,17 +203,17 @@ type AlgorithmB = core.AlgorithmB
 // costs (Section 3.2).
 type AlgorithmC = core.AlgorithmC
 
-// NewAlgorithmA prepares Algorithm A; the instance must use Static cost
-// profiles.
-func NewAlgorithmA(ins *Instance) (*AlgorithmA, error) { return core.NewAlgorithmA(ins) }
+// NewAlgorithmA prepares Algorithm A for a fleet template; every type
+// must carry a Static cost profile.
+func NewAlgorithmA(types []ServerType) (*AlgorithmA, error) { return core.NewAlgorithmA(types) }
 
-// NewAlgorithmB prepares Algorithm B.
-func NewAlgorithmB(ins *Instance) (*AlgorithmB, error) { return core.NewAlgorithmB(ins) }
+// NewAlgorithmB prepares Algorithm B for a fleet template.
+func NewAlgorithmB(types []ServerType) (*AlgorithmB, error) { return core.NewAlgorithmB(types) }
 
 // NewAlgorithmC prepares Algorithm C with accuracy ε > 0; it requires
 // β_j > 0 for every type.
-func NewAlgorithmC(ins *Instance, eps float64) (*AlgorithmC, error) {
-	return core.NewAlgorithmC(ins, eps)
+func NewAlgorithmC(types []ServerType, eps float64) (*AlgorithmC, error) {
+	return core.NewAlgorithmC(types, eps)
 }
 
 // CI returns the instance constant c(I) = Σ_j max_t f_{t,j}(0)/β_j of
@@ -210,23 +229,24 @@ func RatioBoundB(ins *Instance) float64 { return core.RatioBoundB(ins) }
 // ---------- baselines ----------
 
 // NewAllOn keeps the whole fleet powered (static provisioning).
-func NewAllOn(ins *Instance) (Online, error) { return baseline.NewAllOn(ins) }
+func NewAllOn(types []ServerType) (Online, error) { return baseline.NewAllOn(types) }
 
 // NewLoadTracking follows the per-slot operating-cost optimum, ignoring
 // switching costs.
-func NewLoadTracking(ins *Instance) (Online, error) { return baseline.NewLoadTracking(ins) }
+func NewLoadTracking(types []ServerType) (Online, error) { return baseline.NewLoadTracking(types) }
 
 // NewSkiRental follows load upward immediately and releases surplus
 // servers after their idle cost exceeds β_j.
-func NewSkiRental(ins *Instance) (Online, error) { return baseline.NewSkiRental(ins) }
+func NewSkiRental(types []ServerType) (Online, error) { return baseline.NewSkiRental(types) }
 
 // NewLCP is discrete lazy capacity provisioning (homogeneous d = 1 only).
-func NewLCP(ins *Instance) (Online, error) { return baseline.NewLCP(ins) }
+func NewLCP(types []ServerType) (Online, error) { return baseline.NewLCP(types) }
 
-// NewRecedingHorizon is model-predictive control with a lookahead of w
-// slots (semi-online).
-func NewRecedingHorizon(ins *Instance, w int) (Online, error) {
-	return baseline.NewRecedingHorizon(ins, w)
+// NewLookahead is receding-horizon control recast as a buffering
+// semi-online wrapper: the advisory for slot t is emitted once slots
+// t..t+w-1 have been ingested (Buffered interface).
+func NewLookahead(types []ServerType, w int) (Online, error) {
+	return baseline.NewLookahead(types, w)
 }
 
 // ---------- workloads ----------
@@ -349,19 +369,63 @@ func EmitSuite(w io.Writer, res *SuiteResult, format string) error {
 // plus every baseline, with per-instance applicability gates.
 func DefaultAlgorithms() []AlgSpec { return engine.DefaultAlgorithms() }
 
-// OnlineSpec wraps an Online constructor as a scenario algorithm.
-func OnlineSpec(name string, mk func(*Instance) (Online, error)) AlgSpec {
+// OnlineSpec wraps a push-based Online constructor as a scenario
+// algorithm.
+func OnlineSpec(name string, mk func(types []ServerType) (Online, error)) AlgSpec {
 	return engine.OnlineSpec(name, mk)
 }
 
-// SpecAlgorithmA .. SpecRecedingHorizon are the stock scenario algorithm
-// specs, applicability gates included.
-func SpecAlgorithmA() AlgSpec            { return engine.SpecAlgorithmA() }
-func SpecAlgorithmB() AlgSpec            { return engine.SpecAlgorithmB() }
-func SpecAlgorithmC(eps float64) AlgSpec { return engine.SpecAlgorithmC(eps) }
-func SpecApprox(eps float64) AlgSpec     { return engine.SpecApprox(eps) }
-func SpecAllOn() AlgSpec                 { return engine.SpecAllOn() }
-func SpecLoadTracking() AlgSpec          { return engine.SpecLoadTracking() }
-func SpecSkiRental() AlgSpec             { return engine.SpecSkiRental() }
-func SpecLCP() AlgSpec                   { return engine.SpecLCP() }
-func SpecRecedingHorizon(w int) AlgSpec  { return engine.SpecRecedingHorizon(w) }
+// ---------- algorithm registry ----------
+
+// RegisterAlgorithm adds an algorithm to the registry, making it available
+// to scenarios, the CLI (-alg), live sessions and LookupAlgorithm.
+func RegisterAlgorithm(s AlgSpec) error { return engine.RegisterAlgorithm(s) }
+
+// LookupAlgorithm resolves a registered algorithm by key, display name or
+// any normalisation-equivalent spelling ("algA" finds "alg-a").
+func LookupAlgorithm(name string) (AlgSpec, bool) { return engine.LookupAlgorithm(name) }
+
+// Algorithms returns every registered algorithm in registration order.
+func Algorithms() []AlgSpec { return engine.Algorithms() }
+
+// AlgorithmCSpec, ApproxSpec and LookaheadSpec parameterise the stock
+// registry entries with custom ε / lookahead values for one-off line-ups.
+func AlgorithmCSpec(eps float64) AlgSpec { return engine.AlgorithmCSpec(eps) }
+func ApproxSpec(eps float64) AlgSpec     { return engine.ApproxSpec(eps) }
+func LookaheadSpec(w int) AlgSpec        { return engine.LookaheadSpec(w) }
+
+// ---------- live advisory sessions ----------
+
+// Session manages a live advisory loop over any online algorithm: feed
+// demand, get back the configuration to run plus running cost and
+// competitive-ratio telemetry, checkpoint and resume at any slot.
+type Session = stream.Session
+
+// Advisory is one slot's decision plus telemetry.
+type Advisory = stream.Advisory
+
+// SessionOptions tunes a session (telemetry tracker on by default).
+type SessionOptions = stream.Options
+
+// SessionCheckpoint is a session's replayable input log.
+type SessionCheckpoint = stream.Checkpoint
+
+// NewSession opens a session for an explicitly constructed algorithm.
+func NewSession(alg Online, types []ServerType, opts SessionOptions) (*Session, error) {
+	return stream.New(alg, types, opts)
+}
+
+// OpenSession resolves a registered algorithm by name and opens a session.
+func OpenSession(name string, types []ServerType, opts SessionOptions) (*Session, error) {
+	return engine.OpenSession(name, types, opts)
+}
+
+// ResumeSession rebuilds a session from a checkpoint by replaying its log
+// into a freshly resolved algorithm. It resolves through the registry, so
+// it reconstructs the original algorithm only for checkpoints taken from
+// registry-opened sessions (OpenSession); sessions around hand-constructed
+// algorithms should resume in-process via NewSession + the stream
+// package's Resume with an identically-constructed algorithm.
+func ResumeSession(cp *SessionCheckpoint, types []ServerType, opts SessionOptions) (*Session, error) {
+	return engine.ResumeSession(cp, types, opts)
+}

@@ -46,11 +46,11 @@ func TestPublicOfflinePipeline(t *testing.T) {
 
 func TestPublicOnlinePipeline(t *testing.T) {
 	ins := twoType()
-	a, err := NewAlgorithmA(ins)
+	a, err := NewAlgorithmA(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := Run(a)
+	sched := Run(a, ins)
 	if err := ins.Feasible(sched); err != nil {
 		t.Fatal(err)
 	}
@@ -60,19 +60,19 @@ func TestPublicOnlinePipeline(t *testing.T) {
 		t.Errorf("Algorithm A cost %g above bound %g", cost, RatioBoundA(ins)*opt)
 	}
 
-	b, err := NewAlgorithmB(ins)
+	b, err := NewAlgorithmB(ins.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ins.Feasible(Run(b)); err != nil {
+	if err := ins.Feasible(Run(b, ins)); err != nil {
 		t.Fatal(err)
 	}
 
-	cAlg, err := NewAlgorithmC(ins, 1)
+	cAlg, err := NewAlgorithmC(ins.Types, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ins.Feasible(Run(cAlg)); err != nil {
+	if err := ins.Feasible(Run(cAlg, ins)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,20 +80,20 @@ func TestPublicOnlinePipeline(t *testing.T) {
 func TestPublicBaselines(t *testing.T) {
 	ins := twoType()
 	for _, mk := range []func() (Online, error){
-		func() (Online, error) { return NewAllOn(twoType()) },
-		func() (Online, error) { return NewLoadTracking(twoType()) },
-		func() (Online, error) { return NewSkiRental(twoType()) },
-		func() (Online, error) { return NewRecedingHorizon(twoType(), 3) },
+		func() (Online, error) { return NewAllOn(twoType().Types) },
+		func() (Online, error) { return NewLoadTracking(twoType().Types) },
+		func() (Online, error) { return NewSkiRental(twoType().Types) },
+		func() (Online, error) { return NewLookahead(twoType().Types, 3) },
 	} {
 		alg, err := mk()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ins.Feasible(Run(alg)); err != nil {
+		if err := ins.Feasible(Run(alg, ins)); err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
 	}
-	if _, err := NewLCP(twoType()); err == nil {
+	if _, err := NewLCP(twoType().Types); err == nil {
 		t.Error("LCP should reject d=2")
 	}
 	homog := &Instance{
@@ -103,11 +103,11 @@ func TestPublicBaselines(t *testing.T) {
 		}},
 		Lambda: Steps(12, []float64{1, 3}, 3),
 	}
-	lcp, err := NewLCP(homog)
+	lcp, err := NewLCP(homog.Types)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := homog.Feasible(Run(lcp)); err != nil {
+	if err := homog.Feasible(Run(lcp, homog)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -118,7 +118,7 @@ func TestPublicComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := NewAlgorithmA(ins)
+	a, _ := NewAlgorithmA(ins.Types)
 	m := cmp.RunOnline(a)
 	if m.Ratio < 1-1e-9 {
 		t.Errorf("ratio %g", m.Ratio)

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Benchmark smoke gate: run the scenario-suite benchmark once and fail if
+# wall-clock regressed more than 2x against the recorded baseline
+# (BENCH_engine.json). Timing across heterogeneous CI runners is noisy,
+# which is why the gate is a coarse 2x, not a tight threshold; allocation
+# counts are machine-independent and gated at +10%.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Parallel)$' -benchtime 1x . )"
+echo "$out"
+
+cur_ns="$(echo "$out" | awk '/^BenchmarkSuiteSerial/ {print int($3)}')"
+cur_allocs="$(echo "$out" | awk '/^BenchmarkSuiteSerial/ {print int($7)}')"
+if [ -z "$cur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkSuiteSerial output" >&2
+  exit 1
+fi
+
+base_ns="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
+base_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
+
+echo "benchsmoke: ns/op current=$cur_ns baseline=$base_ns (limit 2x)"
+echo "benchsmoke: allocs/op current=$cur_allocs baseline=$base_allocs (limit 1.1x)"
+
+if [ "$cur_ns" -gt "$((base_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — suite benchmark regressed more than 2x vs BENCH_engine.json" >&2
+  exit 1
+fi
+if [ "$cur_allocs" -gt "$((base_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — suite allocations regressed more than 10% vs BENCH_engine.json" >&2
+  exit 1
+fi
+echo "benchsmoke: OK"
