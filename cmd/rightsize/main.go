@@ -83,7 +83,16 @@ func main() {
 	case *listAlgs:
 		listAlgorithms()
 	case *streamMode:
-		runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume)
+		// Streams default to serial trackers (per-slot lattices are small);
+		// an explicit -workers is plumbed into the algorithm's prefix
+		// tracker and the session's telemetry tracker.
+		streamWorkers := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				streamWorkers = *workers
+			}
+		})
+		runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, streamWorkers)
 	case *suite:
 		runScenarios(rightsizing.Scenarios(), *seed, *workers, *format, false)
 	case *scenario != "":
@@ -93,7 +102,7 @@ func main() {
 		}
 		runScenarios([]rightsizing.Scenario{sc}, *seed, *workers, *format, *render)
 	case *input != "":
-		runInstanceFile(*input, *mode, *eps, *printSched, *render, *compare)
+		runInstanceFile(*input, *mode, *eps, *printSched, *render, *compare, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -151,8 +160,9 @@ func streamFleet(fleet, input string, seed int64) ([]rightsizing.ServerType, []f
 // runStream drives a live advisory session: demand arrives on stdin (one
 // value per line) or from the replayed trace, and one JSON advisory is
 // written per decided slot.
-func runStream(alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string) {
+func runStream(alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string, workers int) {
 	types, trace := streamFleet(fleet, input, seed)
+	opts := rightsizing.SessionOptions{Workers: workers}
 
 	var sess *rightsizing.Session
 	var err error
@@ -176,13 +186,13 @@ func runStream(alg, fleet, input string, seed int64, replay bool, interval time.
 		if jerr := json.Unmarshal(data, &cp); jerr != nil {
 			log.Fatal(jerr)
 		}
-		sess, err = rightsizing.ResumeSession(&cp, types, rightsizing.SessionOptions{})
+		sess, err = rightsizing.ResumeSession(&cp, types, opts)
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "rightsize: resumed %s at slot %d (cum cost %.4f)\n",
 				sess.Name(), sess.Fed(), sess.CumCost())
 		}
 	} else {
-		sess, err = rightsizing.OpenSession(alg, types, rightsizing.SessionOptions{})
+		sess, err = rightsizing.OpenSession(alg, types, opts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -290,7 +300,7 @@ func runScenarios(scs []rightsizing.Scenario, seed int64, workers int, format st
 	}
 }
 
-func runInstanceFile(input, mode string, eps float64, printSched, render, compare bool) {
+func runInstanceFile(input, mode string, eps float64, printSched, render, compare bool, workers int) {
 	f, err := os.Open(input)
 	if err != nil {
 		log.Fatal(err)
@@ -310,7 +320,7 @@ func runInstanceFile(input, mode string, eps float64, printSched, render, compar
 	var sched rightsizing.Schedule
 	switch mode {
 	case "optimal":
-		res, err := rightsizing.SolveOptimal(ins)
+		res, err := rightsizing.Solve(ins, rightsizing.SolveOptions{Workers: workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -318,7 +328,11 @@ func runInstanceFile(input, mode string, eps float64, printSched, render, compar
 		fmt.Printf("optimal cost %.4f (operating %.4f, switching %.4f), lattice %d\n",
 			res.Cost(), res.Breakdown.Operating, res.Breakdown.Switching, res.LatticeSize)
 	case "approx":
-		res, err := rightsizing.SolveApprox(ins, eps)
+		if eps <= 0 {
+			log.Fatalf("approx needs -eps > 0, got %g", eps)
+		}
+		// Theorem 21's γ = 1 + ε/2 (SolveApprox), with the worker pool.
+		res, err := rightsizing.Solve(ins, rightsizing.SolveOptions{Gamma: 1 + eps/2, Workers: workers})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,6 +20,7 @@ import (
 type LCP struct {
 	tracker *solver.PrefixTracker
 	x       int
+	optCost float64
 	out     model.Config
 }
 
@@ -43,11 +44,17 @@ func (l *LCP) Name() string { return "LCP" }
 
 // Step implements core.Online.
 func (l *LCP) Step(in model.SlotInput) model.Config {
-	if _, _, err := l.tracker.Push(in); err != nil {
+	_, optCost, err := l.tracker.Push(in)
+	if err != nil {
 		panic("baseline: " + err.Error())
 	}
+	l.optCost = optCost
 	lo, hi := l.tracker.OptRange()
 	l.x = numeric.ClampInt(l.x, lo[0], hi[0])
 	l.out[0] = l.x
 	return l.out
 }
+
+// PrefixOptCost implements core.OptTracking: LCP's corridor tracker is
+// always exact, so sessions reuse it for telemetry.
+func (l *LCP) PrefixOptCost() (float64, bool) { return l.optCost, true }

@@ -119,6 +119,7 @@ type AlgorithmA struct {
 	tracker *solver.PrefixTracker
 	types   []*TypeA
 	lastOpt model.Config
+	optCost float64
 	out     model.Config // scratch returned by Step
 }
 
@@ -180,10 +181,11 @@ func (a *AlgorithmA) Name() string { return "AlgorithmA" }
 
 // Step implements Online.
 func (a *AlgorithmA) Step(in model.SlotInput) model.Config {
-	xhat, _, err := a.tracker.Push(in)
+	xhat, optCost, err := a.tracker.Push(in)
 	if err != nil {
 		panic("core: " + err.Error())
 	}
+	a.optCost = optCost
 	a.lastOpt = append(a.lastOpt[:0], xhat...)
 	for j, st := range a.types {
 		st.Step(xhat[j])
@@ -200,6 +202,10 @@ func (a *AlgorithmA) Step(in model.SlotInput) model.Config {
 // configuration of an optimal schedule for the prefix instance. Useful for
 // instrumentation and for verifying the invariant x^A_{t,j} >= x̂^t_{t,j}.
 func (a *AlgorithmA) PrefixOpt() model.Config { return a.lastOpt }
+
+// PrefixOptCost implements OptTracking: the optimal cost of the consumed
+// prefix, exact iff the tracker follows the full lattice.
+func (a *AlgorithmA) PrefixOptCost() (float64, bool) { return a.optCost, a.tracker.Exact() }
 
 // Timeout returns t̄_j for server type j.
 func (a *AlgorithmA) Timeout(j int) int { return a.types[j].Tbar() }

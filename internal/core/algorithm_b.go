@@ -96,6 +96,7 @@ type AlgorithmB struct {
 	tracker *solver.PrefixTracker
 	types   []*TypeB
 	lastOpt model.Config
+	optCost float64
 	out     model.Config // scratch returned by Step
 }
 
@@ -130,10 +131,11 @@ func (b *AlgorithmB) Name() string { return "AlgorithmB" }
 
 // Step implements Online.
 func (b *AlgorithmB) Step(in model.SlotInput) model.Config {
-	xhat, _, err := b.tracker.Push(in)
+	xhat, optCost, err := b.tracker.Push(in)
 	if err != nil {
 		panic("core: " + err.Error())
 	}
+	b.optCost = optCost
 	b.lastOpt = append(b.lastOpt[:0], xhat...)
 	for j, st := range b.types {
 		l := in.Cost(j, b.fleet[j].Cost).Value(0)
@@ -146,6 +148,10 @@ func (b *AlgorithmB) Step(in model.SlotInput) model.Config {
 
 // PrefixOpt returns x̂^t_t from the most recent Step.
 func (b *AlgorithmB) PrefixOpt() model.Config { return b.lastOpt }
+
+// PrefixOptCost implements OptTracking: the optimal cost of the consumed
+// prefix, exact iff the tracker follows the full lattice.
+func (b *AlgorithmB) PrefixOptCost() (float64, bool) { return b.optCost, b.tracker.Exact() }
 
 // CI returns the instance-dependent constant c(I) = Σ_j max_t l_{t,j}/β_j
 // appearing in Theorem 13's competitive ratio 2d+1+c(I). Types with

@@ -44,6 +44,23 @@ type Online interface {
 	Step(in model.SlotInput) model.Config
 }
 
+// OptTracking is the optional interface of online algorithms that already
+// maintain a streaming prefix-optimum tracker as part of their decision
+// rule (Algorithms A and B, LCP). Live drivers (stream.Session) reuse it
+// for their Opt/Ratio telemetry instead of running a second tracker —
+// halving steady-state per-slot work — and fall back to a dedicated
+// tracker for algorithms that do not implement it.
+type OptTracking interface {
+	Online
+	// PrefixOptCost returns C(X̂^t), the optimal cost of serving the
+	// prefix consumed by the most recent Step (0 before the first), and
+	// whether the value is exact. Reduced-lattice tracker variants
+	// (Options.TrackerGamma > 1) report exact == false and consumers fall
+	// back to their own exact tracker. The method is callable at any
+	// point, including before the first Step.
+	PrefixOptCost() (cost float64, exact bool)
+}
+
 // Buffered is the optional interface of semi-online algorithms whose
 // decisions lag their inputs: a Lookahead(w) controller needs slots
 // t..t+w-1 before it can commit slot t, so its Step returns nil for the

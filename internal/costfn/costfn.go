@@ -200,6 +200,14 @@ func (p PiecewiseLinear) String() string {
 	return fmt.Sprintf("piecewise(%d points)", len(p.zs))
 }
 
+// NumBreakpoints returns the number of breakpoints.
+func (p PiecewiseLinear) NumBreakpoints() int { return len(p.zs) }
+
+// Breakpoint returns the i-th breakpoint (z_i, v_i). Together with
+// NumBreakpoints it exposes the curve's content (the solver's layer memo
+// fingerprints cost functions by value).
+func (p PiecewiseLinear) Breakpoint(i int) (z, v float64) { return p.zs[i], p.vs[i] }
+
 // Scaled multiplies an underlying cost function by a positive Factor.
 // The paper's Section 3.2 uses it to build the modified instance Ĩ, where
 // each sub-slot carries cost f̃(z) = f(z)/ñ_t; scaling preserves convexity,

@@ -18,11 +18,24 @@
 //
 // The solver performs water-filling on the dual: for a multiplier ν, each
 // type's optimal volume y_j(ν) is the largest y with φ'_j(y) ≤ ν, clamped
-// to its capacity; Σ_j y_j(ν) is non-decreasing in ν, so an outer bisection
-// finds the ν* that meets the demand. Cost functions implementing
+// to its capacity; Σ_j y_j(ν) is non-decreasing in ν, so an outer root
+// search finds the ν* that meets the demand. Cost functions implementing
 // costfn.Invertible give y_j(ν) in closed form; differentiable functions
 // use derivative bisection; opaque functions fall back to golden-section
 // search on the Lagrangian.
+//
+// # Canonical duals and warm starts
+//
+// The dual search defines its answer combinatorially so that it does not
+// depend on how the root is located: with hi the smallest power of two in
+// [1, 2^200] whose absorbed volume covers λ and h = hi/2^47, the canonical
+// ν* is the midpoint of the unique dyadic cell [k·h, (k+1)·h] where the
+// absorbed volume crosses λ (exactly the final bracket of a classic
+// midpoint bisection of [0, hi] to the legacy 1e-14·hi tolerance). Any
+// correct bracketing search lands on the same cell, so a Solver may carry
+// the previous solve's (hi, ν*) as a warm start — walking a DP lattice
+// line in grid order moves ν* monotonically and slowly — and still return
+// results bit-for-bit identical to a cold solve.
 package dispatch
 
 import (
@@ -60,41 +73,82 @@ type Assignment struct {
 //   - lambda > 0 with zero total capacity: cost +Inf (x_j = 0 and
 //     λ_t z_j > 0 is forbidden, and capacities bound the rest).
 //
-// Assign allocates its result; inside hot loops use Solver.Cost, which is
-// allocation-free.
+// Assign allocates its result; inside hot loops use Solver.Cost or
+// Solver.AssignInto, which reuse buffers.
 func Assign(servers []Server, lambda float64) Assignment {
-	d := len(servers)
-	res := Assignment{
-		Y: make([]float64, d),
-		Z: make([]float64, d),
-	}
 	var sv Solver
-	res.Cost = sv.solve(servers, lambda, res.Y)
-	if lambda > 0 {
-		for j := range res.Z {
-			res.Z[j] = res.Y[j] / lambda
-		}
-	}
+	var res Assignment
+	sv.AssignInto(servers, lambda, &res)
 	return res
 }
 
+// Warm carries the dual bracket of a previous solve as a starting hint for
+// the next one. The zero value means "no hint" (cold solve). Warm starts
+// never change results — the dual search's answer is canonical (see the
+// package comment) — they only cut the number of water-filling
+// evaluations when consecutive solves have nearby duals.
+type Warm struct {
+	// Hi is the previous solve's dyadic upper bracket (a power of two).
+	Hi float64
+	// Nu is the previous solve's dual multiplier ν*.
+	Nu float64
+}
+
 // Solver evaluates optimal assignment costs while reusing internal scratch
-// buffers across calls. The zero value is ready to use. A Solver is not
+// buffers across calls, and carries the previous solve's dual as a warm
+// start for the next one. The zero value is ready to use. A Solver is not
 // safe for concurrent use; create one per goroutine.
 type Solver struct {
 	active []int
 	lo, hi []float64
 	y      []float64
+	plans  []plan
+	opaque bool // any plan on the golden-section fallback this solve
+	warm   Warm
 }
 
 // Cost returns g_t(x) — the minimal operating cost of routing volume
-// lambda to the given active servers — without allocating.
+// lambda to the given active servers — without allocating. Consecutive
+// calls warm-start each other; results are identical to a cold solve.
 func (sv *Solver) Cost(servers []Server, lambda float64) float64 {
 	if cap(sv.y) < len(servers) {
 		sv.y = make([]float64, len(servers))
 	}
 	return sv.solve(servers, lambda, sv.y[:len(servers)])
 }
+
+// AssignInto computes Assign's result into res, reusing its Y/Z buffers —
+// the allocation-free path for callers that hold an Assignment across
+// calls (model.Evaluator.Split reports per-slot load splits through it).
+func (sv *Solver) AssignInto(servers []Server, lambda float64, res *Assignment) {
+	d := len(servers)
+	if cap(res.Y) < d {
+		res.Y = make([]float64, d)
+	}
+	if cap(res.Z) < d {
+		res.Z = make([]float64, d)
+	}
+	res.Y, res.Z = res.Y[:d], res.Z[:d]
+	res.Cost = sv.solve(servers, lambda, res.Y)
+	for j := range res.Z {
+		res.Z[j] = 0
+	}
+	if lambda > 0 {
+		for j := range res.Z {
+			res.Z[j] = res.Y[j] / lambda
+		}
+	}
+}
+
+// Warm returns the dual warm-start state left by the last solve.
+func (sv *Solver) Warm() Warm { return sv.warm }
+
+// SetWarm installs a warm-start hint, typically taken from a neighbouring
+// solve's Warm(). Invalid hints are ignored by the search.
+func (sv *Solver) SetWarm(w Warm) { sv.warm = w }
+
+// ResetWarm clears the warm-start state (the next solve runs cold).
+func (sv *Solver) ResetWarm() { sv.warm = Warm{} }
 
 // solve computes the optimal cost and writes the per-type volumes into y
 // (which must have len(servers) entries).
@@ -137,7 +191,8 @@ func (sv *Solver) solve(servers []Server, lambda float64, y []float64) float64 {
 		return phi(servers[j], y[j])
 	}
 
-	nuStar := solveDual(servers, sv.active, lambda)
+	sv.resolvePlans(servers)
+	nuStar := sv.solveDual(lambda)
 	sv.fillVolumes(servers, lambda, nuStar, y)
 
 	// phi(s, y) is the complete cost (idle + load) of a type's active
@@ -159,51 +214,238 @@ func phi(s Server, y float64) float64 {
 	return x * s.F.Value(y/x)
 }
 
+// plan caches the resolved evaluation strategy of one active type for the
+// duration of a solve, so the dual search does not re-unwrap cost-function
+// interfaces on every probe.
+type plan struct {
+	kind uint8   // planInvertible | planDifferentiable | planOpaque
+	x    float64 // float64(Active)
+	cap  float64 // x·Cap
+	srv  Server
+
+	inv costfn.Invertible
+
+	deriv    func(float64) float64 // hoisted Deriv for the bisection path
+	d0, dcap float64               // Deriv(0), Deriv(Cap)
+
+	lag func(float64) float64 // per-solve Lagrangian for the opaque path
+	nu  float64               // multiplier read by lag
+}
+
+const (
+	planInvertible = iota
+	planDifferentiable
+	planOpaque
+)
+
+// resolvePlans rebuilds sv.plans for the active types, in active order.
+func (sv *Solver) resolvePlans(servers []Server) {
+	if cap(sv.plans) < len(sv.active) {
+		sv.plans = make([]plan, len(sv.active))
+	}
+	sv.plans = sv.plans[:len(sv.active)]
+	sv.opaque = false
+	for i, j := range sv.active {
+		s := servers[j]
+		p := &sv.plans[i]
+		x := float64(s.Active)
+		p.x, p.cap, p.srv = x, x*s.Cap, s
+		p.lag = nil
+		if inv, ok := costfn.AsInvertible(s.F); ok {
+			p.kind, p.inv = planInvertible, inv
+		} else if diff, ok := costfn.AsDifferentiable(s.F); ok {
+			p.kind = planDifferentiable
+			p.deriv = diff.Deriv
+			p.d0, p.dcap = diff.Deriv(0), diff.Deriv(s.Cap)
+		} else {
+			p.kind = planOpaque
+			p.lag = func(y float64) float64 { return phi(p.srv, y) - p.nu*y }
+			sv.opaque = true
+		}
+	}
+}
+
 // volumeAt returns y_j(ν): the volume type j absorbs at dual multiplier ν.
 // It is the minimiser of φ_j(y) − ν·y over [0, cap_j], which for convex φ
 // is the largest y in the capacity interval with φ'_j(y) ≤ ν.
-func volumeAt(s Server, nu float64) float64 {
-	x := float64(s.Active)
-	cap := x * s.Cap
-	if inv, ok := costfn.AsInvertible(s.F); ok {
-		z := inv.InvDeriv(nu) // φ'(y) = f'(y/x) ≤ ν  ⇔  y ≤ x·InvDeriv(ν)
-		return numeric.Clamp(x*z, 0, cap)
-	}
-	if diff, ok := costfn.AsDifferentiable(s.F); ok {
-		if diff.Deriv(0) >= nu {
+func (p *plan) volumeAt(nu float64) float64 {
+	switch p.kind {
+	case planInvertible:
+		z := p.inv.InvDeriv(nu) // φ'(y) = f'(y/x) ≤ ν  ⇔  y ≤ x·InvDeriv(ν)
+		return numeric.Clamp(p.x*z, 0, p.cap)
+	case planDifferentiable:
+		if p.d0 >= nu {
 			return 0
 		}
-		if diff.Deriv(s.Cap) <= nu {
-			return cap
+		if p.dcap <= nu {
+			return p.cap
 		}
-		z := numeric.BisectIncreasing(diff.Deriv, nu, 0, s.Cap, 1e-13*s.Cap)
-		return numeric.Clamp(x*z, 0, cap)
+		z := numeric.BisectIncreasing(p.deriv, nu, 0, p.srv.Cap, 1e-13*p.srv.Cap)
+		return numeric.Clamp(p.x*z, 0, p.cap)
+	default:
+		// Opaque function: golden-section on the per-type Lagrangian.
+		p.nu = nu
+		y, _ := numeric.MinimizeConvex(p.lag, 0, p.cap, 1e-13*math.Max(p.cap, 1))
+		return y
 	}
-	// Opaque function: golden-section on the per-type Lagrangian.
-	y, _ := numeric.MinimizeConvex(func(y float64) float64 {
-		return phi(s, y) - nu*y
-	}, 0, cap, 1e-13*math.Max(cap, 1))
-	return y
 }
 
-// solveDual bisects the dual multiplier ν so that total absorbed volume
-// meets lambda.
-func solveDual(servers []Server, active []int, lambda float64) float64 {
-	total := func(nu float64) float64 {
-		sum := 0.0
-		for _, j := range active {
-			sum += volumeAt(servers[j], nu)
-		}
-		return sum
+// total returns Σ_j y_j(ν) over the active types, non-decreasing in ν.
+func (sv *Solver) total(nu float64) float64 {
+	sum := 0.0
+	for i := range sv.plans {
+		sum += sv.plans[i].volumeAt(nu)
 	}
-	// Grow an upper bound: capacities are finite, demand is feasible, and
-	// every y_j(ν) reaches its cap once ν clears the largest relevant
-	// marginal cost, so geometric growth terminates.
+	return sum
+}
+
+const (
+	// dualBits fixes the dyadic resolution h = hi/2^47 of the canonical
+	// dual: 47 halvings are what a midpoint bisection of [0, hi] performs
+	// before its width drops under the legacy tolerance 1e-14·max(hi, 1).
+	dualBits  = 47
+	dualCells = int64(1) << dualBits
+)
+
+// maxDualHi caps the geometric bracket growth at 2^200, matching the
+// legacy doubling loop's iteration cap.
+var maxDualHi = math.Ldexp(1, 200)
+
+// solveDual finds the canonical dual multiplier ν* at which the absorbed
+// volume meets lambda. The search is warm-started from sv.warm when
+// available and always lands on the same answer as a cold solve: the
+// midpoint of the dyadic cell where Σ y_j(ν) crosses lambda.
+func (sv *Solver) solveDual(lambda float64) float64 {
+	warm := sv.warm
+	if sv.opaque {
+		// Golden-section-evaluated totals jitter non-monotonically at the
+		// ~1e-13 scale — wider than a dyadic cell — so the snap's landing
+		// cell would depend on where the hint made it start. Hints are
+		// ignored and the solve runs the hint-free reference bisection:
+		// slower, but deterministic for any call history.
+		warm = Warm{}
+	}
+	v0 := sv.total(0)
+	if v0 >= lambda {
+		sv.warm = Warm{Hi: math.Max(warm.Hi, 1), Nu: 0}
+		return 0
+	}
+
+	// Settle hi on the smallest power of two in [1, 2^200] whose absorbed
+	// volume reaches lambda, starting from the warm bracket when present.
 	hi := 1.0
-	for i := 0; i < 200 && total(hi) < lambda; i++ {
-		hi *= 2
+	if warm.Hi >= 1 && warm.Hi <= maxDualHi {
+		hi = warm.Hi
 	}
-	return numeric.BisectIncreasing(total, lambda, 0, hi, 1e-14*math.Max(hi, 1))
+	v := sv.total(hi)
+	if v < lambda {
+		for hi < maxDualHi && v < lambda {
+			hi *= 2
+			v = sv.total(hi)
+		}
+	} else {
+		for hi > 1 {
+			vv := sv.total(hi / 2)
+			if vv < lambda {
+				break
+			}
+			hi /= 2
+			v = vv
+		}
+	}
+	if v <= lambda {
+		// Exact hit at the bracket, or demand beyond the growth cap.
+		sv.warm = Warm{Hi: hi, Nu: hi}
+		return hi
+	}
+	if sv.opaque {
+		nu := sv.dualBisect(hi, lambda)
+		sv.warm = Warm{Hi: hi, Nu: nu}
+		return nu
+	}
+
+	// Bracketed root search on [0, hi] down to one dyadic cell. Secant
+	// steps give the fast convergence; interleaved midpoint bisection
+	// guarantees geometric shrink on hard (flat or jumpy) totals. The
+	// warm dual seeds the bracket when it lies inside.
+	h := math.Ldexp(hi, -dualBits)
+	a, va := 0.0, v0
+	b, vb := hi, v
+	if nu := warm.Nu; nu > 0 && nu < hi {
+		if vn := sv.total(nu); vn < lambda {
+			a, va = nu, vn
+		} else {
+			b, vb = nu, vn
+		}
+	}
+	for i := 0; b-a > h && i < 256; i++ {
+		mid := a + (b-a)/2
+		if i%2 == 0 && vb > va {
+			if s := a + (lambda-va)*(b-a)/(vb-va); s > a && s < b {
+				mid = s
+			}
+		}
+		if vm := sv.total(mid); vm < lambda {
+			a, va = mid, vm
+		} else {
+			b, vb = mid, vm
+		}
+	}
+
+	// Snap onto the canonical dyadic cell: the unique k with
+	// total(k·h) < lambda <= total((k+1)·h). The crossing lies in [a, b],
+	// so for a monotone total k is at most a step or two from floor(a/h);
+	// the walks also absorb any float rounding in the division. Should a
+	// total ever jitter non-monotonically at cell scale regardless (the
+	// opaque family is already routed around this path), a small budget
+	// stops the walk and falls back to the reference bisection, which
+	// terminates unconditionally.
+	k := int64(math.Floor(a / h))
+	if k < 0 {
+		k = 0
+	}
+	if k > dualCells-1 {
+		k = dualCells - 1
+	}
+	moved := 0
+	for k > 0 && moved < snapBudget && sv.total(float64(k)*h) >= lambda {
+		k--
+		moved++
+	}
+	for k+1 < dualCells && moved < snapBudget && sv.total(float64(k+1)*h) < lambda {
+		k++
+		moved++
+	}
+	var nu float64
+	if moved >= snapBudget {
+		nu = sv.dualBisect(hi, lambda)
+	} else {
+		lo := float64(k) * h
+		nu = lo + (float64(k+1)*h-lo)/2
+	}
+	sv.warm = Warm{Hi: hi, Nu: nu}
+	return nu
+}
+
+// snapBudget bounds the dyadic snap walk; monotone totals need at most a
+// couple of steps, so exhausting it signals a noisy (opaque) total.
+const snapBudget = 64
+
+// dualBisect is the legacy midpoint bisection of [0, hi]: 47 halvings,
+// then the final bracket's midpoint. It is the reference the fast path's
+// answer is defined by, and the hint-free fallback when a noisy total
+// defeats the snap.
+func (sv *Solver) dualBisect(hi, lambda float64) float64 {
+	a, b := 0.0, hi
+	for i := 0; i < dualBits; i++ {
+		mid := a + (b-a)/2
+		if sv.total(mid) < lambda {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return a + (b-a)/2
 }
 
 // fillVolumes assigns exact volumes at the (approximately) optimal dual
@@ -220,9 +462,9 @@ func (sv *Solver) fillVolumes(servers []Server, lambda, nuStar float64, y []floa
 	}
 	lo, hi := sv.lo[:len(active)], sv.hi[:len(active)]
 	var sumLo, sumHi float64
-	for i, j := range active {
-		lo[i] = volumeAt(servers[j], nuStar-delta)
-		hi[i] = volumeAt(servers[j], nuStar+delta)
+	for i := range active {
+		lo[i] = sv.plans[i].volumeAt(nuStar - delta)
+		hi[i] = sv.plans[i].volumeAt(nuStar + delta)
 		sumLo += lo[i]
 		sumHi += hi[i]
 	}
@@ -236,7 +478,7 @@ func (sv *Solver) fillVolumes(servers []Server, lambda, nuStar float64, y []floa
 		sum += y[j]
 	}
 	// Remove the residual numerically, respecting capacities. The residual
-	// is O(bisection tolerance), so the cost impact is negligible, but an
+	// is O(search tolerance), so the cost impact is negligible, but an
 	// exact sum keeps downstream feasibility checks crisp.
 	residual := lambda - sum
 	for _, j := range active {

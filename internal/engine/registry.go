@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/stream"
 )
@@ -119,7 +120,9 @@ func algorithmsByKey(keys ...string) []AlgSpec {
 }
 
 // OpenSession resolves an algorithm by name and opens a live advisory
-// session over the fleet template.
+// session over the fleet template. A non-zero opts.Workers is plumbed into
+// the algorithm's internal prefix tracker when the spec supports tuning
+// (and into the session's fallback telemetry tracker either way).
 func OpenSession(name string, types []model.ServerType, opts stream.Options) (*stream.Session, error) {
 	spec, ok := LookupAlgorithm(name)
 	if !ok {
@@ -128,7 +131,7 @@ func OpenSession(name string, types []model.ServerType, opts stream.Options) (*s
 	if !spec.Streamable() {
 		return nil, fmt.Errorf("engine: algorithm %q is offline-only and cannot serve a live session", spec.Name)
 	}
-	alg, err := spec.New(types)
+	alg, err := construct(spec, types, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +139,15 @@ func OpenSession(name string, types []model.ServerType, opts stream.Options) (*s
 		opts.Alg = spec.Key
 	}
 	return stream.New(alg, types, opts)
+}
+
+// construct builds the spec's algorithm, using the tuned constructor when
+// the session options ask for a specific tracker worker count.
+func construct(spec AlgSpec, types []model.ServerType, opts stream.Options) (core.Online, error) {
+	if opts.Workers != 0 && spec.NewTuned != nil {
+		return spec.NewTuned(types, core.Options{TrackerWorkers: opts.Workers})
+	}
+	return spec.New(types)
 }
 
 // ResumeSession rebuilds a live session from a checkpoint, resolving the
@@ -148,7 +160,7 @@ func ResumeSession(cp *stream.Checkpoint, types []model.ServerType, opts stream.
 	if !spec.Streamable() {
 		return nil, fmt.Errorf("engine: algorithm %q is offline-only and cannot serve a live session", spec.Name)
 	}
-	alg, err := spec.New(types)
+	alg, err := construct(spec, types, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -294,24 +294,41 @@ func (e *Evaluator) G(t int, x Config) float64 {
 }
 
 // Split returns the optimal load split (volumes and fractions) behind
-// g_t(x). It allocates; use it for reporting, not in hot loops.
+// g_t(x) as a fresh Assignment; SplitInto is the buffer-reusing variant
+// for per-slot reporting loops.
 func (e *Evaluator) Split(t int, x Config) dispatch.Assignment {
-	servers := make([]dispatch.Server, e.ins.D())
-	for j := range servers {
+	var res dispatch.Assignment
+	e.SplitInto(t, x, &res)
+	return res
+}
+
+// SplitInto computes the optimal load split behind g_t(x) into res,
+// reusing its volume/fraction buffers and the evaluator's scratch — the
+// allocation-free counterpart of Split.
+func (e *Evaluator) SplitInto(t int, x Config, res *dispatch.Assignment) {
+	d := e.ins.D()
+	for j := range e.servers {
 		if x[j] < 0 || x[j] > e.ins.CountAt(t, j) {
-			return dispatch.Assignment{
-				Cost: math.Inf(1),
-				Y:    make([]float64, e.ins.D()),
-				Z:    make([]float64, e.ins.D()),
+			if cap(res.Y) < d {
+				res.Y = make([]float64, d)
 			}
+			if cap(res.Z) < d {
+				res.Z = make([]float64, d)
+			}
+			res.Y, res.Z = res.Y[:d], res.Z[:d]
+			res.Cost = math.Inf(1)
+			for i := 0; i < d; i++ {
+				res.Y[i], res.Z[i] = 0, 0
+			}
+			return
 		}
-		servers[j] = dispatch.Server{
+		e.servers[j] = dispatch.Server{
 			Active: x[j],
 			Cap:    e.ins.Types[j].MaxLoad,
 			F:      e.ins.Types[j].Cost.At(t),
 		}
 	}
-	return dispatch.Assign(servers, e.ins.Lambda[t-1])
+	e.solver.AssignInto(e.servers, e.ins.Lambda[t-1], res)
 }
 
 // SwitchCost returns Σ_j β_j (cur_j − prev_j)^+, the cost of moving from

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/costfn"
 	"repro/internal/dispatch"
+	"repro/internal/numeric"
 )
 
 // SlotInput is everything an online algorithm may observe about one time
@@ -91,6 +92,8 @@ type Accumulator struct {
 	ins      *Instance
 	profiles []*growingProfile
 	template []ServerType
+	fnBuf    []costfn.Func // per-push resolution scratch
+	cntBuf   []int         // per-push counts scratch
 }
 
 // NewAccumulator prepares an accumulator for the fleet template. The
@@ -162,7 +165,11 @@ func (a *Accumulator) Push(in SlotInput) error {
 	if in.Counts != nil && len(in.Counts) != len(a.template) {
 		return fmt.Errorf("model: slot %d carries %d counts, want %d", t, len(in.Counts), len(a.template))
 	}
-	counts := make([]int, len(a.template))
+	if cap(a.cntBuf) < len(a.template) {
+		a.cntBuf = make([]int, len(a.template))
+		a.fnBuf = make([]costfn.Func, len(a.template))
+	}
+	counts, fs := a.cntBuf[:len(a.template)], a.fnBuf[:len(a.template)]
 	capacity := 0.0
 	for j := range a.template {
 		c := a.template[j].Count
@@ -178,7 +185,6 @@ func (a *Accumulator) Push(in SlotInput) error {
 	if capacity < in.Lambda*(1-1e-12) {
 		return fmt.Errorf("model: slot %d demand %g exceeds total capacity %g", t, in.Lambda, capacity)
 	}
-	fs := make([]costfn.Func, len(a.template))
 	for j := range a.template {
 		f, err := a.resolve(in, j)
 		if err != nil {
@@ -186,11 +192,20 @@ func (a *Accumulator) Push(in SlotInput) error {
 		}
 		fs[j] = f
 	}
-	// All checks passed; commit append-only.
+	// All checks passed; commit append-only. Rows never mutate after the
+	// append, so a slot whose counts repeat the previous slot's aliases
+	// the same backing row — steady-state pushes on a static fleet stay
+	// allocation-free.
+	row := a.cntBuf[:len(a.template)]
+	if last := len(a.ins.Counts) - 1; last >= 0 && numeric.EqualInts(a.ins.Counts[last], row) {
+		row = a.ins.Counts[last]
+	} else {
+		row = append([]int(nil), row...)
+	}
 	for j, f := range fs {
 		a.profiles[j].fs = append(a.profiles[j].fs, f)
 	}
-	a.ins.Counts = append(a.ins.Counts, counts)
+	a.ins.Counts = append(a.ins.Counts, row)
 	a.ins.Lambda = append(a.ins.Lambda, in.Lambda)
 	return nil
 }

@@ -1,0 +1,212 @@
+package solver
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/costfn"
+	"repro/internal/numeric"
+)
+
+// The operating-cost layer memo. A DP layer's g-contribution — the vector
+// (g_t(x))_{x ∈ M} — depends only on the slot's content: the job volume
+// λ_t, the per-type server counts and capacities, the slot's cost
+// functions and the lattice-reduction γ. It does not depend on t itself,
+// on the algorithm asking, or on which solver instance is sweeping. The
+// memo therefore lives at process scope: periodic workloads reuse layers
+// across slots, Algorithm C's sub-slots of one slot collapse to a single
+// evaluation, and the engine's suite (OPT solve plus every tracker-based
+// algorithm on the same instance) computes each distinct layer once.
+//
+// Determinism: cached vectors are exactly the vectors the evaluator would
+// compute (g_t is a pure function and the dispatch dual is canonical, see
+// internal/dispatch), so hits and misses — including racy double-computes
+// under concurrent suite workers — never change results, only speed.
+//
+// Cost functions are fingerprinted by value for the stock families
+// (Constant, Affine, Power, Exponential, PiecewiseLinear, Scaled); slots
+// carrying any other implementation are not memoised. Hash collisions are
+// resolved by full structural key comparison, never trusted.
+
+// gcacheMaxFloats bounds the memo's payload (~32 MB of float64s). When an
+// insert would exceed it the memo resets — a simple, deterministic
+// eviction that keeps unbounded fuzz/property workloads from growing it
+// without limit.
+const gcacheMaxFloats = 4 << 20
+
+var gcache = struct {
+	sync.Mutex
+	m      map[uint64]*gcacheEntry
+	floats int
+}{m: make(map[uint64]*gcacheEntry)}
+
+type gcacheEntry struct {
+	sig  gcacheSig
+	g    []float64
+	next *gcacheEntry
+}
+
+// gcacheSig is the full structural key of one slot's layer; hash is the
+// FNV-1a digest of the remaining fields.
+type gcacheSig struct {
+	hash   uint64
+	lambda float64
+	gamma  float64
+	counts []int
+	caps   []float64
+	fns    []costfn.Func
+}
+
+func (s *gcacheSig) equal(o *gcacheSig) bool {
+	if s.lambda != o.lambda || s.gamma != o.gamma ||
+		!numeric.EqualInts(s.counts, o.counts) || len(s.caps) != len(o.caps) {
+		return false
+	}
+	for i := range s.caps {
+		if s.caps[i] != o.caps[i] {
+			return false
+		}
+	}
+	if len(s.fns) != len(o.fns) {
+		return false
+	}
+	for i := range s.fns {
+		if !fnEqual(s.fns[i], o.fns[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fnv1a is an incremental 64-bit FNV-1a hasher.
+type fnv1a uint64
+
+func newFnv() fnv1a { return 0xcbf29ce484222325 }
+
+func (h *fnv1a) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= 0x100000001b3
+		v >>= 8
+	}
+	*h = fnv1a(x)
+}
+
+func (h *fnv1a) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+// fnFingerprint mixes f's structural identity into h and reports whether
+// the function belongs to a fingerprintable family.
+func fnFingerprint(h *fnv1a, f costfn.Func) bool {
+	switch v := f.(type) {
+	case costfn.Constant:
+		h.u64(1)
+		h.f64(v.C)
+	case costfn.Affine:
+		h.u64(2)
+		h.f64(v.Idle)
+		h.f64(v.Rate)
+	case costfn.Power:
+		h.u64(3)
+		h.f64(v.Idle)
+		h.f64(v.Coef)
+		h.f64(v.Exp)
+	case costfn.Exponential:
+		h.u64(4)
+		h.f64(v.Idle)
+		h.f64(v.Amp)
+		h.f64(v.Rate)
+	case costfn.PiecewiseLinear:
+		h.u64(5)
+		n := v.NumBreakpoints()
+		h.u64(uint64(n))
+		for i := 0; i < n; i++ {
+			z, val := v.Breakpoint(i)
+			h.f64(z)
+			h.f64(val)
+		}
+	case costfn.Scaled:
+		h.u64(6)
+		h.f64(v.Factor)
+		return fnFingerprint(h, v.F)
+	default:
+		return false
+	}
+	return true
+}
+
+// fnEqual reports structural equality for fingerprintable families. It
+// deliberately avoids interface == (PiecewiseLinear is not comparable).
+func fnEqual(a, b costfn.Func) bool {
+	switch va := a.(type) {
+	case costfn.Constant:
+		vb, ok := b.(costfn.Constant)
+		return ok && va == vb
+	case costfn.Affine:
+		vb, ok := b.(costfn.Affine)
+		return ok && va == vb
+	case costfn.Power:
+		vb, ok := b.(costfn.Power)
+		return ok && va == vb
+	case costfn.Exponential:
+		vb, ok := b.(costfn.Exponential)
+		return ok && va == vb
+	case costfn.PiecewiseLinear:
+		vb, ok := b.(costfn.PiecewiseLinear)
+		if !ok || va.NumBreakpoints() != vb.NumBreakpoints() {
+			return false
+		}
+		for i := 0; i < va.NumBreakpoints(); i++ {
+			za, ca := va.Breakpoint(i)
+			zb, cb := vb.Breakpoint(i)
+			if za != zb || ca != cb {
+				return false
+			}
+		}
+		return true
+	case costfn.Scaled:
+		vb, ok := b.(costfn.Scaled)
+		return ok && va.Factor == vb.Factor && fnEqual(va.F, vb.F)
+	default:
+		return false
+	}
+}
+
+// gcacheGet returns the cached layer for sig, if present.
+func gcacheGet(sig *gcacheSig) ([]float64, bool) {
+	gcache.Lock()
+	defer gcache.Unlock()
+	for e := gcache.m[sig.hash]; e != nil; e = e.next {
+		if e.sig.equal(sig) {
+			return e.g, true
+		}
+	}
+	return nil, false
+}
+
+// gcachePut stores a layer under sig, copying the key material and the
+// vector so callers may reuse their buffers. A concurrent duplicate insert
+// is harmless (identical content); the first entry on the chain wins
+// lookups.
+func gcachePut(sig *gcacheSig, g []float64) {
+	stored := gcacheEntry{
+		sig: gcacheSig{
+			hash:   sig.hash,
+			lambda: sig.lambda,
+			gamma:  sig.gamma,
+			counts: append([]int(nil), sig.counts...),
+			caps:   append([]float64(nil), sig.caps...),
+			fns:    append([]costfn.Func(nil), sig.fns...),
+		},
+		g: append([]float64(nil), g...),
+	}
+	gcache.Lock()
+	defer gcache.Unlock()
+	if gcache.floats+len(g) > gcacheMaxFloats {
+		gcache.m = make(map[uint64]*gcacheEntry)
+		gcache.floats = 0
+	}
+	stored.next = gcache.m[sig.hash]
+	gcache.m[sig.hash] = &stored
+	gcache.floats += len(g)
+}

@@ -1,0 +1,55 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// benchLayerInstance mirrors the facade benchmark fleet (24 CPUs + 6
+// GPUs, two days of diurnal load): a 175-cell lattice per slot.
+func benchLayerInstance() *model.Instance {
+	return &model.Instance{
+		Types: []model.ServerType{
+			{Name: "cpu", Count: 24, SwitchCost: 2, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Power{Idle: 1, Coef: 0.6, Exp: 2}}},
+			{Name: "gpu", Count: 6, SwitchCost: 15, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Affine{Idle: 4, Rate: 0.3}}},
+		},
+		Lambda: workload.Diurnal(48, 3, 40, 24, 0),
+	}
+}
+
+// benchmarkLayerEval sweeps all T layers of the instance through one
+// layerEvaluator — the solver's dominant kernel (every cell solves a
+// dispatch program, warm-started along lattice lines).
+func benchmarkLayerEval(b *testing.B, opts Options) {
+	ins := benchLayerInstance()
+	grids, err := buildGrids(ins, opts.Gamma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	le := newLayerEvaluator(ins, opts)
+	defer le.close()
+	layer := make([]float64, grids.at(1).Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for t := 1; t <= ins.T(); t++ {
+			for j := range layer {
+				layer[j] = 0
+			}
+			le.addG(layer, t, grids.at(t))
+		}
+	}
+}
+
+// BenchmarkLayerEval measures the raw warm-started sweep (memo off: every
+// cell of every slot is solved).
+func BenchmarkLayerEval(b *testing.B) { benchmarkLayerEval(b, Options{NoMemo: true}) }
+
+// BenchmarkLayerEvalMemo measures the steady-state path with the layer
+// memo on: the periodic trace repeats slot content, so most layers are
+// served from cache.
+func BenchmarkLayerEvalMemo(b *testing.B) { benchmarkLayerEval(b, Options{}) }

@@ -23,6 +23,7 @@ func solveLowMem(ins *model.Instance, opts Options) (*Result, error) {
 	d := ins.D()
 	stride := int(math.Ceil(math.Sqrt(float64(T))))
 	fw := newForward(ins, opts, grids)
+	defer fw.le.close()
 
 	// Forward sweep, checkpointing layers at slots 1, 1+stride, … and T.
 	checkpoints := map[int][]float64{}
@@ -68,6 +69,7 @@ func solveLowMem(ins *model.Instance, opts Options) (*Result, error) {
 		for u := blockStart + 1; u <= t-1; u++ {
 			block = append(block, append([]float64(nil), fwb.step()...))
 		}
+		fwb.le.close()
 		// Walk backward through the block.
 		for ; t >= 2 && t-1 >= blockStart; t-- {
 			layer := block[t-1-blockStart]
@@ -123,7 +125,7 @@ func newForward(ins *model.Instance, opts Options, grids *gridSeq) *forward {
 		opts:  opts,
 		grids: grids,
 		rx:    newRelaxer(betas),
-		le:    newLayerEvaluator(ins, opts.Workers),
+		le:    newLayerEvaluator(ins, opts),
 		betas: betas,
 		cfg:   make(model.Config, ins.D()),
 	}

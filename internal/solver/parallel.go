@@ -4,79 +4,248 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/costfn"
 	"repro/internal/grid"
 	"repro/internal/model"
 )
 
-// layerEvaluator adds the operating costs g_t(x) of a whole DP layer,
-// optionally fanning the evaluation out over a pool of goroutines. The
-// g_t evaluations dominate the solver's runtime (each one solves a convex
-// dispatch program), are independent across lattice cells, and write to
-// disjoint indices — an embarrassingly parallel map. Workers own their
-// model.Evaluator (it carries scratch buffers and is not safe for
-// concurrent use), and the static chunk partition keeps the computation
-// deterministic bit-for-bit regardless of worker count.
+// layerEvaluator adds the operating costs g_t(x) of a whole DP layer. It
+// owns the two fast paths of the solver's dominant kernel:
+//
+//   - A slot-keyed layer memo: slots with identical content (λ, counts,
+//     capacities, cost functions, γ) share one evaluation process-wide
+//     (see gcache.go) — periodic traces, Algorithm C's sub-slots and the
+//     suite's OPT-plus-trackers pile-up all collapse to single sweeps.
+//   - A persistent worker pool: with Workers > 1 the lattice lines are
+//     statically partitioned over goroutines started once per evaluator
+//     (not per layer). Workers own their model.Evaluator (scratch buffers
+//     and the dispatch warm-start state are not safe for concurrent use)
+//     and walk their lines in grid order, so the dispatch dual moves
+//     monotonically along each line and successive solves warm-start each
+//     other. Results are bit-identical for any worker count: g_t is a pure
+//     function and the warm-started dual is canonical (hint-independent).
 type layerEvaluator struct {
 	ins     *model.Instance
+	gamma   float64
+	noMemo  bool
 	workers int
-	evals   []*model.Evaluator
-	cfgs    []model.Config
+	pool    *gWorkerPool // non-nil when workers > 1
+
+	eval *model.Evaluator // serial path
+	cfg  model.Config
+	gbuf []float64 // pure g-layer scratch for memoised slots
+	sig  gcacheSig // reusable signature buffers
 }
 
-// newLayerEvaluator builds an evaluator pool. workers <= 1 evaluates
-// serially; workers == AutoWorkers uses one worker per available CPU.
-func newLayerEvaluator(ins *model.Instance, workers int) *layerEvaluator {
+// newLayerEvaluator builds an evaluator; opts.Workers <= 1 evaluates
+// serially, Workers == AutoWorkers uses one worker per available CPU.
+func newLayerEvaluator(ins *model.Instance, opts Options) *layerEvaluator {
+	workers := opts.Workers
 	if workers == AutoWorkers {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	le := &layerEvaluator{ins: ins, workers: workers}
-	le.evals = make([]*model.Evaluator, workers)
-	le.cfgs = make([]model.Config, workers)
-	for i := range le.evals {
-		le.evals[i] = model.NewEvaluator(ins)
-		le.cfgs[i] = make(model.Config, ins.D())
+	le := &layerEvaluator{
+		ins:     ins,
+		gamma:   opts.Gamma,
+		noMemo:  opts.NoMemo,
+		workers: workers,
+		eval:    model.NewEvaluator(ins),
+		cfg:     make(model.Config, ins.D()),
+	}
+	le.sig.gamma = opts.Gamma
+	le.sig.caps = make([]float64, ins.D())
+	for j, st := range ins.Types {
+		le.sig.caps[j] = st.MaxLoad
+	}
+	le.sig.counts = make([]int, 0, ins.D())
+	le.sig.fns = make([]costfn.Func, 0, ins.D())
+	if workers > 1 {
+		le.pool = newGWorkerPool(ins, workers)
+		// The pool's goroutines reference only the pool, so the cleanup
+		// can stop them once the evaluator itself becomes unreachable
+		// (long-lived PrefixTrackers are never explicitly closed).
+		runtime.AddCleanup(le, func(p *gWorkerPool) { p.close() }, le.pool)
 	}
 	return le
+}
+
+// close releases the worker pool early (function-scoped solvers defer it;
+// the AddCleanup above covers everyone else). Idempotent.
+func (le *layerEvaluator) close() {
+	if le.pool != nil {
+		le.pool.close()
+	}
 }
 
 // AutoWorkers selects one DP worker per available CPU.
 const AutoWorkers = -1
 
-// addG adds g_t(x) to every cell of the layer (indexed by g's lattice).
-func (le *layerEvaluator) addG(layer []float64, t int, g *grid.Grid) {
-	if le.workers == 1 || len(layer) < 2*le.workers {
-		le.addGRange(layer, t, g, 0, len(layer), 0)
-		return
+// signature keys slot t's layer content for the memo, reusing the
+// evaluator's buffers. ok is false when the slot is not memoisable (a
+// cost-function family the fingerprint does not know).
+func (le *layerEvaluator) signature(t int) (*gcacheSig, bool) {
+	if le.noMemo {
+		return nil, false
 	}
-	var wg sync.WaitGroup
-	chunk := (len(layer) + le.workers - 1) / le.workers
-	for w := 0; w < le.workers; w++ {
-		lo := w * chunk
-		if lo >= len(layer) {
-			break
+	s := &le.sig
+	s.lambda = le.ins.Lambda[t-1]
+	s.counts = s.counts[:0]
+	s.fns = s.fns[:0]
+	h := newFnv()
+	h.f64(s.lambda)
+	h.f64(s.gamma)
+	for j := 0; j < le.ins.D(); j++ {
+		c := le.ins.CountAt(t, j)
+		s.counts = append(s.counts, c)
+		h.u64(uint64(c))
+		h.f64(s.caps[j])
+		f := le.ins.Types[j].Cost.At(t)
+		if !fnFingerprint(&h, f) {
+			return nil, false
 		}
-		hi := lo + chunk
-		if hi > len(layer) {
-			hi = len(layer)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			le.addGRange(layer, t, g, lo, hi, w)
-		}(w, lo, hi)
+		s.fns = append(s.fns, f)
 	}
-	wg.Wait()
+	s.hash = uint64(h)
+	return s, true
 }
 
-// addGRange evaluates cells [lo, hi) with worker w's scratch state.
-func (le *layerEvaluator) addGRange(layer []float64, t int, g *grid.Grid, lo, hi, w int) {
-	eval := le.evals[w]
-	cfg := le.cfgs[w]
-	for idx := lo; idx < hi; idx++ {
-		g.Decode(idx, cfg)
-		layer[idx] += eval.G(t, cfg)
+// addG adds g_t(x) to every cell of the layer (indexed by g's lattice).
+func (le *layerEvaluator) addG(layer []float64, t int, g *grid.Grid) {
+	if sig, ok := le.signature(t); ok {
+		if cached, hit := gcacheGet(sig); hit && len(cached) == len(layer) {
+			for i, v := range cached {
+				layer[i] += v
+			}
+			return
+		}
+		if cap(le.gbuf) < len(layer) {
+			le.gbuf = make([]float64, len(layer))
+		}
+		gb := le.gbuf[:len(layer)]
+		le.evalCells(gb, t, g, false)
+		gcachePut(sig, gb)
+		for i, v := range gb {
+			layer[i] += v
+		}
+		return
 	}
+	le.evalCells(layer, t, g, true)
+}
+
+// evalCells computes g_t over the lattice into dst (add=false) or adds it
+// in place (add=true), fanning lattice lines out over the pool when one is
+// attached.
+func (le *layerEvaluator) evalCells(dst []float64, t int, g *grid.Grid, add bool) {
+	lineLen := len(g.Axis(g.D() - 1))
+	lines := len(dst) / lineLen
+	if le.pool == nil || lines < 2 || len(dst) < 2*le.workers {
+		walkLines(le.eval, le.cfg, dst, t, g, 0, lines, add)
+		return
+	}
+	le.pool.run(dst, t, g, lines, add)
+}
+
+// walkLines evaluates lattice lines [loLine, hiLine): one Decode per line,
+// then the contiguous last-dimension run with only the final coordinate
+// changing — cheap decodes and monotone dual movement for the dispatch
+// warm start.
+func walkLines(eval *model.Evaluator, cfg model.Config, dst []float64, t int, g *grid.Grid, loLine, hiLine int, add bool) {
+	d := g.D()
+	last := g.Axis(d - 1)
+	for ln := loLine; ln < hiLine; ln++ {
+		base := ln * len(last)
+		g.Decode(base, cfg)
+		for i, v := range last {
+			cfg[d-1] = v
+			gv := eval.G(t, cfg)
+			if add {
+				dst[base+i] += gv
+			} else {
+				dst[base+i] = gv
+			}
+		}
+	}
+}
+
+// gWorkerPool is a persistent pool of layer-evaluation goroutines. One
+// task per worker and per layer is sent over a buffered channel; the
+// static line partition keeps the output independent of scheduling.
+type gWorkerPool struct {
+	workers int
+	evals   []*model.Evaluator
+	cfgs    []model.Config
+	tasks   chan gTask
+	wg      sync.WaitGroup
+	once    sync.Once
+	stop    chan struct{}
+}
+
+// gTask is one worker's share of a layer: lattice lines [loLine, hiLine).
+type gTask struct {
+	dst            []float64
+	t              int
+	g              *grid.Grid
+	loLine, hiLine int
+	w              int
+	add            bool
+}
+
+func newGWorkerPool(ins *model.Instance, workers int) *gWorkerPool {
+	p := &gWorkerPool{
+		workers: workers,
+		evals:   make([]*model.Evaluator, workers),
+		cfgs:    make([]model.Config, workers),
+		tasks:   make(chan gTask, workers),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.evals[i] = model.NewEvaluator(ins)
+		p.cfgs[i] = make(model.Config, ins.D())
+	}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *gWorkerPool) work() {
+	for {
+		select {
+		case task := <-p.tasks:
+			walkLines(p.evals[task.w], p.cfgs[task.w], task.dst, task.t, task.g,
+				task.loLine, task.hiLine, task.add)
+			p.wg.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// run evaluates one layer through the pool and blocks until it is done.
+// Chunks are static (worker w always gets the same lines for the same
+// layer shape) and each task uses its own evaluator, so the computation
+// is deterministic regardless of scheduling.
+func (p *gWorkerPool) run(dst []float64, t int, g *grid.Grid, lines int, add bool) {
+	chunk := (lines + p.workers - 1) / p.workers
+	n := 0
+	for w := 0; w < p.workers && w*chunk < lines; w++ {
+		n++
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > lines {
+			hi = lines
+		}
+		p.tasks <- gTask{dst: dst, t: t, g: g, loLine: lo, hiLine: hi, w: w, add: add}
+	}
+	p.wg.Wait()
+}
+
+func (p *gWorkerPool) close() {
+	p.once.Do(func() { close(p.stop) })
 }

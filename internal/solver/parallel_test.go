@@ -64,14 +64,14 @@ func TestLayerEvaluatorSmallLayerStaysSerial(t *testing.T) {
 	// Layers smaller than 2× the worker count skip the fan-out; this just
 	// exercises the code path.
 	ins := randomInstance(rand.New(rand.NewSource(83)), 1, 1, 2)
-	le := newLayerEvaluator(ins, 8)
+	le := newLayerEvaluator(ins, Options{Workers: 8})
 	g, err := buildGrids(ins, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	layer := make([]float64, g.at(1).Size())
 	le.addG(layer, 1, g.at(1))
-	le2 := newLayerEvaluator(ins, 1)
+	le2 := newLayerEvaluator(ins, Options{Workers: 1})
 	layer2 := make([]float64, g.at(1).Size())
 	le2.addG(layer2, 1, g.at(1))
 	for i := range layer {
@@ -83,11 +83,11 @@ func TestLayerEvaluatorSmallLayerStaysSerial(t *testing.T) {
 
 func TestAutoWorkersResolves(t *testing.T) {
 	ins := randomInstance(rand.New(rand.NewSource(84)), 2, 3, 3)
-	le := newLayerEvaluator(ins, AutoWorkers)
+	le := newLayerEvaluator(ins, Options{Workers: AutoWorkers})
 	if le.workers != runtime.GOMAXPROCS(0) {
 		t.Errorf("AutoWorkers resolved to %d, want GOMAXPROCS %d", le.workers, runtime.GOMAXPROCS(0))
 	}
-	if newLayerEvaluator(ins, 0).workers != 1 {
+	if newLayerEvaluator(ins, Options{}).workers != 1 {
 		t.Error("0 workers should clamp to 1")
 	}
 }

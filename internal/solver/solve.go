@@ -31,6 +31,11 @@ type Options struct {
 	// checkpointing: memory drops from O(T·|M|) to O(√T·|M|) for one
 	// extra forward sweep. Results are identical to the default path.
 	LowMemory bool
+
+	// NoMemo disables the process-global operating-cost layer memo (see
+	// gcache.go). Results are identical either way; the switch exists for
+	// differential testing and memory-austere runs.
+	NoMemo bool
 }
 
 // Result is an offline solver's output.
@@ -79,15 +84,23 @@ func Solve(ins *model.Instance, opts Options) (*Result, error) {
 	T := ins.T()
 	d := ins.D()
 	eval := model.NewEvaluator(ins)
-	le := newLayerEvaluator(ins, opts.Workers)
+	le := newLayerEvaluator(ins, opts)
+	defer le.close()
 	betas := make([]float64, d)
 	for j, st := range ins.Types {
 		betas[j] = st.SwitchCost
 	}
 	rx := newRelaxer(betas)
 
-	// Forward sweep, storing every layer for reconstruction.
+	// Forward sweep, storing every layer for reconstruction. All layers
+	// are carved out of a single arena (one allocation for the whole
+	// sweep instead of one per slot).
 	layers := make([][]float64, T)
+	arenaSize := 0
+	for t := 1; t <= T; t++ {
+		arenaSize += grids.at(t).Size()
+	}
+	arena := make([]float64, arenaSize)
 	maxSize := 0
 	cfg := make(model.Config, d)
 	for t := 1; t <= T; t++ {
@@ -95,7 +108,8 @@ func Solve(ins *model.Instance, opts Options) (*Result, error) {
 		if g.Size() > maxSize {
 			maxSize = g.Size()
 		}
-		layer := make([]float64, g.Size())
+		layer := arena[:g.Size():g.Size()]
+		arena = arena[g.Size():]
 		if t == 1 {
 			// Transition from the all-off boundary state x_0 = 0:
 			// switching cost Σ_j β_j x_j.

@@ -90,7 +90,7 @@ func newTracker(ins *model.Instance, opts Options) *PrefixTracker {
 	}
 	return &PrefixTracker{
 		ins:   ins,
-		le:    newLayerEvaluator(ins, opts.Workers),
+		le:    newLayerEvaluator(ins, opts),
 		rx:    newRelaxer(betas),
 		naive: opts.Naive,
 		gamma: opts.Gamma,
@@ -101,6 +101,12 @@ func newTracker(ins *model.Instance, opts Options) *PrefixTracker {
 
 // T returns the number of slots processed so far.
 func (p *PrefixTracker) T() int { return p.t }
+
+// Exact reports whether the tracker follows the full configuration
+// lattice (Gamma <= 1), i.e. its prefix optima are exact rather than
+// (2γ−1)-approximate. Telemetry consumers (stream.Session) only reuse
+// exact trackers.
+func (p *PrefixTracker) Exact() bool { return p.gamma <= 1 }
 
 // Done reports whether every slot of a pre-bound instance has been
 // consumed. Stream-mode trackers have no horizon and are never done.

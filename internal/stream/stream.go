@@ -32,11 +32,14 @@ import (
 
 // Options tunes a session. The zero value enables full telemetry.
 type Options struct {
-	// DisableOpt turns off the session's internal prefix-optimum tracker.
-	// The tracker costs one DP layer sweep per slot (the same work the
-	// paper's online algorithms already do once); disabling it drops the
-	// Opt/Ratio advisory fields for sessions that only need decisions.
+	// DisableOpt turns off the session's Opt/Ratio telemetry entirely:
+	// neither a dedicated prefix-optimum tracker nor the algorithm's own
+	// (see core.OptTracking) is consulted.
 	DisableOpt bool
+	// Workers parallelises the session's fallback telemetry tracker
+	// (solver.Options.Workers semantics; only relevant for algorithms
+	// without a reusable tracker of their own).
+	Workers int
 	// Alg overrides the algorithm identifier recorded in checkpoints
 	// (defaults to the algorithm's display name). Registry-based openers
 	// set it to the registry key so Resume can re-resolve the algorithm.
@@ -108,13 +111,14 @@ func (cp *Checkpoint) Portable() bool {
 
 // Session drives one algorithm over a live slot stream.
 type Session struct {
-	alg   core.Online
-	name  string
-	tag   string // checkpoint identifier (registry key or display name)
-	fleet []model.ServerType
-	acc   *model.Accumulator // validated, resolved input history
-	eval  *model.SlotEval
-	opt   *solver.PrefixTracker // streaming prefix optimum (telemetry)
+	alg    core.Online
+	name   string
+	tag    string // checkpoint identifier (registry key or display name)
+	fleet  []model.ServerType
+	acc    *model.Accumulator // validated, resolved input history
+	eval   *model.SlotEval
+	opt    *solver.PrefixTracker // fallback streaming prefix optimum (telemetry)
+	shared core.OptTracking      // the algorithm's own exact tracker, when it has one
 
 	fed     int   // slots ingested
 	decided int   // slots decided
@@ -152,13 +156,31 @@ func New(alg core.Online, types []model.ServerType, opts Options) (*Session, err
 		prev:  make(model.Config, len(types)),
 	}
 	if !opts.DisableOpt {
-		s.opt, err = solver.NewStreamTracker(types, solver.Options{})
-		if err != nil {
-			return nil, err
+		// Algorithms that already run an exact prefix-optimum tracker
+		// (core.OptTracking) hand it to the session, which then skips its
+		// own — halving steady-state per-slot DP work. Buffered algorithms
+		// are excluded: their tracker runs at feed time while telemetry is
+		// accounted at (lagged) decision time.
+		if ot, ok := alg.(core.OptTracking); ok {
+			if _, buffered := alg.(core.Buffered); !buffered {
+				if _, exact := ot.PrefixOptCost(); exact {
+					s.shared = ot
+				}
+			}
+		}
+		if s.shared == nil {
+			s.opt, err = solver.NewStreamTracker(types, solver.Options{Workers: opts.Workers})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s, nil
 }
+
+// SharesOptTracker reports whether Opt/Ratio telemetry is served by the
+// algorithm's own prefix tracker rather than a session-owned one.
+func (s *Session) SharesOptTracker() bool { return s.shared != nil }
 
 // Name returns the wrapped algorithm's display name.
 func (s *Session) Name() string { return s.name }
@@ -173,24 +195,26 @@ func (s *Session) Decided() int { return s.decided }
 // prefix. After Close it equals the batch schedule cost bit-for-bit.
 func (s *Session) CumCost() float64 { return s.opSum.Sum() + s.swSum }
 
-// Feed ingests one slot and returns the advisories it unlocks: exactly one
-// for fully online algorithms, none while a semi-online algorithm's
-// lookahead window fills. Inputs are validated before the algorithm sees
-// them; an error leaves the session unchanged. Should the algorithm still
-// reject a slot (panic — e.g. Algorithm C's subdivision cap), the panic is
-// converted to an error and the session refuses further feeds: a live
-// advisory server degrades to an error response instead of crashing.
-func (s *Session) Feed(in model.SlotInput) (advs []Advisory, err error) {
+// Push ingests one slot and, when it unlocks a decision, writes the
+// advisory into *adv, reusing adv's buffers — the allocation-free core of
+// Feed: steady-state pushes on a static fleet perform zero allocations.
+// decided is false while a semi-online algorithm's lookahead window fills.
+// Inputs are validated before the algorithm sees them; an error leaves the
+// session unchanged. Should the algorithm still reject a slot (panic —
+// e.g. Algorithm C's subdivision cap), the panic is converted to an error
+// and the session refuses further feeds: a live advisory server degrades
+// to an error response instead of crashing.
+func (s *Session) Push(in model.SlotInput, adv *Advisory) (decided bool, err error) {
 	if s.failed != nil {
-		return nil, s.failed
+		return false, s.failed
 	}
 	if in.T != 0 && in.T != s.fed+1 {
-		return nil, fmt.Errorf("stream: fed slot %d out of order, want %d", in.T, s.fed+1)
+		return false, fmt.Errorf("stream: fed slot %d out of order, want %d", in.T, s.fed+1)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			s.failed = fmt.Errorf("stream: %s failed on slot %d: %v", s.name, s.fed, r)
-			advs, err = nil, s.failed
+			decided, err = false, s.failed
 		}
 	}()
 	rec := SlotRecord{Lambda: in.Lambda}
@@ -201,7 +225,7 @@ func (s *Session) Feed(in model.SlotInput) (advs []Advisory, err error) {
 		rec.Costs = append([]costfn.Func(nil), in.Costs...)
 	}
 	if err := s.acc.Push(in); err != nil {
-		return nil, err
+		return false, err
 	}
 	s.fed++
 
@@ -212,9 +236,22 @@ func (s *Session) Feed(in model.SlotInput) (advs []Advisory, err error) {
 	x := s.alg.Step(s.scratch)
 	s.log = append(s.log, rec)
 	if x == nil {
-		return nil, nil
+		return false, nil
 	}
-	return []Advisory{s.record(x)}, nil
+	s.record(x, adv)
+	return true, nil
+}
+
+// Feed is Push with an allocated result: it returns the advisories the
+// slot unlocks — exactly one for fully online algorithms, none while a
+// semi-online algorithm's lookahead window fills.
+func (s *Session) Feed(in model.SlotInput) ([]Advisory, error) {
+	var adv Advisory
+	decided, err := s.Push(in, &adv)
+	if err != nil || !decided {
+		return nil, err
+	}
+	return []Advisory{adv}, nil
 }
 
 // FeedDemand is Feed for the common demand-only stream: costs and counts
@@ -236,18 +273,21 @@ func (s *Session) Close() ([]Advisory, error) {
 		if s.decided >= s.fed {
 			return out, fmt.Errorf("stream: %s flushed more decisions than fed slots", s.name)
 		}
-		out = append(out, s.record(x))
+		var adv Advisory
+		s.record(x, &adv)
+		out = append(out, adv)
 	}
 	return out, nil
 }
 
-// record accounts one decided slot and builds its advisory. When the
-// decision is for the slot Feed just resolved into s.scratch (every slot,
-// for fully online algorithms) the scratch view is reused; lagged
-// Buffered decisions re-materialise the older slot into a separate buffer
-// (s.lagged) so s.scratch's backing arrays stay untouched — Close() mixes
-// lagged and current-slot records back to back.
-func (s *Session) record(x model.Config) Advisory {
+// record accounts one decided slot and fills its advisory in place
+// (reusing adv's Config buffer). When the decision is for the slot Push
+// just resolved into s.scratch (every slot, for fully online algorithms)
+// the scratch view is reused; lagged Buffered decisions re-materialise the
+// older slot into a separate buffer (s.lagged) so s.scratch's backing
+// arrays stay untouched — Close() mixes lagged and current-slot records
+// back to back.
+func (s *Session) record(x model.Config, adv *Advisory) {
 	s.decided++
 	t := s.decided
 	in := s.scratch
@@ -262,29 +302,36 @@ func (s *Session) record(x model.Config) Advisory {
 	s.swSum += sw
 	s.prev = append(s.prev[:0], x...)
 
-	adv := Advisory{
+	*adv = Advisory{
 		Slot:      t,
 		Lambda:    in.Lambda,
-		Config:    x.Clone(),
+		Config:    append(adv.Config[:0], x...),
 		Active:    x.Total(),
 		Operating: op,
 		Switching: sw,
 		CumCost:   s.CumCost(),
 		Pending:   s.fed - s.decided,
 	}
-	if s.opt != nil {
+	switch {
+	case s.shared != nil:
+		// The algorithm's own tracker consumed this slot during Step; its
+		// prefix cost is bit-identical to what a dedicated session tracker
+		// fed the same inputs would produce.
+		s.optCost, _ = s.shared.PrefixOptCost()
+	case s.opt != nil:
 		_, optCost, err := s.opt.Push(in)
 		if err != nil {
 			// The accumulator accepted the slot, so the tracker must too.
 			panic("stream: telemetry tracker rejected a validated slot: " + err.Error())
 		}
 		s.optCost = optCost
-		adv.Opt = optCost
-		if optCost > 0 {
-			adv.Ratio = adv.CumCost / optCost
-		}
+	default:
+		return
 	}
-	return adv
+	adv.Opt = s.optCost
+	if s.optCost > 0 {
+		adv.Ratio = adv.CumCost / s.optCost
+	}
 }
 
 // Checkpoint snapshots the session's replay log. The returned value is

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Benchmark smoke gate: run the scenario-suite benchmark once and fail if
-# wall-clock regressed more than 2x against the recorded baseline
-# (BENCH_engine.json). Timing across heterogeneous CI runners is noisy,
-# which is why the gate is a coarse 2x, not a tight threshold; allocation
-# counts are machine-independent and gated at +10%.
+# Benchmark smoke gate: run the scenario-suite and stream-session
+# benchmarks once and fail if wall-clock regressed more than 2x against
+# the recorded baselines (BENCH_engine.json, BENCH_stream.json). Timing
+# across heterogeneous CI runners is noisy, which is why the gate is a
+# coarse 2x, not a tight threshold; allocation counts are
+# machine-independent and gated at +10%. The solver's layer-eval
+# microbench (BENCH_solver.json) is run and reported for the record but
+# not gated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Parallel)$' -benchtime 1x . )"
+# ---- scenario suite ----
+# 3 iterations, matching the recorded baseline: the first op pays the
+# layer-memo warm-up and is amortised, exactly as in BENCH_engine.json.
+out="$(go test -run '^$' -bench 'BenchmarkSuite(Serial|Parallel)$' -benchtime 3x . )"
 echo "$out"
 
 cur_ns="$(echo "$out" | awk '/^BenchmarkSuiteSerial/ {print int($3)}')"
@@ -20,8 +26,8 @@ fi
 base_ns="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
 base_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
 
-echo "benchsmoke: ns/op current=$cur_ns baseline=$base_ns (limit 2x)"
-echo "benchsmoke: allocs/op current=$cur_allocs baseline=$base_allocs (limit 1.1x)"
+echo "benchsmoke: suite ns/op current=$cur_ns baseline=$base_ns (limit 2x)"
+echo "benchsmoke: suite allocs/op current=$cur_allocs baseline=$base_allocs (limit 1.1x)"
 
 if [ "$cur_ns" -gt "$((base_ns * 2))" ]; then
   echo "benchsmoke: FAIL — suite benchmark regressed more than 2x vs BENCH_engine.json" >&2
@@ -31,4 +37,40 @@ if [ "$cur_allocs" -gt "$((base_allocs * 11 / 10))" ]; then
   echo "benchsmoke: FAIL — suite allocations regressed more than 10% vs BENCH_engine.json" >&2
   exit 1
 fi
+
+# ---- stream session ----
+# 50 iterations, matching the recorded baseline: the first op pays the
+# layer-memo warm-up, so a single iteration would measure only that.
+sout="$(go test -run '^$' -bench 'BenchmarkStreamSession$' -benchtime 50x -benchmem . )"
+echo "$sout"
+
+scur_ns="$(echo "$sout" | awk '/^BenchmarkStreamSession/ {print int($3)}')"
+scur_allocs="$(echo "$sout" | awk '/^BenchmarkStreamSession/ {print int($7)}')"
+if [ -z "$scur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkStreamSession output" >&2
+  exit 1
+fi
+
+sbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_stream.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkStreamSession"][0])')"
+sbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_stream.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkStreamSession"][0])')"
+
+echo "benchsmoke: stream ns/op current=$scur_ns baseline=$sbase_ns (limit 2x)"
+echo "benchsmoke: stream allocs/op current=$scur_allocs baseline=$sbase_allocs (limit 1.1x)"
+
+if [ "$scur_ns" -gt "$((sbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — stream benchmark regressed more than 2x vs BENCH_stream.json" >&2
+  exit 1
+fi
+if [ "$scur_allocs" -gt "$((sbase_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — stream allocations regressed more than 10% vs BENCH_stream.json" >&2
+  exit 1
+fi
+
+# ---- solver layer-eval microbench (recorded, informational) ----
+lout="$(go test -run '^$' -bench 'BenchmarkLayerEval' -benchtime 10x -benchmem ./internal/solver )"
+echo "$lout"
+lbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_solver.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkLayerEval"][0])')"
+lcur_ns="$(echo "$lout" | awk '/^BenchmarkLayerEval(-[0-9]+)? / {print int($3)}')"
+echo "benchsmoke: layer-eval ns/op current=${lcur_ns:-?} baseline=$lbase_ns (informational)"
+
 echo "benchsmoke: OK"
