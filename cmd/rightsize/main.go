@@ -10,6 +10,7 @@
 //	rightsize -suite [-workers N] [-seed 1] [-format text|json|csv|markdown]
 //	rightsize -stream [-alg algA] [-fleet quickstart | -input instance.json]
 //	          [-replay] [-interval 500ms] [-checkpoint cp.json | -resume cp.json]
+//	          [-serve-url http://localhost:8080]
 //	rightsize -list
 //	rightsize -list-algs
 //
@@ -28,7 +29,9 @@
 // resolved by name through the registry (-list-algs shows it; spellings
 // like "algA", "alg-a" and "AlgorithmA" are equivalent). -checkpoint
 // writes the session's replay log on exit; -resume rebuilds a session
-// from such a log before reading further input.
+// from such a log before reading further input. With -serve-url the same
+// stream drives a remote rightsized daemon over its HTTP API instead of
+// an in-process session — identical replay files, identical advisories.
 //
 // -schedule prints the slot-by-slot configurations; -compare runs every
 // applicable algorithm through the scenario engine and prints a table.
@@ -75,6 +78,7 @@ func main() {
 	interval := flag.Duration("interval", 0, "pause between replayed slots (e.g. 500ms)")
 	checkpoint := flag.String("checkpoint", "", "write the session checkpoint JSON here on exit")
 	resume := flag.String("resume", "", "resume a session from a checkpoint JSON before reading input")
+	serveURL := flag.String("serve-url", "", "drive a rightsized daemon at this base URL instead of an in-process session")
 	flag.Parse()
 
 	switch {
@@ -92,7 +96,11 @@ func main() {
 				streamWorkers = *workers
 			}
 		})
-		runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, streamWorkers)
+		if *serveURL != "" {
+			runStreamRemote(*serveURL, *alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume)
+		} else {
+			runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, streamWorkers)
+		}
 	case *suite:
 		runScenarios(rightsizing.Scenarios(), *seed, *workers, *format, false)
 	case *scenario != "":

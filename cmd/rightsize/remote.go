@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	rightsizing "repro"
+	"repro/internal/serve"
+)
+
+// runStreamRemote is -stream -serve-url: the same demand stream (stdin
+// lines or a replayed trace) drives a rightsized daemon through its HTTP
+// API instead of an in-process session. Advisories print identically, so
+// the two paths are drop-in replacements for each other.
+func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string) {
+	cl := &client{base: strings.TrimRight(baseURL, "/")}
+
+	req := serve.OpenRequest{Alg: alg}
+	var trace []float64
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ins, err := rightsizing.ParseInstance(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		types, err := rightsizing.EncodeFleet(ins.Types)
+		if err != nil {
+			log.Fatalf("-input fleet is not servable: %v (use a -fleet scenario for time-dependent templates)", err)
+		}
+		req.Fleet.Types = types
+		trace = ins.Lambda
+	} else {
+		sc, ok := rightsizing.LookupScenario(fleet)
+		if !ok {
+			log.Fatalf("unknown fleet scenario %q; -list shows the registry", fleet)
+		}
+		req.Fleet.Scenario = fleet
+		req.Fleet.Seed = seed
+		trace = sc.Instance(seed).Lambda
+	}
+
+	if resumePath != "" {
+		// The checkpoint names the algorithm; an explicit -alg alongside
+		// -resume is a conflict, not a silent override (same rule as the
+		// in-process path).
+		algSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "alg" {
+				algSet = true
+			}
+		})
+		if algSet {
+			log.Fatal("-alg cannot be combined with -resume: the checkpoint determines the algorithm")
+		}
+		data, err := os.ReadFile(resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cp rightsizing.SessionCheckpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			log.Fatal(err)
+		}
+		req.Alg = ""
+		req.Checkpoint = &cp
+	}
+
+	var info serve.SessionInfo
+	if err := cl.call("POST", "/v1/sessions", req, &info); err != nil {
+		log.Fatal(err)
+	}
+	if req.Checkpoint != nil {
+		fmt.Fprintf(os.Stderr, "rightsize: resumed %s on %s at slot %d (cum cost %.4f)\n",
+			info.Name, cl.base, info.Fed, info.CumCost)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(advs ...rightsizing.Advisory) {
+		for _, adv := range advs {
+			if err := enc.Encode(adv); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	push := func(lambda float64) {
+		var res serve.PushResult
+		if err := cl.call("POST", "/v1/sessions/"+info.ID+"/push", serve.PushRequest{Lambda: lambda}, &res); err != nil {
+			log.Fatal(err)
+		}
+		if res.Decided {
+			emit(*res.Advisory)
+		}
+	}
+
+	if replay {
+		// A resumed session already holds its checkpointed prefix; replay
+		// only the remainder of the trace so slots are not fed twice.
+		if done := info.Fed; done < len(trace) {
+			trace = trace[done:]
+		} else {
+			trace = nil
+		}
+		for _, lambda := range trace {
+			push(lambda)
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+		}
+	} else {
+		scan := bufio.NewScanner(os.Stdin)
+		for scan.Scan() {
+			line := strings.TrimSpace(scan.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			lambda, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				log.Fatalf("bad demand line %q: %v", line, err)
+			}
+			push(lambda)
+		}
+		if err := scan.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if checkpointPath != "" {
+		var snap serve.Snapshot
+		if err := cl.call("POST", "/v1/sessions/"+info.ID+"/checkpoint", nil, &snap); err != nil {
+			log.Fatal(err)
+		}
+		// The local file format stays the stream checkpoint, so a remote
+		// checkpoint resumes in-process (and vice versa).
+		data, err := json.MarshalIndent(snap.Checkpoint, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(checkpointPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rightsize: checkpoint written to %s\n", checkpointPath)
+	}
+
+	var closed serve.CloseResult
+	if err := cl.call("DELETE", "/v1/sessions/"+info.ID, nil, &closed); err != nil {
+		log.Fatal(err)
+	}
+	emit(closed.Advisories...)
+	fmt.Fprintf(os.Stderr, "rightsize: %s advised %d slots via %s, total cost %.4f\n",
+		closed.Info.Name, closed.Info.Decided, cl.base, closed.Info.CumCost)
+}
+
+// client is a minimal JSON-over-HTTP caller for the rightsized API.
+type client struct {
+	base string
+	http http.Client
+}
+
+func (c *client) call(method, path string, body, into any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(data, into)
+}

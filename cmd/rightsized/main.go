@@ -1,0 +1,115 @@
+// Command rightsized is the right-sizing advisory daemon: it serves many
+// concurrent live sessions over an HTTP JSON API, multiplexing the
+// streaming core (internal/stream) behind internal/serve's session
+// manager.
+//
+// Usage:
+//
+//	rightsized [-addr :8080] [-max-sessions 256] [-idle-evict 10m]
+//	           [-snapshot-dir DIR] [-workers N]
+//
+// Endpoints (see the README's "Serving" section for curl examples):
+//
+//	POST   /v1/sessions                 open a session {"alg": "...", "fleet": {...}}
+//	GET    /v1/sessions                 list live sessions
+//	GET    /v1/sessions/{id}            session state
+//	POST   /v1/sessions/{id}/push       feed one slot {"lambda": 7.5}
+//	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
+//	DELETE /v1/sessions/{id}            close the session
+//	GET    /v1/algs                     the algorithm registry
+//	GET    /v1/healthz                  liveness + aggregate counters
+//
+// Sessions idle longer than -idle-evict are checkpointed to the snapshot
+// store (-snapshot-dir for on-disk JSON, in-memory otherwise) and
+// transparently resumed by their next push. On SIGINT/SIGTERM the daemon
+// drains in-flight requests and checkpoints every live session, so with
+// -snapshot-dir a restart resumes exactly where it stopped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rightsized: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 256, "live session limit (evicted snapshots don't count)")
+	idleEvict := flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables the janitor)")
+	snapshotDir := flag.String("snapshot-dir", "", "persist evicted sessions as JSON here (default: in-memory)")
+	workers := flag.Int("workers", 0, "per-session solver worker pool size (0 = serial)")
+	flag.Parse()
+
+	opts := serve.Options{MaxSessions: *maxSessions, Workers: *workers}
+	if *snapshotDir != "" {
+		store, err := serve.NewDirStore(*snapshotDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = store
+	}
+	m := serve.NewManager(opts)
+
+	// The janitor turns the idle-evict policy into store traffic: every
+	// quarter period it sheds sessions whose last push is at least one
+	// period old, bounding resident algorithm state by activity, not by
+	// session count.
+	stopJanitor := make(chan struct{})
+	if *idleEvict > 0 {
+		go func() {
+			tick := time.NewTicker(max(*idleEvict/4, time.Second))
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopJanitor:
+					return
+				case <-tick.C:
+					if n, err := m.EvictIdle(*idleEvict); err != nil {
+						log.Printf("idle eviction: %v", err)
+					} else if n > 0 {
+						log.Printf("evicted %d idle session(s)", n)
+					}
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (max %d sessions, idle-evict %v)", *addr, *maxSessions, *idleEvict)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	close(stopJanitor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		log.Printf("checkpointing live sessions: %v", err)
+	}
+	met := m.Metrics()
+	log.Printf("served %d slots across %d sessions (%d resumed, %d evicted)",
+		met.SlotsPushed, met.SessionsOpened, met.SessionsResumed, met.SessionsEvicted)
+}

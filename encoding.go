@@ -1,189 +1,41 @@
 package rightsizing
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 
-	"repro/internal/costfn"
 	"repro/internal/model"
 )
+
+// The JSON instance codec lives in internal/model (shared with the
+// serving layer's fleet descriptions); the historical names are
+// re-exported here.
 
 // InstanceJSON is the on-disk description of a problem instance consumed
 // by cmd/rightsize and produced by EncodeInstance. Time-dependence can be
 // expressed per type either with an explicit per-slot cost list ("costs")
 // or a base cost plus per-slot scale factors ("cost" + "scale").
-type InstanceJSON struct {
-	Types  []ServerTypeJSON `json:"types"`
-	Lambda []float64        `json:"lambda"`
-	Counts [][]int          `json:"counts,omitempty"`
-}
+type InstanceJSON = model.InstanceJSON
 
 // ServerTypeJSON mirrors ServerType.
-type ServerTypeJSON struct {
-	Name       string         `json:"name"`
-	Count      int            `json:"count"`
-	SwitchCost float64        `json:"switchCost"`
-	MaxLoad    float64        `json:"maxLoad"`
-	Cost       *CostFuncJSON  `json:"cost,omitempty"`
-	Costs      []CostFuncJSON `json:"costs,omitempty"`
-	Scale      []float64      `json:"scale,omitempty"`
-}
+type ServerTypeJSON = model.ServerTypeJSON
 
 // CostFuncJSON is a tagged union of the cost-function families.
-type CostFuncJSON struct {
-	Kind string `json:"kind"` // "constant" | "affine" | "power" | "piecewise"
-
-	// constant
-	C float64 `json:"c,omitempty"`
-	// affine / power
-	Idle float64 `json:"idle,omitempty"`
-	Rate float64 `json:"rate,omitempty"`
-	Coef float64 `json:"coef,omitempty"`
-	Exp  float64 `json:"exp,omitempty"`
-	// piecewise
-	Z []float64 `json:"z,omitempty"`
-	V []float64 `json:"v,omitempty"`
-}
-
-// Func materialises the described cost function.
-func (c *CostFuncJSON) Func() (CostFunc, error) {
-	switch c.Kind {
-	case "constant":
-		return costfn.Constant{C: c.C}, nil
-	case "affine":
-		return costfn.Affine{Idle: c.Idle, Rate: c.Rate}, nil
-	case "power":
-		return costfn.Power{Idle: c.Idle, Coef: c.Coef, Exp: c.Exp}, nil
-	case "piecewise":
-		return costfn.NewPiecewiseLinear(c.Z, c.V)
-	default:
-		return nil, fmt.Errorf("rightsizing: unknown cost kind %q", c.Kind)
-	}
-}
+type CostFuncJSON = model.CostFuncJSON
 
 // ParseInstance decodes and validates an instance from JSON.
-func ParseInstance(r io.Reader) (*Instance, error) {
-	var spec InstanceJSON
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return nil, fmt.Errorf("rightsizing: decoding instance: %w", err)
-	}
-	return spec.Instance()
-}
-
-// Instance materialises and validates the described instance.
-func (spec *InstanceJSON) Instance() (*Instance, error) {
-	ins := &Instance{
-		Lambda: spec.Lambda,
-		Counts: spec.Counts,
-	}
-	for i, st := range spec.Types {
-		profile, err := st.profile(len(spec.Lambda))
-		if err != nil {
-			return nil, fmt.Errorf("rightsizing: type %d (%s): %w", i, st.Name, err)
-		}
-		ins.Types = append(ins.Types, ServerType{
-			Name:       st.Name,
-			Count:      st.Count,
-			SwitchCost: st.SwitchCost,
-			MaxLoad:    st.MaxLoad,
-			Cost:       profile,
-		})
-	}
-	if err := ins.Validate(); err != nil {
-		return nil, err
-	}
-	return ins, nil
-}
-
-func (st *ServerTypeJSON) profile(T int) (CostProfile, error) {
-	switch {
-	case st.Cost != nil && len(st.Costs) > 0:
-		return nil, fmt.Errorf("specify either cost or costs, not both")
-	case len(st.Costs) > 0:
-		if len(st.Costs) != T {
-			return nil, fmt.Errorf("costs has %d entries, want %d", len(st.Costs), T)
-		}
-		fs := make([]CostFunc, T)
-		for t, c := range st.Costs {
-			f, err := c.Func()
-			if err != nil {
-				return nil, fmt.Errorf("slot %d: %w", t+1, err)
-			}
-			fs[t] = f
-		}
-		return Varying{Fs: fs}, nil
-	case st.Cost != nil:
-		f, err := st.Cost.Func()
-		if err != nil {
-			return nil, err
-		}
-		if len(st.Scale) > 0 {
-			if len(st.Scale) != T {
-				return nil, fmt.Errorf("scale has %d entries, want %d", len(st.Scale), T)
-			}
-			return Modulated{F: f, Scale: st.Scale}, nil
-		}
-		return Static{F: f}, nil
-	default:
-		return nil, fmt.Errorf("missing cost specification")
-	}
-}
+func ParseInstance(r io.Reader) (*Instance, error) { return model.ParseInstance(r) }
 
 // EncodeInstance writes an instance as JSON. Cost profiles round-trip for
 // the built-in families; opaque user-defined CostFuncs are rejected.
-func EncodeInstance(w io.Writer, ins *Instance) error {
-	spec := InstanceJSON{Lambda: ins.Lambda, Counts: ins.Counts}
-	for i, st := range ins.Types {
-		stj := ServerTypeJSON{
-			Name:       st.Name,
-			Count:      st.Count,
-			SwitchCost: st.SwitchCost,
-			MaxLoad:    st.MaxLoad,
-		}
-		switch p := st.Cost.(type) {
-		case model.Static:
-			cj, err := encodeFunc(p.F)
-			if err != nil {
-				return fmt.Errorf("rightsizing: type %d: %w", i, err)
-			}
-			stj.Cost = &cj
-		case model.Modulated:
-			cj, err := encodeFunc(p.F)
-			if err != nil {
-				return fmt.Errorf("rightsizing: type %d: %w", i, err)
-			}
-			stj.Cost = &cj
-			stj.Scale = p.Scale
-		case model.Varying:
-			for t, f := range p.Fs {
-				cj, err := encodeFunc(f)
-				if err != nil {
-					return fmt.Errorf("rightsizing: type %d slot %d: %w", i, t+1, err)
-				}
-				stj.Costs = append(stj.Costs, cj)
-			}
-		default:
-			return fmt.Errorf("rightsizing: type %d: cannot encode cost profile %T", i, st.Cost)
-		}
-		spec.Types = append(spec.Types, stj)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(spec)
-}
+func EncodeInstance(w io.Writer, ins *Instance) error { return model.EncodeInstance(w, ins) }
 
-func encodeFunc(f CostFunc) (CostFuncJSON, error) {
-	switch v := f.(type) {
-	case costfn.Constant:
-		return CostFuncJSON{Kind: "constant", C: v.C}, nil
-	case costfn.Affine:
-		return CostFuncJSON{Kind: "affine", Idle: v.Idle, Rate: v.Rate}, nil
-	case costfn.Power:
-		return CostFuncJSON{Kind: "power", Idle: v.Idle, Coef: v.Coef, Exp: v.Exp}, nil
-	default:
-		return CostFuncJSON{}, fmt.Errorf("cannot encode cost function %T", f)
-	}
+// EncodeFleet describes a fleet template portably (static cost profiles
+// of the built-in families only) — the form the serving layer's HTTP API
+// accepts for inline fleets.
+func EncodeFleet(types []ServerType) ([]ServerTypeJSON, error) { return model.EncodeFleet(types) }
+
+// FleetTemplate materialises a streaming fleet template from its portable
+// description (the inverse of EncodeFleet).
+func FleetTemplate(types []ServerTypeJSON) ([]ServerType, error) {
+	return model.FleetTemplate(types)
 }

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// FuzzCheckpointResume hardens the resume path the serving layer depends
+// on: arbitrary JSON decoded as a stream.Checkpoint and replayed through
+// the registry must never panic — malformed algs, impossible demands and
+// mismatched counts all surface as errors — and any checkpoint that does
+// resume must round-trip: re-checkpointing the resumed session and
+// resuming again reproduces the identical session state.
+//
+// The seed corpus lives under testdata/fuzz/FuzzCheckpointResume.
+func FuzzCheckpointResume(f *testing.F) {
+	f.Add([]byte(`{"alg":"alg-a","slots":[{"lambda":1},{"lambda":4.5},{"lambda":2}]}`))
+	f.Add([]byte(`{"alg":"receding-horizon","slots":[{"lambda":3},{"lambda":0}]}`))
+	f.Add([]byte(`{"alg":"alg-b","slots":[{"lambda":2,"counts":[4,1]},{"lambda":1,"counts":[2,0]}]}`))
+	f.Add([]byte(`{"alg":"lcp","slots":[{"lambda":1}]}`))
+	f.Add([]byte(`{"slots":[{"lambda":1}]}`))
+	f.Add([]byte(`not json`))
+
+	sc, ok := Lookup("quickstart")
+	if !ok {
+		f.Fatal("quickstart scenario missing")
+	}
+	types := sc.Instance(1).Types
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cp stream.Checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return
+		}
+		// Bound the replay so the fuzzer explores shapes, not scale: huge
+		// logs and astronomically sized fleets are legitimate inputs but
+		// make single iterations arbitrarily slow.
+		if len(cp.Slots) > 24 {
+			return
+		}
+		for _, rec := range cp.Slots {
+			if rec.Lambda > 1e6 {
+				return
+			}
+			total := 0
+			for _, c := range rec.Counts {
+				if c > 64 || c < 0 {
+					return
+				}
+				total += c
+			}
+			if total > 128 {
+				return
+			}
+		}
+
+		sess, err := ResumeSession(&cp, types, stream.Options{})
+		if err != nil {
+			return // invalid checkpoints must error, not panic
+		}
+
+		// Round-trip: the resumed session's own checkpoint must resume
+		// bit-identically (same replay depth, same cost, same decisions).
+		cp2 := sess.Checkpoint()
+		if len(cp2.Slots) != len(cp.Slots) {
+			t.Fatalf("resumed session logs %d slots, fed %d", len(cp2.Slots), len(cp.Slots))
+		}
+		again, err := ResumeSession(cp2, types, stream.Options{})
+		if err != nil {
+			t.Fatalf("round-tripped checkpoint failed to resume: %v", err)
+		}
+		if again.Fed() != sess.Fed() || again.Decided() != sess.Decided() {
+			t.Fatalf("round trip changed progress: fed %d/%d decided %d/%d",
+				again.Fed(), sess.Fed(), again.Decided(), sess.Decided())
+		}
+		if again.CumCost() != sess.CumCost() {
+			t.Fatalf("round trip changed cum cost: %v != %v", again.CumCost(), sess.CumCost())
+		}
+	})
+}

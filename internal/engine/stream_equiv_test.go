@@ -176,19 +176,55 @@ func TestOpenSessionWorkersBitIdentical(t *testing.T) {
 	}
 }
 
-// The registry resolves keys, display names and convenient spellings.
+// The registry resolves keys, display names and convenient spellings:
+// lookup normalises to lower-case alphanumerics, so punctuation, case and
+// separators never matter, and near-misses still fail loudly.
 func TestLookupAlgorithmSpellings(t *testing.T) {
-	for _, name := range []string{"alg-a", "algA", "AlgorithmA", "ALG-A"} {
-		s, ok := LookupAlgorithm(name)
-		if !ok || s.Name != "AlgorithmA" {
-			t.Errorf("LookupAlgorithm(%q) = (%v, %v), want AlgorithmA", name, s.Name, ok)
-		}
+	cases := []struct {
+		in      string
+		wantKey string // "" means the lookup must fail
+	}{
+		// registry keys and case variants
+		{"alg-a", "alg-a"},
+		{"ALG-A", "alg-a"},
+		{"alg-b", "alg-b"},
+		{"receding-horizon", "receding-horizon"},
+		// separator-free and alternate-separator spellings
+		{"algA", "alg-a"},
+		{"alg_b", "alg-b"},
+		{"alg c", "alg-c"},
+		{"skirental", "ski-rental"},
+		{"Load-Tracking", "load-tracking"},
+		{"ALLON", "all-on"},
+		// display names, with and without their decorations
+		{"AlgorithmA", "alg-a"},
+		{"AlgorithmC(ε=1)", "alg-c"},
+		{"algorithmc1", "alg-c"},
+		{"RecedingHorizon(w=3)", "receding-horizon"},
+		{"SkiRental", "ski-rental"},
+		{"LCP", "lcp"},
+		{"Approx(ε=0.5)", "approx"},
+		// misses: unknown names, near-misses, junk
+		{"no-such-alg", ""},
+		{"alg", ""},
+		{"alg-d", ""},
+		{"algorithmc2", ""}, // wrong ε is a different algorithm
+		{"", ""},
+		{"α β γ", ""},
 	}
-	if s, ok := LookupAlgorithm("AlgorithmC(ε=1)"); !ok || s.Key != "alg-c" {
-		t.Errorf("display-name lookup failed: %v %v", s.Key, ok)
-	}
-	if _, ok := LookupAlgorithm("no-such-alg"); ok {
-		t.Error("unknown algorithm should not resolve")
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			s, ok := LookupAlgorithm(tc.in)
+			if tc.wantKey == "" {
+				if ok {
+					t.Fatalf("LookupAlgorithm(%q) resolved to %q, want a miss", tc.in, s.Key)
+				}
+				return
+			}
+			if !ok || s.Key != tc.wantKey {
+				t.Fatalf("LookupAlgorithm(%q) = (%q, %v), want key %q", tc.in, s.Key, ok, tc.wantKey)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,261 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/costfn"
+)
+
+// The JSON instance codec lives in the model layer so every consumer —
+// the public facade, the CLI tools and the serving layer — shares one
+// wire format for instances and fleet templates. The root package
+// re-exports the types under their historical names.
+
+// InstanceJSON is the on-disk description of a problem instance consumed
+// by cmd/rightsize and produced by EncodeInstance. Time-dependence can be
+// expressed per type either with an explicit per-slot cost list ("costs")
+// or a base cost plus per-slot scale factors ("cost" + "scale").
+type InstanceJSON struct {
+	Types  []ServerTypeJSON `json:"types"`
+	Lambda []float64        `json:"lambda"`
+	Counts [][]int          `json:"counts,omitempty"`
+}
+
+// ServerTypeJSON mirrors ServerType.
+type ServerTypeJSON struct {
+	Name       string         `json:"name"`
+	Count      int            `json:"count"`
+	SwitchCost float64        `json:"switchCost"`
+	MaxLoad    float64        `json:"maxLoad"`
+	Cost       *CostFuncJSON  `json:"cost,omitempty"`
+	Costs      []CostFuncJSON `json:"costs,omitempty"`
+	Scale      []float64      `json:"scale,omitempty"`
+}
+
+// CostFuncJSON is a tagged union of the cost-function families.
+type CostFuncJSON struct {
+	Kind string `json:"kind"` // "constant" | "affine" | "power" | "piecewise"
+
+	// constant
+	C float64 `json:"c,omitempty"`
+	// affine / power
+	Idle float64 `json:"idle,omitempty"`
+	Rate float64 `json:"rate,omitempty"`
+	Coef float64 `json:"coef,omitempty"`
+	Exp  float64 `json:"exp,omitempty"`
+	// piecewise
+	Z []float64 `json:"z,omitempty"`
+	V []float64 `json:"v,omitempty"`
+}
+
+// Func materialises the described cost function.
+func (c *CostFuncJSON) Func() (costfn.Func, error) {
+	switch c.Kind {
+	case "constant":
+		return costfn.Constant{C: c.C}, nil
+	case "affine":
+		return costfn.Affine{Idle: c.Idle, Rate: c.Rate}, nil
+	case "power":
+		return costfn.Power{Idle: c.Idle, Coef: c.Coef, Exp: c.Exp}, nil
+	case "piecewise":
+		return costfn.NewPiecewiseLinear(c.Z, c.V)
+	default:
+		return nil, fmt.Errorf("model: unknown cost kind %q", c.Kind)
+	}
+}
+
+// ParseInstance decodes and validates an instance from JSON.
+func ParseInstance(r io.Reader) (*Instance, error) {
+	var spec InstanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	return spec.Instance()
+}
+
+// Instance materialises and validates the described instance.
+func (spec *InstanceJSON) Instance() (*Instance, error) {
+	ins := &Instance{
+		Lambda: spec.Lambda,
+		Counts: spec.Counts,
+	}
+	for i, st := range spec.Types {
+		profile, err := st.profile(len(spec.Lambda))
+		if err != nil {
+			return nil, fmt.Errorf("model: type %d (%s): %w", i, st.Name, err)
+		}
+		ins.Types = append(ins.Types, ServerType{
+			Name:       st.Name,
+			Count:      st.Count,
+			SwitchCost: st.SwitchCost,
+			MaxLoad:    st.MaxLoad,
+			Cost:       profile,
+		})
+	}
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+func (st *ServerTypeJSON) profile(T int) (CostProfile, error) {
+	switch {
+	case st.Cost != nil && len(st.Costs) > 0:
+		return nil, fmt.Errorf("specify either cost or costs, not both")
+	case len(st.Costs) > 0:
+		if len(st.Costs) != T {
+			return nil, fmt.Errorf("costs has %d entries, want %d", len(st.Costs), T)
+		}
+		fs := make([]costfn.Func, T)
+		for t, c := range st.Costs {
+			f, err := c.Func()
+			if err != nil {
+				return nil, fmt.Errorf("slot %d: %w", t+1, err)
+			}
+			fs[t] = f
+		}
+		return Varying{Fs: fs}, nil
+	case st.Cost != nil:
+		f, err := st.Cost.Func()
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Scale) > 0 {
+			if len(st.Scale) != T {
+				return nil, fmt.Errorf("scale has %d entries, want %d", len(st.Scale), T)
+			}
+			return Modulated{F: f, Scale: st.Scale}, nil
+		}
+		return Static{F: f}, nil
+	default:
+		return nil, fmt.Errorf("missing cost specification")
+	}
+}
+
+// Template materialises the type as a streaming fleet template. Unlike
+// profile, a template has no horizon: it must be well-defined for every
+// future slot, so only static cost profiles are accepted ("costs" lists
+// and "scale" factors are finite and therefore rejected). Time-dependent
+// costs reach a live session per slot, through SlotInput.Costs.
+func (st *ServerTypeJSON) Template() (ServerType, error) {
+	out := ServerType{
+		Name:       st.Name,
+		Count:      st.Count,
+		SwitchCost: st.SwitchCost,
+		MaxLoad:    st.MaxLoad,
+	}
+	if len(st.Costs) > 0 || len(st.Scale) > 0 {
+		return out, fmt.Errorf("fleet templates are unbounded in time; per-slot costs/scale lists are not allowed")
+	}
+	if st.Cost == nil {
+		return out, fmt.Errorf("missing cost specification")
+	}
+	f, err := st.Cost.Func()
+	if err != nil {
+		return out, err
+	}
+	out.Cost = Static{F: f}
+	return out, nil
+}
+
+// FleetTemplate materialises a streaming fleet template from its portable
+// description (the inverse of EncodeFleet).
+func FleetTemplate(types []ServerTypeJSON) ([]ServerType, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("model: fleet template needs at least one server type")
+	}
+	out := make([]ServerType, len(types))
+	for i := range types {
+		st, err := types[i].Template()
+		if err != nil {
+			return nil, fmt.Errorf("model: type %d (%s): %w", i, types[i].Name, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// EncodeFleet describes a fleet template portably. Only static cost
+// profiles of the built-in families round-trip; anything time-dependent
+// or user-defined is rejected (see Template).
+func EncodeFleet(types []ServerType) ([]ServerTypeJSON, error) {
+	out := make([]ServerTypeJSON, len(types))
+	for i, st := range types {
+		p, ok := st.Cost.(Static)
+		if !ok {
+			return nil, fmt.Errorf("model: type %d (%s): cannot encode %T as a fleet template (static profiles only)", i, st.Name, st.Cost)
+		}
+		cj, err := encodeFunc(p.F)
+		if err != nil {
+			return nil, fmt.Errorf("model: type %d (%s): %w", i, st.Name, err)
+		}
+		out[i] = ServerTypeJSON{
+			Name:       st.Name,
+			Count:      st.Count,
+			SwitchCost: st.SwitchCost,
+			MaxLoad:    st.MaxLoad,
+			Cost:       &cj,
+		}
+	}
+	return out, nil
+}
+
+// EncodeInstance writes an instance as JSON. Cost profiles round-trip for
+// the built-in families; opaque user-defined CostFuncs are rejected.
+func EncodeInstance(w io.Writer, ins *Instance) error {
+	spec := InstanceJSON{Lambda: ins.Lambda, Counts: ins.Counts}
+	for i, st := range ins.Types {
+		stj := ServerTypeJSON{
+			Name:       st.Name,
+			Count:      st.Count,
+			SwitchCost: st.SwitchCost,
+			MaxLoad:    st.MaxLoad,
+		}
+		switch p := st.Cost.(type) {
+		case Static:
+			cj, err := encodeFunc(p.F)
+			if err != nil {
+				return fmt.Errorf("model: type %d: %w", i, err)
+			}
+			stj.Cost = &cj
+		case Modulated:
+			cj, err := encodeFunc(p.F)
+			if err != nil {
+				return fmt.Errorf("model: type %d: %w", i, err)
+			}
+			stj.Cost = &cj
+			stj.Scale = p.Scale
+		case Varying:
+			for t, f := range p.Fs {
+				cj, err := encodeFunc(f)
+				if err != nil {
+					return fmt.Errorf("model: type %d slot %d: %w", i, t+1, err)
+				}
+				stj.Costs = append(stj.Costs, cj)
+			}
+		default:
+			return fmt.Errorf("model: type %d: cannot encode cost profile %T", i, st.Cost)
+		}
+		spec.Types = append(spec.Types, stj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+func encodeFunc(f costfn.Func) (CostFuncJSON, error) {
+	switch v := f.(type) {
+	case costfn.Constant:
+		return CostFuncJSON{Kind: "constant", C: v.C}, nil
+	case costfn.Affine:
+		return CostFuncJSON{Kind: "affine", Idle: v.Idle, Rate: v.Rate}, nil
+	case costfn.Power:
+		return CostFuncJSON{Kind: "power", Idle: v.Idle, Coef: v.Coef, Exp: v.Exp}, nil
+	default:
+		return CostFuncJSON{}, fmt.Errorf("cannot encode cost function %T", f)
+	}
+}

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServePush measures the serving layer's overhead over a raw
+// stream session: one op opens a managed session, drives the 48-slot
+// quickstart trace through Manager.Push (acquire, per-session lock,
+// metrics) and deletes it — the manager-path counterpart of the root
+// package's BenchmarkStreamSession, without HTTP. Gated by
+// scripts/benchsmoke.sh against BENCH_serve.json.
+func BenchmarkServePush(b *testing.B) {
+	m := NewManager(Options{})
+	trace := quickstartTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		if _, err := m.Open(OpenRequest{ID: id, Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+			b.Fatal(err)
+		}
+		for _, lambda := range trace {
+			if _, err := m.Push(id, PushRequest{Lambda: lambda}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// The HTTP JSON API over a Manager:
+//
+//	POST   /v1/sessions                 open (or resume from a client checkpoint)
+//	GET    /v1/sessions                 list live sessions
+//	GET    /v1/sessions/{id}            session state
+//	POST   /v1/sessions/{id}/push       feed one slot, get the advisory
+//	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
+//	DELETE /v1/sessions/{id}            close the session (flushes semi-online tails)
+//	GET    /v1/algs                     the algorithm registry
+//	GET    /v1/healthz                  liveness + aggregate counters
+//
+// Every response is JSON; errors are {"error": "..."} with a status from
+// httpStatus. Request bodies are decoded strictly (unknown fields are
+// errors), so client typos fail loudly with 400 instead of serving with
+// defaults.
+
+// NewHandler wires a Manager into an http.Handler.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		info, err := m.Open(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Sessions []SessionInfo `json:"sessions"`
+		}{m.Sessions()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := m.Info(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/push", func(w http.ResponseWriter, r *http.Request) {
+		var req PushRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		res, err := m.Push(r.PathValue("id"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := m.Checkpoint(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		res, err := m.Delete(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/algs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Algorithms []AlgInfo `json:"algorithms"`
+		}{algInfos()})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			OK      bool    `json:"ok"`
+			Metrics Metrics `json:"metrics"`
+		}{true, m.Metrics()})
+	})
+	return mux
+}
+
+// AlgInfo is one registry entry as served by GET /v1/algs.
+type AlgInfo struct {
+	Key        string `json:"key"`
+	Name       string `json:"name"`
+	Bound      string `json:"bound"`
+	Applies    string `json:"applies"`
+	Streamable bool   `json:"streamable"`
+	Doc        string `json:"doc"`
+}
+
+func algInfos() []AlgInfo {
+	specs := engine.Algorithms()
+	out := make([]AlgInfo, len(specs))
+	for i, s := range specs {
+		out[i] = AlgInfo{
+			Key: s.Key, Name: s.Name, Bound: s.Bound,
+			Applies: s.Applies, Streamable: s.Streamable(), Doc: s.Doc,
+		}
+	}
+	return out
+}
+
+// httpStatus maps manager errors onto status codes. Anything unmapped is
+// a client mistake in the request itself (unknown algorithm, bad fleet,
+// malformed id) and reports 400.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrSessionFailed), errors.Is(err, ErrBusy):
+		return http.StatusConflict
+	case errors.Is(err, ErrSessionLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBadSlot):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStore):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeBody strictly decodes a JSON request body, answering 400 itself
+// when it cannot; the caller proceeds only on true.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("malformed request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), errorBody{err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is out; nothing useful to do on error
+}

@@ -1,0 +1,700 @@
+// Package serve multiplexes many live advisory sessions behind one
+// long-running service: the serving layer over the streaming core
+// (internal/stream) and the algorithm registry (internal/engine).
+//
+// A Manager owns a bounded set of named sessions. Pushes to one session
+// are serialized by a per-session lock while different sessions proceed
+// concurrently; the session registry itself is guarded by a manager lock
+// that is never held across algorithm work. Idle sessions are evicted to
+// a pluggable SnapshotStore in stream.Checkpoint's portable form and are
+// transparently resumed by the next push — callers cannot tell eviction
+// happened except through the aggregate counters.
+//
+// Lock ordering: the manager lock may be taken first and a session lock
+// second only without blocking (TryLock, or a freshly created session's
+// lock); a session lock is never held while the manager lock is taken.
+// That discipline makes the two-level scheme deadlock-free: slow
+// algorithm steps on one session never stall the registry or other
+// sessions.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Sentinel errors; the HTTP layer maps them onto status codes.
+var (
+	ErrUnknownSession = errors.New("serve: unknown session")
+	ErrSessionExists  = errors.New("serve: session id already in use")
+	ErrSessionLimit   = errors.New("serve: live session limit reached")
+	ErrSessionFailed  = errors.New("serve: session algorithm failed")
+	ErrBadSlot        = errors.New("serve: slot rejected")
+	ErrBusy           = errors.New("serve: session is busy")
+	ErrClosed         = errors.New("serve: manager is shut down")
+	ErrStore          = errors.New("serve: snapshot store")
+)
+
+// Options tunes a Manager. The zero value serves with defaults: 256 live
+// sessions, an in-memory snapshot store and serial trackers.
+type Options struct {
+	// MaxSessions bounds the live (in-memory) session set; <= 0 means 256.
+	// Snapshotted sessions do not count: the bound is on resident
+	// algorithm state, not on session identities.
+	MaxSessions int
+	// Store receives evicted sessions; nil means a fresh MemStore.
+	Store SnapshotStore
+	// Workers is plumbed into each session's solver trackers
+	// (stream.Options.Workers).
+	Workers int
+}
+
+// OpenRequest describes a session to open. It doubles as the POST
+// /v1/sessions wire format.
+type OpenRequest struct {
+	// ID optionally names the session (URL- and file-safe, <= 64 chars);
+	// empty means the manager assigns one.
+	ID string `json:"id,omitempty"`
+	// Alg names the algorithm (registry lookup, spelling-tolerant). May be
+	// empty when Checkpoint carries the algorithm.
+	Alg string `json:"alg,omitempty"`
+	// Fleet is the session's fleet template.
+	Fleet FleetJSON `json:"fleet"`
+	// Checkpoint, when non-nil, opens the session by replaying a
+	// client-held checkpoint instead of starting fresh.
+	Checkpoint *stream.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// PushRequest is one slot for a session. It doubles as the POST
+// /v1/sessions/{id}/push wire format.
+type PushRequest struct {
+	// Lambda is the slot's job volume.
+	Lambda float64 `json:"lambda"`
+	// Counts optionally overrides the fleet sizes for this slot
+	// (time-varying data centers, Section 4.3).
+	Counts []int `json:"counts,omitempty"`
+}
+
+// PushResult is a push's outcome: Decided reports whether the slot
+// unlocked an advisory (semi-online algorithms buffer their lookahead
+// window first).
+type PushResult struct {
+	Decided  bool             `json:"decided"`
+	Advisory *stream.Advisory `json:"advisory,omitempty"`
+}
+
+// SessionInfo is a session's externally visible state.
+type SessionInfo struct {
+	ID      string  `json:"id"`
+	Alg     string  `json:"alg"`  // registry key
+	Name    string  `json:"name"` // algorithm display name
+	Fed     int     `json:"fed"`
+	Decided int     `json:"decided"`
+	Pending int     `json:"pending,omitempty"`
+	CumCost float64 `json:"cum_cost"`
+	// Failed carries the session's sticky algorithm failure, if any.
+	Failed string `json:"failed,omitempty"`
+}
+
+// CloseResult is a deleted session's final word: the advisories flushed
+// by semi-online algorithms (empty for fully online ones and for
+// snapshot-only deletions) and the closing state.
+type CloseResult struct {
+	Advisories []stream.Advisory `json:"advisories,omitempty"`
+	Info       SessionInfo       `json:"info"`
+}
+
+// liveSession is one resident session. mu serializes all access to the
+// session and doubles as the push queue; gone marks a session that was
+// evicted or deleted after a waiter obtained the pointer — waiters
+// re-acquire through the manager.
+type liveSession struct {
+	id    string
+	alg   string // registry key
+	fleet FleetJSON
+	types []model.ServerType
+
+	mu       sync.Mutex
+	sess     *stream.Session
+	lastUsed time.Time
+	gone     bool
+}
+
+// infoLocked snapshots the session's state; callers hold ls.mu.
+func (ls *liveSession) infoLocked() SessionInfo {
+	info := SessionInfo{
+		ID:      ls.id,
+		Alg:     ls.alg,
+		Name:    ls.sess.Name(),
+		Fed:     ls.sess.Fed(),
+		Decided: ls.sess.Decided(),
+		Pending: ls.sess.Fed() - ls.sess.Decided(),
+		CumCost: ls.sess.CumCost(),
+	}
+	if err := ls.sess.Err(); err != nil {
+		info.Failed = err.Error()
+	}
+	return info
+}
+
+// Manager multiplexes live advisory sessions. All methods are safe for
+// concurrent use.
+type Manager struct {
+	opts  Options
+	store SnapshotStore
+	nowFn func() time.Time // test hook
+
+	mu     sync.Mutex
+	live   map[string]*liveSession
+	seq    int
+	closed bool
+
+	met counters
+}
+
+// NewManager prepares a session manager.
+func NewManager(opts Options) *Manager {
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 256
+	}
+	return &Manager{
+		opts:  opts,
+		store: opts.Store,
+		nowFn: time.Now,
+		live:  map[string]*liveSession{},
+	}
+}
+
+func (m *Manager) streamOpts() stream.Options {
+	return stream.Options{Workers: m.opts.Workers}
+}
+
+// Open creates (or, with a checkpoint, replays) a session. The algorithm
+// resolves through the registry and the fleet through the descriptor; the
+// new session counts against MaxSessions immediately.
+func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
+	if req.ID != "" && !validID(req.ID) {
+		return SessionInfo{}, fmt.Errorf("serve: invalid session id %q (want <= 64 chars of [a-zA-Z0-9._-], no leading dot)", req.ID)
+	}
+	// Reject cheaply before constructing anything: a full manager, a
+	// taken id or a closed manager must not cost a checkpoint replay.
+	// The same checks re-run under the lock before the insert below.
+	m.mu.Lock()
+	err := m.openableLocked(req.ID)
+	m.mu.Unlock()
+	if err != nil {
+		return SessionInfo{}, err
+	}
+
+	types, err := req.Fleet.Resolve()
+	if err != nil {
+		return SessionInfo{}, err
+	}
+
+	alg := req.Alg
+	var sess *stream.Session
+	if cp := req.Checkpoint; cp != nil {
+		if alg != "" && !sameAlgorithm(alg, cp.Alg) {
+			return SessionInfo{}, fmt.Errorf("serve: request algorithm %q conflicts with checkpoint algorithm %q", alg, cp.Alg)
+		}
+		alg = cp.Alg
+		sess, err = engine.ResumeSession(cp, types, m.streamOpts())
+	} else {
+		if alg == "" {
+			return SessionInfo{}, fmt.Errorf("serve: open request names no algorithm")
+		}
+		sess, err = engine.OpenSession(alg, types, m.streamOpts())
+	}
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	if spec, ok := engine.LookupAlgorithm(alg); ok {
+		alg = spec.Key
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.openableLocked(req.ID); err != nil {
+		return SessionInfo{}, err
+	}
+	id := req.ID
+	if id == "" {
+		id, err = m.genIDLocked()
+		if err != nil {
+			return SessionInfo{}, err
+		}
+	}
+	ls := &liveSession{
+		id: id, alg: alg, fleet: req.Fleet, types: types,
+		sess: sess, lastUsed: m.nowFn(),
+	}
+	m.live[id] = ls
+	m.met.opened.Add(1)
+	return ls.infoLocked(), nil
+}
+
+// openableLocked checks everything about an open request that does not
+// require the session to exist yet: manager liveness, the id being free
+// and a slot under the cap.
+func (m *Manager) openableLocked(id string) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if id != "" {
+		if taken, err := m.idTakenLocked(id); err != nil {
+			return err
+		} else if taken {
+			return fmt.Errorf("%w: %q", ErrSessionExists, id)
+		}
+	}
+	if len(m.live) >= m.opts.MaxSessions {
+		return fmt.Errorf("%w (%d live)", ErrSessionLimit, len(m.live))
+	}
+	return nil
+}
+
+// idTakenLocked reports whether an id is in use, live or snapshotted.
+func (m *Manager) idTakenLocked(id string) (bool, error) {
+	if _, live := m.live[id]; live {
+		return true, nil
+	}
+	_, ok, err := m.store.Load(id)
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return ok, nil
+}
+
+// genIDLocked assigns the next free generated id.
+func (m *Manager) genIDLocked() (string, error) {
+	for {
+		m.seq++
+		id := fmt.Sprintf("s-%06d", m.seq)
+		taken, err := m.idTakenLocked(id)
+		if err != nil {
+			return "", err
+		}
+		if !taken {
+			return id, nil
+		}
+	}
+}
+
+// acquire returns the live session for id, transparently resuming it from
+// the snapshot store when it was evicted. The returned session may be
+// marked gone by a concurrent evict/delete between return and the
+// caller's lock; callers loop on that.
+func (m *Manager) acquire(id string) (*liveSession, error) {
+	// Ids that could never have been opened are 404s before they reach
+	// the store: a DirStore uses the id as a file name, so URL-supplied
+	// ids like "../backup" must never get that far.
+	if !validID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if ls, ok := m.live[id]; ok {
+		m.mu.Unlock()
+		return ls, nil
+	}
+	if len(m.live) >= m.opts.MaxSessions {
+		m.mu.Unlock()
+		// Unknown ids must stay 404s even at the cap: only a session that
+		// exists (snapshotted) and cannot be resumed is a capacity problem.
+		if _, ok, err := m.store.Load(id); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		} else if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+		}
+		return nil, fmt.Errorf("%w (%d live; cannot resume %q)", ErrSessionLimit, m.opts.MaxSessions, id)
+	}
+	// Reserve the id with a placeholder whose lock is held for the whole
+	// resume: concurrent pushers queue on it instead of racing a second
+	// replay of the same log.
+	ls := &liveSession{id: id}
+	ls.mu.Lock()
+	m.live[id] = ls
+	m.mu.Unlock()
+
+	sess, snap, types, err := m.resumeFromStore(id)
+	if err != nil {
+		ls.gone = true
+		ls.mu.Unlock()
+		m.mu.Lock()
+		if m.live[id] == ls {
+			delete(m.live, id)
+		}
+		m.mu.Unlock()
+		return nil, err
+	}
+	ls.alg = snap.Checkpoint.Alg
+	if spec, ok := engine.LookupAlgorithm(ls.alg); ok {
+		ls.alg = spec.Key
+	}
+	ls.fleet = snap.Fleet
+	ls.types = types
+	ls.sess = sess
+	ls.lastUsed = m.nowFn()
+	ls.mu.Unlock()
+	m.met.resumed.Add(1)
+	return ls, nil
+}
+
+// resumeFromStore loads and replays a snapshot.
+func (m *Manager) resumeFromStore(id string) (*stream.Session, *Snapshot, []model.ServerType, error) {
+	snap, ok, err := m.store.Load(id)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if snap.Checkpoint == nil {
+		return nil, nil, nil, fmt.Errorf("%w: snapshot %q has no checkpoint", ErrStore, id)
+	}
+	types, err := snap.Fleet.Resolve()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sess, err := engine.ResumeSession(snap.Checkpoint, types, m.streamOpts())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sess, snap, types, nil
+}
+
+// Push feeds one slot to the session, resuming it from the store first if
+// it was evicted. Pushes to the same session are serialized in arrival
+// order; pushes to different sessions run concurrently.
+func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
+	start := m.nowFn()
+	for {
+		ls, err := m.acquire(id)
+		if err != nil {
+			m.met.pushErr.Add(1)
+			return PushResult{}, err
+		}
+		ls.mu.Lock()
+		if ls.gone {
+			ls.mu.Unlock()
+			continue
+		}
+		adv := &stream.Advisory{}
+		decided, perr := ls.sess.Push(model.SlotInput{Lambda: req.Lambda, Counts: req.Counts}, adv)
+		ls.lastUsed = m.nowFn()
+		sticky := ls.sess.Err() != nil
+		ls.mu.Unlock()
+		if perr != nil {
+			m.met.pushErr.Add(1)
+			if sticky {
+				return PushResult{}, fmt.Errorf("%w: %v", ErrSessionFailed, perr)
+			}
+			return PushResult{}, fmt.Errorf("%w: %v", ErrBadSlot, perr)
+		}
+		m.met.pushes.Add(1)
+		m.met.lat.observe(m.nowFn().Sub(start))
+		res := PushResult{Decided: decided}
+		if decided {
+			res.Advisory = adv
+		}
+		return res, nil
+	}
+}
+
+// Info reports a session's state, transparently resuming it if evicted.
+func (m *Manager) Info(id string) (SessionInfo, error) {
+	for {
+		ls, err := m.acquire(id)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		ls.mu.Lock()
+		if ls.gone {
+			ls.mu.Unlock()
+			continue
+		}
+		info := ls.infoLocked()
+		ls.mu.Unlock()
+		return info, nil
+	}
+}
+
+// Checkpoint snapshots the session's replay log, persists it to the store
+// and returns it. The session stays live.
+func (m *Manager) Checkpoint(id string) (*Snapshot, error) {
+	for {
+		ls, err := m.acquire(id)
+		if err != nil {
+			return nil, err
+		}
+		ls.mu.Lock()
+		if ls.gone {
+			ls.mu.Unlock()
+			continue
+		}
+		snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+		ls.mu.Unlock()
+		if err := m.store.Save(snap); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		return snap, nil
+	}
+}
+
+// Delete ends a session: a live one is closed (semi-online algorithms
+// flush their buffered advisories), and its snapshot — live or not — is
+// removed from the store. The id becomes unknown afterwards.
+func (m *Manager) Delete(id string) (*CloseResult, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	for {
+		m.mu.Lock()
+		ls, live := m.live[id]
+		m.mu.Unlock()
+		if !live {
+			return m.deleteSnapshot(id)
+		}
+		ls.mu.Lock()
+		if ls.gone {
+			ls.mu.Unlock()
+			continue
+		}
+		advs, cerr := ls.sess.Close()
+		info := ls.infoLocked()
+		ls.gone = true
+		ls.mu.Unlock()
+
+		m.mu.Lock()
+		if m.live[id] == ls {
+			delete(m.live, id)
+		}
+		m.mu.Unlock()
+		if err := m.store.Delete(id); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		m.met.deleted.Add(1)
+		if cerr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSessionFailed, cerr)
+		}
+		return &CloseResult{Advisories: advs, Info: info}, nil
+	}
+}
+
+// deleteSnapshot removes an evicted session without replaying it; a
+// semi-online tail (if any) is discarded with it.
+func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
+	snap, ok, err := m.store.Load(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if err := m.store.Delete(id); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.met.deleted.Add(1)
+	info := SessionInfo{ID: id}
+	if snap.Checkpoint != nil {
+		info.Alg = snap.Checkpoint.Alg
+		info.Fed = len(snap.Checkpoint.Slots)
+	}
+	return &CloseResult{Info: info}, nil
+}
+
+// evictHoldingBoth completes an eviction of a session the caller holds
+// both m.mu and ls.mu on (ls.mu via TryLock). It releases m.mu before
+// the store write — the write runs under ls.mu alone, serialized against
+// pushes to this session but never stalling the registry or other
+// sessions — then marks the session gone and unlinks it. Both locks are
+// released on return.
+func (m *Manager) evictHoldingBoth(ls *liveSession) error {
+	snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+	m.mu.Unlock()
+	err := m.store.Save(snap)
+	if err == nil {
+		ls.gone = true
+	}
+	ls.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.mu.Lock()
+	if m.live[ls.id] == ls {
+		delete(m.live, ls.id)
+	}
+	m.mu.Unlock()
+	m.met.evicted.Add(1)
+	return nil
+}
+
+// evictable reports whether a session the caller holds ls.mu on may be
+// checkpoint-evicted. Sessions with a sticky algorithm failure are not:
+// their checkpoint only replays the good prefix, so an eviction would
+// silently erase the failure state a client just observed — they stay
+// resident until deleted.
+func (ls *liveSession) evictable() bool {
+	return !ls.gone && ls.sess != nil && ls.sess.Err() == nil
+}
+
+// Evict checkpoints one live session to the store and releases its
+// resident state; the next push resumes it transparently. A session
+// mid-push is not evictable (ErrBusy), and neither is a failed one
+// (ErrSessionFailed) — delete those instead.
+func (m *Manager) Evict(id string) error {
+	m.mu.Lock()
+	ls, ok := m.live[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if !ls.mu.TryLock() {
+		m.mu.Unlock()
+		return ErrBusy
+	}
+	if !ls.evictable() {
+		failed := ls.sess != nil && ls.sess.Err() != nil
+		ls.mu.Unlock()
+		m.mu.Unlock()
+		if failed {
+			return fmt.Errorf("%w: evicting would drop the failure state; delete the session instead", ErrSessionFailed)
+		}
+		return ErrBusy
+	}
+	return m.evictHoldingBoth(ls) // releases both locks
+}
+
+// EvictIdle evicts every live session whose last activity is at least
+// olderThan ago and that is not mid-push or failed, returning how many
+// went. The daemon's janitor calls this periodically; EvictIdle(0)
+// empties the manager of idle healthy sessions.
+func (m *Manager) EvictIdle(olderThan time.Duration) (int, error) {
+	cutoff := m.nowFn().Add(-olderThan)
+
+	// Collect candidates under the registry lock, then evict one by one,
+	// re-validating each: the store writes must not run under m.mu.
+	m.mu.Lock()
+	var cands []*liveSession
+	for _, ls := range m.live {
+		if !ls.mu.TryLock() {
+			continue // mid-push: by definition not idle
+		}
+		if ls.evictable() && !ls.lastUsed.After(cutoff) {
+			cands = append(cands, ls)
+		}
+		ls.mu.Unlock()
+	}
+	m.mu.Unlock()
+
+	evicted := 0
+	var firstErr error
+	for _, ls := range cands {
+		m.mu.Lock()
+		if m.live[ls.id] != ls {
+			m.mu.Unlock()
+			continue // deleted or already evicted since collection
+		}
+		if !ls.mu.TryLock() {
+			m.mu.Unlock()
+			continue
+		}
+		if !ls.evictable() || ls.lastUsed.After(cutoff) {
+			ls.mu.Unlock()
+			m.mu.Unlock()
+			continue // touched since collection
+		}
+		if err := m.evictHoldingBoth(ls); err != nil { // releases both locks
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			evicted++
+		}
+	}
+	return evicted, firstErr
+}
+
+// Sessions lists the live session ids (sorted by the caller if needed);
+// snapshotted sessions are not enumerated — stores are keyed, not
+// scanned.
+func (m *Manager) Sessions() []SessionInfo {
+	m.mu.Lock()
+	live := make([]*liveSession, 0, len(m.live))
+	for _, ls := range m.live {
+		live = append(live, ls)
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, 0, len(live))
+	for _, ls := range live {
+		ls.mu.Lock()
+		if !ls.gone && ls.sess != nil {
+			out = append(out, ls.infoLocked())
+		}
+		ls.mu.Unlock()
+	}
+	return out
+}
+
+// Metrics snapshots the aggregate counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	live := len(m.live)
+	m.mu.Unlock()
+	return m.met.snapshot(live)
+}
+
+// Close shuts the manager down: new requests fail with ErrClosed,
+// in-flight pushes finish, and every live session is checkpointed to the
+// store (so a durable store resumes them after a restart).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	live := make([]*liveSession, 0, len(m.live))
+	for _, ls := range m.live {
+		live = append(live, ls)
+	}
+	m.mu.Unlock()
+
+	var firstErr error
+	for _, ls := range live {
+		ls.mu.Lock() // blocks until any in-flight push completes
+		if !ls.gone && ls.sess != nil {
+			snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+			if err := m.store.Save(snap); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%w: %v", ErrStore, err)
+			}
+			ls.gone = true
+		}
+		ls.mu.Unlock()
+	}
+	m.mu.Lock()
+	clear(m.live)
+	m.mu.Unlock()
+	return firstErr
+}
+
+// sameAlgorithm reports whether two spellings resolve to the same
+// registry entry.
+func sameAlgorithm(a, b string) bool {
+	sa, oka := engine.LookupAlgorithm(a)
+	sb, okb := engine.LookupAlgorithm(b)
+	return oka && okb && sa.Key == sb.Key
+}

@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// quickstartFleet is the standard test fleet descriptor.
+func quickstartFleet() FleetJSON { return FleetJSON{Scenario: "quickstart", Seed: 1} }
+
+// quickstartTrace returns the scenario's demand trace.
+func quickstartTrace(t testing.TB) []float64 {
+	t.Helper()
+	sc, ok := engine.Lookup("quickstart")
+	if !ok {
+		t.Fatal("quickstart scenario missing")
+	}
+	return sc.Instance(1).Lambda
+}
+
+// pushAll feeds trace[from:to] (0-based) to the session.
+func pushAll(t testing.TB, m *Manager, id string, trace []float64, from, to int) {
+	t.Helper()
+	for _, lambda := range trace[from:to] {
+		if _, err := m.Push(id, PushRequest{Lambda: lambda}); err != nil {
+			t.Fatalf("push to %s: %v", id, err)
+		}
+	}
+}
+
+// The full manager lifecycle: open with a generated id, push, evict,
+// transparent resume, and a buffered algorithm's flush on delete — with
+// the aggregate counters tracking every transition.
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager(Options{})
+	trace := quickstartTrace(t)
+
+	info, err := m.Open(OpenRequest{Alg: "RecedingHorizon(w=3)", Fleet: quickstartFleet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Alg != "receding-horizon" {
+		t.Fatalf("open: %+v", info)
+	}
+	id := info.ID
+
+	// The 3-slot lookahead buffers the first two pushes.
+	for i, wantDecided := range []bool{false, false, true} {
+		res, err := m.Push(id, PushRequest{Lambda: trace[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decided != wantDecided {
+			t.Fatalf("push %d decided=%v, want %v", i+1, res.Decided, wantDecided)
+		}
+	}
+
+	// Reference: the same prefix on an uninterrupted manager session.
+	ref := NewManager(Options{})
+	rinfo, err := ref.Open(OpenRequest{Alg: "receding-horizon", Fleet: quickstartFleet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, ref, rinfo.ID, trace, 0, len(trace))
+
+	if err := m.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Metrics(); got.LiveSessions != 0 || got.SessionsEvicted != 1 {
+		t.Fatalf("after evict: %+v", got)
+	}
+
+	// The next push transparently resumes from the snapshot.
+	pushAll(t, m, id, trace, 3, len(trace))
+	if got := m.Metrics(); got.SessionsResumed != 1 {
+		t.Fatalf("resume not counted: %+v", got)
+	}
+	sinfo, err := m.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sinfo.Fed != len(trace) || sinfo.Pending != 2 {
+		t.Fatalf("info after full trace: %+v", sinfo)
+	}
+
+	// Delete flushes the two buffered slots and the final state matches
+	// the uninterrupted run bit-for-bit.
+	closed, err := m.Delete(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed.Advisories) != 2 {
+		t.Fatalf("flush produced %d advisories, want 2", len(closed.Advisories))
+	}
+	rclosed, err := ref.Delete(rinfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Info.CumCost != rclosed.Info.CumCost || closed.Info.Decided != rclosed.Info.Decided {
+		t.Fatalf("evict/resume changed the outcome: %+v vs %+v", closed.Info, rclosed.Info)
+	}
+	if _, err := m.Info(id); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("deleted session Info err = %v, want ErrUnknownSession", err)
+	}
+}
+
+// Idle eviction is driven by last push time under a fake clock; active
+// sessions stay resident.
+func TestEvictIdle(t *testing.T) {
+	m := NewManager(Options{})
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	m.nowFn = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tick := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	trace := quickstartTrace(t)
+	for _, id := range []string{"old", "fresh"} {
+		if _, err := m.Open(OpenRequest{ID: id, Alg: "alg-a", Fleet: quickstartFleet()}); err != nil {
+			t.Fatal(err)
+		}
+		pushAll(t, m, id, trace, 0, 4)
+	}
+	tick(10 * time.Minute)
+	pushAll(t, m, "fresh", trace, 4, 5)
+
+	n, err := m.EvictIdle(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("evicted %d sessions, want 1 (only the idle one)", n)
+	}
+	infos := m.Sessions()
+	if len(infos) != 1 || infos[0].ID != "fresh" {
+		t.Fatalf("live sessions after idle eviction: %+v", infos)
+	}
+	// The evicted session is still addressable.
+	if got, err := m.Info("old"); err != nil || got.Fed != 4 {
+		t.Fatalf("Info(old) = %+v, %v", got, err)
+	}
+}
+
+// A durable store carries sessions across manager restarts: Close
+// checkpoints every live session and a fresh manager over the same
+// directory resumes them bit-identically.
+func TestDirStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(filepath.Join(dir, "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := quickstartTrace(t)
+
+	m1 := NewManager(Options{Store: store})
+	if _, err := m1.Open(OpenRequest{ID: "durable", Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, m1, "durable", trace, 0, 7)
+	before, err := m1.Info("durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Info("durable"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed manager Info err = %v, want ErrClosed", err)
+	}
+
+	m2 := NewManager(Options{Store: store})
+	after, err := m2.Info("durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fed != before.Fed || after.CumCost != before.CumCost || after.Alg != "alg-b" {
+		t.Fatalf("restart changed the session: %+v vs %+v", after, before)
+	}
+	// And it keeps streaming.
+	pushAll(t, m2, "durable", trace, 7, len(trace))
+}
+
+// A client-held checkpoint opens a new session mid-trace (the HTTP resume
+// path), continuing exactly where it was taken.
+func TestOpenFromClientCheckpoint(t *testing.T) {
+	m := NewManager(Options{})
+	trace := quickstartTrace(t)
+
+	if _, err := m.Open(OpenRequest{ID: "orig", Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, m, "orig", trace, 0, 10)
+	snap, err := m.Checkpoint("orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Delete("orig"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflicting algorithm names are rejected; matching spellings pass.
+	if _, err := m.Open(OpenRequest{Alg: "alg-a", Fleet: quickstartFleet(), Checkpoint: snap.Checkpoint}); err == nil {
+		t.Fatal("conflicting alg + checkpoint must not open")
+	}
+	info, err := m.Open(OpenRequest{ID: "copy", Alg: "AlgorithmB", Fleet: quickstartFleet(), Checkpoint: snap.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fed != 10 {
+		t.Fatalf("checkpoint open fed %d slots, want 10", info.Fed)
+	}
+	pushAll(t, m, "copy", trace, 10, len(trace))
+
+	// Reference: uninterrupted session.
+	if _, err := m.Open(OpenRequest{ID: "ref", Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, m, "ref", trace, 0, len(trace))
+	got, _ := m.Info("copy")
+	want, _ := m.Info("ref")
+	if got.CumCost != want.CumCost || got.Decided != want.Decided {
+		t.Fatalf("checkpoint-opened session diverged: %+v vs %+v", got, want)
+	}
+}
+
+// URL-supplied ids that could never have been opened are 404s before
+// they reach the store: a DirStore uses the id as a file name, so
+// traversal ids must not read or unlink files outside the snapshot dir.
+func TestTraversalIDsRejected(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(filepath.Join(dir, "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(dir, "secret.json")
+	planted := []byte(`{"id":"secret","fleet":{"scenario":"quickstart"},"checkpoint":{"alg":"alg-a","slots":[]}}`)
+	if err := os.WriteFile(outside, planted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{Store: store})
+	for _, id := range []string{"../secret", "..", "a/b", ".hidden", ""} {
+		if _, err := m.Info(id); !errors.Is(err, ErrUnknownSession) {
+			t.Errorf("Info(%q) err = %v, want ErrUnknownSession", id, err)
+		}
+		if _, err := m.Push(id, PushRequest{Lambda: 1}); !errors.Is(err, ErrUnknownSession) {
+			t.Errorf("Push(%q) err = %v, want ErrUnknownSession", id, err)
+		}
+		if _, err := m.Delete(id); !errors.Is(err, ErrUnknownSession) {
+			t.Errorf("Delete(%q) err = %v, want ErrUnknownSession", id, err)
+		}
+	}
+	if data, err := os.ReadFile(outside); err != nil || !bytes.Equal(data, planted) {
+		t.Fatalf("file outside the snapshot dir was touched: %v", err)
+	}
+}
+
+// A session with a sticky algorithm failure is never checkpoint-evicted
+// (its checkpoint only replays the good prefix, which would silently
+// erase the failure a client observed); it stays resident until deleted.
+func TestFailedSessionNotEvicted(t *testing.T) {
+	m := NewManager(Options{})
+	fleet := FleetJSON{Types: []model.ServerTypeJSON{{
+		Name: "srv", Count: 1, SwitchCost: 1e-3, MaxLoad: 1,
+		Cost: &model.CostFuncJSON{Kind: "constant", C: 1e7},
+	}}}
+	if _, err := m.Open(OpenRequest{ID: "sick", Alg: "alg-c", Fleet: fleet}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Push("sick", PushRequest{Lambda: 0.5}); !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("push err = %v, want ErrSessionFailed", err)
+	}
+	if err := m.Evict("sick"); !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("Evict(failed) err = %v, want ErrSessionFailed", err)
+	}
+	if n, err := m.EvictIdle(0); err != nil || n != 0 {
+		t.Fatalf("EvictIdle evicted %d failed sessions (err %v), want 0", n, err)
+	}
+	info, err := m.Info("sick")
+	if err != nil || info.Failed == "" {
+		t.Fatalf("failure state lost: %+v, %v", info, err)
+	}
+	if _, err := m.Delete("sick"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"s-000001":               true,
+		"my.session":             true,
+		"A_b-C.9":                true,
+		"":                       false,
+		".hidden":                false,
+		"a/b":                    false,
+		"a b":                    false,
+		"säsión":                 false,
+		string(make([]byte, 65)): false,
+	} {
+		if got := validID(id); got != want {
+			t.Errorf("validID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// The race-hardening stress test (run with -race in CI): many goroutines
+// hammer one manager — concurrent pushes on distinct sessions, chaotic
+// eviction, checkpoint reads and metric scrapes — and determinism must
+// survive: every session ends with the identical trace fed, so all final
+// costs agree bit-for-bit.
+func TestServeStress(t *testing.T) {
+	const nSessions = 12
+	m := NewManager(Options{MaxSessions: nSessions})
+	trace := quickstartTrace(t)
+
+	var pushers, chaosWg sync.WaitGroup
+	var done atomic.Bool
+	errs := make(chan error, 4*nSessions)
+
+	// Chaos: evict whatever is idle, scrape metrics, list sessions.
+	chaos := func() {
+		defer chaosWg.Done()
+		for !done.Load() {
+			if _, err := m.EvictIdle(0); err != nil {
+				errs <- err
+				return
+			}
+			m.Metrics()
+			m.Sessions()
+		}
+	}
+	chaosWg.Add(2)
+	go chaos()
+	go chaos()
+
+	ids := make([]string, nSessions)
+	for i := range ids {
+		if i >= 26 {
+			t.Fatal("id scheme exhausted")
+		}
+		ids[i] = string(rune('a'+i)) + "-stress"
+	}
+	for _, id := range ids {
+		pushers.Add(1)
+		go func(id string) {
+			defer pushers.Done()
+			if _, err := m.Open(OpenRequest{ID: id, Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+				errs <- err
+				return
+			}
+			for i, lambda := range trace {
+				if _, err := m.Push(id, PushRequest{Lambda: lambda}); err != nil {
+					errs <- err
+					return
+				}
+				if i%9 == 3 {
+					if _, err := m.Checkpoint(id); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%7 == 5 {
+					if _, err := m.Info(id); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(id)
+	}
+
+	pushers.Wait()
+	done.Store(true)
+	chaosWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var cost float64
+	for i, id := range ids {
+		info, err := m.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Fed != len(trace) {
+			t.Fatalf("%s fed %d slots, want %d", id, info.Fed, len(trace))
+		}
+		if i == 0 {
+			cost = info.CumCost
+		} else if info.CumCost != cost {
+			t.Fatalf("%s cum cost %v != %v: concurrency broke determinism", id, info.CumCost, cost)
+		}
+		if _, err := m.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if met := m.Metrics(); met.LiveSessions != 0 || met.PushErrors != 0 {
+		t.Fatalf("final metrics: %+v", met)
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the manager's aggregate-counter snapshot, reported by
+// GET /v1/healthz. Latency quantiles cover the most recent pushes (a
+// bounded ring, see latencyRing) and are 0 until the first push.
+type Metrics struct {
+	LiveSessions    int     `json:"live_sessions"`
+	SessionsOpened  uint64  `json:"sessions_opened"`
+	SessionsResumed uint64  `json:"sessions_resumed"`
+	SessionsEvicted uint64  `json:"sessions_evicted"`
+	SessionsDeleted uint64  `json:"sessions_deleted"`
+	SlotsPushed     uint64  `json:"slots_pushed"`
+	PushErrors      uint64  `json:"push_errors"`
+	PushP50Micros   float64 `json:"push_p50_us"`
+	PushP99Micros   float64 `json:"push_p99_us"`
+}
+
+// counters aggregates manager activity. All fields are updated atomically;
+// the latency ring has its own lock so a healthz scrape never contends
+// with the session locks.
+type counters struct {
+	opened  atomic.Uint64
+	resumed atomic.Uint64
+	evicted atomic.Uint64
+	deleted atomic.Uint64
+	pushes  atomic.Uint64
+	pushErr atomic.Uint64
+	lat     latencyRing
+}
+
+func (c *counters) snapshot(live int) Metrics {
+	p50, p99 := c.lat.quantiles()
+	return Metrics{
+		LiveSessions:    live,
+		SessionsOpened:  c.opened.Load(),
+		SessionsResumed: c.resumed.Load(),
+		SessionsEvicted: c.evicted.Load(),
+		SessionsDeleted: c.deleted.Load(),
+		SlotsPushed:     c.pushes.Load(),
+		PushErrors:      c.pushErr.Load(),
+		PushP50Micros:   float64(p50) / float64(time.Microsecond),
+		PushP99Micros:   float64(p99) / float64(time.Microsecond),
+	}
+}
+
+// latencyRing keeps the last ringSize push durations; quantiles sort a
+// copy on demand. Exact over a sliding window, O(ringSize) memory, and a
+// scrape-time sort is cheap at this size.
+const ringSize = 2048
+
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]time.Duration
+	n    int // total observations (buf holds min(n, ringSize))
+	sort []time.Duration
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%ringSize] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *latencyRing) quantiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := min(r.n, ringSize)
+	if n == 0 {
+		return 0, 0
+	}
+	r.sort = append(r.sort[:0], r.buf[:n]...)
+	sort.Slice(r.sort, func(i, j int) bool { return r.sort[i] < r.sort[j] })
+	return r.sort[n/2], r.sort[(n*99)/100]
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// FleetJSON is the portable fleet descriptor of a served session: either a
+// registered scenario's fleet (by name and seed) or an inline list of
+// server types (static cost profiles of the built-in families). It is part
+// of every snapshot, so an evicted session can be rebuilt by a process
+// that never saw the original open request.
+type FleetJSON struct {
+	Scenario string                 `json:"scenario,omitempty"`
+	Seed     int64                  `json:"seed,omitempty"`
+	Types    []model.ServerTypeJSON `json:"types,omitempty"`
+}
+
+// Resolve materialises the fleet template the descriptor names.
+func (f *FleetJSON) Resolve() ([]model.ServerType, error) {
+	switch {
+	case f.Scenario != "" && len(f.Types) > 0:
+		return nil, fmt.Errorf("serve: fleet names both a scenario and inline types")
+	case f.Scenario != "":
+		sc, ok := engine.Lookup(f.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown fleet scenario %q", f.Scenario)
+		}
+		return sc.Instance(f.Seed).Types, nil
+	case len(f.Types) > 0:
+		return model.FleetTemplate(f.Types)
+	default:
+		return nil, fmt.Errorf("serve: fleet needs a scenario name or inline types")
+	}
+}
+
+// Snapshot is an evicted (or client-checkpointed) session in portable
+// form: identity, fleet descriptor and the session's replay log
+// (stream.Checkpoint, which already names the algorithm). Resuming it
+// reproduces the live session bit-identically.
+type Snapshot struct {
+	ID         string             `json:"id"`
+	Fleet      FleetJSON          `json:"fleet"`
+	Checkpoint *stream.Checkpoint `json:"checkpoint"`
+}
+
+// SnapshotStore persists evicted sessions. Implementations must be safe
+// for concurrent use; Load reports ok=false for unknown ids.
+type SnapshotStore interface {
+	Save(snap *Snapshot) error
+	Load(id string) (snap *Snapshot, ok bool, err error)
+	Delete(id string) error
+}
+
+// MemStore is the in-memory SnapshotStore: eviction sheds live session
+// state (algorithm histories, trackers) down to the replay log, and
+// snapshots die with the process.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{snaps: map[string][]byte{}} }
+
+// Save implements SnapshotStore. Snapshots are kept JSON-encoded so the
+// in-memory and on-disk stores exercise the identical portable form.
+func (s *MemStore) Save(snap *Snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps[snap.ID] = data
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (s *MemStore) Load(id string) (*Snapshot, bool, error) {
+	s.mu.Lock()
+	data, ok := s.snaps[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, false, err
+	}
+	return &snap, true, nil
+}
+
+// Delete implements SnapshotStore.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.snaps, id)
+	return nil
+}
+
+// DirStore persists snapshots as one JSON file per session under a
+// directory, so an idle-evicted session survives a daemon restart.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory if needed and returns the store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a session id onto a file name. Ids are restricted to a safe
+// alphabet at open time (see validID), so the id is the file name.
+func (s *DirStore) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Save implements SnapshotStore with a write-then-rename so a crashed
+// daemon never leaves a torn snapshot behind.
+func (s *DirStore) Save(snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+snap.ID+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(snap.ID))
+}
+
+// Load implements SnapshotStore.
+func (s *DirStore) Load(id string) (*Snapshot, bool, error) {
+	data, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, false, fmt.Errorf("serve: snapshot %s: %w", id, err)
+	}
+	return &snap, true, nil
+}
+
+// Delete implements SnapshotStore.
+func (s *DirStore) Delete(id string) error {
+	err := os.Remove(s.path(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// validID reports whether a client-chosen session id is acceptable: short
+// and from a file- and URL-safe alphabet (DirStore uses it verbatim as a
+// file name).
+func validID(id string) bool {
+	if id == "" || len(id) > 64 || strings.HasPrefix(id, ".") {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

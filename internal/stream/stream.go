@@ -185,6 +185,10 @@ func (s *Session) SharesOptTracker() bool { return s.shared != nil }
 // Name returns the wrapped algorithm's display name.
 func (s *Session) Name() string { return s.name }
 
+// Err returns the session's sticky failure, if any: once the algorithm
+// rejects a slot the session refuses further feeds and reports why here.
+func (s *Session) Err() error { return s.failed }
+
 // Fed returns the number of slots ingested so far.
 func (s *Session) Fed() int { return s.fed }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark smoke gate: run the scenario-suite and stream-session
-# benchmarks once and fail if wall-clock regressed more than 2x against
-# the recorded baselines (BENCH_engine.json, BENCH_stream.json). Timing
+# Benchmark smoke gate: run the scenario-suite, stream-session and
+# serve-push benchmarks once and fail if wall-clock regressed more than
+# 2x against the recorded baselines (BENCH_engine.json,
+# BENCH_stream.json, BENCH_serve.json). Timing
 # across heterogeneous CI runners is noisy, which is why the gate is a
 # coarse 2x, not a tight threshold; allocation counts are
 # machine-independent and gated at +10%. The solver's layer-eval
@@ -63,6 +64,34 @@ if [ "$scur_ns" -gt "$((sbase_ns * 2))" ]; then
 fi
 if [ "$scur_allocs" -gt "$((sbase_allocs * 11 / 10))" ]; then
   echo "benchsmoke: FAIL — stream allocations regressed more than 10% vs BENCH_stream.json" >&2
+  exit 1
+fi
+
+# ---- serve manager push ----
+# 50 iterations, same methodology as the stream baseline (first op pays
+# the layer-memo warm-up and is amortised).
+vout="$(go test -run '^$' -bench 'BenchmarkServePush$' -benchtime 50x -benchmem ./internal/serve )"
+echo "$vout"
+
+vcur_ns="$(echo "$vout" | awk '/^BenchmarkServePush/ {print int($3)}')"
+vcur_allocs="$(echo "$vout" | awk '/^BenchmarkServePush/ {print int($7)}')"
+if [ -z "$vcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkServePush output" >&2
+  exit 1
+fi
+
+vbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePush"][0])')"
+vbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePush"][0])')"
+
+echo "benchsmoke: serve ns/op current=$vcur_ns baseline=$vbase_ns (limit 2x)"
+echo "benchsmoke: serve allocs/op current=$vcur_allocs baseline=$vbase_allocs (limit 1.1x)"
+
+if [ "$vcur_ns" -gt "$((vbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — serve benchmark regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$vcur_allocs" -gt "$((vbase_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — serve allocations regressed more than 10% vs BENCH_serve.json" >&2
   exit 1
 fi
 
