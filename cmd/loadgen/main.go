@@ -1,0 +1,198 @@
+// Command loadgen drives a live rightsized daemon over HTTP with many
+// concurrent advisory sessions and reports aggregate throughput: the
+// load harness of the serving tier.
+//
+// Usage:
+//
+//	loadgen [-url http://127.0.0.1:8080] [-sessions 16] [-slots 512]
+//	        [-batch 1] [-alg alg-b] [-fleet quickstart] [-seed 1]
+//
+// One goroutine per session opens a fresh session, pushes -slots demand
+// values (the fleet scenario's trace, cycled) in batches of -batch, and
+// deletes the session. On exit loadgen prints total slots, wall time,
+// aggregate slots/sec and client-observed push latency quantiles —
+// p50/p90/p99 over HTTP round-trips, so daemon-side time (the healthz
+// quantiles) plus transport. Compare -batch 1 against -batch 16 to see
+// the round-trip amortization, and scale -sessions to probe shard
+// contention.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	rightsizing "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	url := flag.String("url", "http://127.0.0.1:8080", "rightsized base URL")
+	sessions := flag.Int("sessions", 16, "concurrent sessions")
+	slots := flag.Int("slots", 512, "slots to push per session")
+	batch := flag.Int("batch", 1, "slots per push request (1 = the single-slot wire form)")
+	alg := flag.String("alg", "alg-b", "algorithm (registry name)")
+	fleet := flag.String("fleet", "quickstart", "fleet scenario name")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Parse()
+	if *sessions < 1 || *slots < 1 || *batch < 1 {
+		log.Fatal("-sessions, -slots and -batch must all be >= 1")
+	}
+
+	sc, ok := rightsizing.LookupScenario(*fleet)
+	if !ok {
+		log.Fatalf("unknown fleet scenario %q", *fleet)
+	}
+	trace := sc.Instance(*seed).Lambda
+
+	cl := &client{base: strings.TrimRight(*url, "/")}
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := cl.call("GET", "/v1/healthz", nil, &health); err != nil || !health.OK {
+		log.Fatalf("daemon not healthy at %s: %v", *url, err)
+	}
+
+	type result struct {
+		lats []time.Duration
+		err  error
+	}
+	results := make([]result, *sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lats []time.Duration
+	for i, r := range results {
+		if r.err != nil {
+			log.Fatalf("session %d: %v", i, r.err)
+		}
+		lats = append(lats, r.lats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	total := *sessions * *slots
+	fmt.Printf("sessions=%d slots/session=%d batch=%d\n", *sessions, *slots, *batch)
+	fmt.Printf("pushed %d slots in %v: %.0f slots/sec aggregate (%d HTTP pushes)\n",
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(), len(lats))
+	fmt.Printf("push latency p50=%v p90=%v p99=%v max=%v\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+}
+
+// driveSession opens one session, pushes slots demands in batches and
+// deletes it, timing every HTTP push round-trip.
+func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch int) (res struct {
+	lats []time.Duration
+	err  error
+}) {
+	open := serve.OpenRequest{ID: id, Alg: alg}
+	open.Fleet.Scenario = fleet
+	open.Fleet.Seed = seed
+	if err := cl.call("POST", "/v1/sessions", open, nil); err != nil {
+		res.err = err
+		return
+	}
+	defer func() {
+		if err := cl.call("DELETE", "/v1/sessions/"+id, nil, nil); err != nil && res.err == nil {
+			res.err = err
+		}
+	}()
+
+	path := "/v1/sessions/" + id + "/push"
+	res.lats = make([]time.Duration, 0, (slots+batch-1)/batch)
+	reqs := make([]serve.PushRequest, 0, batch)
+	fed := 0
+	for fed < slots {
+		reqs = reqs[:0]
+		for len(reqs) < batch && fed+len(reqs) < slots {
+			reqs = append(reqs, serve.PushRequest{Lambda: trace[(fed+len(reqs))%len(trace)]})
+		}
+		t0 := time.Now()
+		var err error
+		if batch == 1 {
+			err = cl.call("POST", path, reqs[0], nil)
+		} else {
+			err = cl.call("POST", path, reqs, nil)
+		}
+		res.lats = append(res.lats, time.Since(t0))
+		if err != nil {
+			res.err = err
+			return
+		}
+		fed += len(reqs)
+	}
+	return
+}
+
+// client is a minimal JSON-over-HTTP caller for the rightsized API.
+type client struct {
+	base string
+	http http.Client
+}
+
+func (c *client) call(method, path string, body, into any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(data, into)
+}

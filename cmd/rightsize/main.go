@@ -10,7 +10,7 @@
 //	rightsize -suite [-workers N] [-seed 1] [-format text|json|csv|markdown]
 //	rightsize -stream [-alg algA] [-fleet quickstart | -input instance.json]
 //	          [-replay] [-interval 500ms] [-checkpoint cp.json | -resume cp.json]
-//	          [-serve-url http://localhost:8080]
+//	          [-serve-url http://localhost:8080] [-batch 16]
 //	rightsize -list
 //	rightsize -list-algs
 //
@@ -32,6 +32,9 @@
 // from such a log before reading further input. With -serve-url the same
 // stream drives a remote rightsized daemon over its HTTP API instead of
 // an in-process session — identical replay files, identical advisories.
+// -batch N amortizes per-push overhead by feeding N demands per push
+// (one session acquire in-process, one HTTP round-trip remotely);
+// advisories are identical for any batch size.
 //
 // -schedule prints the slot-by-slot configurations; -compare runs every
 // applicable algorithm through the scenario engine and prints a table.
@@ -79,6 +82,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write the session checkpoint JSON here on exit")
 	resume := flag.String("resume", "", "resume a session from a checkpoint JSON before reading input")
 	serveURL := flag.String("serve-url", "", "drive a rightsized daemon at this base URL instead of an in-process session")
+	batch := flag.Int("batch", 1, "stream mode: feed demands in batches of this size")
 	flag.Parse()
 
 	switch {
@@ -96,10 +100,13 @@ func main() {
 				streamWorkers = *workers
 			}
 		})
+		if *batch < 1 {
+			log.Fatalf("-batch must be >= 1, got %d", *batch)
+		}
 		if *serveURL != "" {
-			runStreamRemote(*serveURL, *alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume)
+			runStreamRemote(*serveURL, *alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, *batch)
 		} else {
-			runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, streamWorkers)
+			runStream(*alg, *fleet, *input, *seed, *replay, *interval, *checkpoint, *resume, streamWorkers, *batch)
 		}
 	case *suite:
 		runScenarios(rightsizing.Scenarios(), *seed, *workers, *format, false)
@@ -167,8 +174,9 @@ func streamFleet(fleet, input string, seed int64) ([]rightsizing.ServerType, []f
 
 // runStream drives a live advisory session: demand arrives on stdin (one
 // value per line) or from the replayed trace, and one JSON advisory is
-// written per decided slot.
-func runStream(alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string, workers int) {
+// written per decided slot. Demands are fed in batches of batch slots
+// (Session.PushBatch); advisories are identical for any batch size.
+func runStream(alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string, workers, batch int) {
 	types, trace := streamFleet(fleet, input, seed)
 	opts := rightsizing.SessionOptions{Workers: workers}
 
@@ -215,12 +223,24 @@ func runStream(alg, fleet, input string, seed int64, replay bool, interval time.
 		}
 	}
 
-	feed := func(lambda float64) {
-		advs, err := sess.FeedDemand(lambda)
+	pending := make([]rightsizing.SlotInput, 0, batch)
+	advBuf := make([]rightsizing.Advisory, batch)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		n, err := sess.PushBatch(pending, advBuf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(advs)
+		emit(advBuf[:n])
+		pending = pending[:0]
+	}
+	feed := func(lambda float64) {
+		pending = append(pending, rightsizing.SlotInput{Lambda: lambda})
+		if len(pending) >= batch {
+			flush()
+		}
 	}
 
 	if replay {
@@ -233,7 +253,7 @@ func runStream(alg, fleet, input string, seed int64, replay bool, interval time.
 		}
 		for _, lambda := range trace {
 			feed(lambda)
-			if interval > 0 {
+			if interval > 0 && len(pending) == 0 { // a batch just flushed
 				time.Sleep(interval)
 			}
 		}
@@ -254,6 +274,7 @@ func runStream(alg, fleet, input string, seed int64, replay bool, interval time.
 			log.Fatal(err)
 		}
 	}
+	flush()
 
 	advs, err := sess.Close()
 	if err != nil {

@@ -21,8 +21,9 @@ import (
 // runStreamRemote is -stream -serve-url: the same demand stream (stdin
 // lines or a replayed trace) drives a rightsized daemon through its HTTP
 // API instead of an in-process session. Advisories print identically, so
-// the two paths are drop-in replacements for each other.
-func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string) {
+// the two paths are drop-in replacements for each other. With batch > 1
+// demands are sent as JSON arrays — one HTTP round-trip per batch.
+func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool, interval time.Duration, checkpointPath, resumePath string, batch int) {
 	cl := &client{base: strings.TrimRight(baseURL, "/")}
 
 	req := serve.OpenRequest{Alg: alg}
@@ -95,13 +96,38 @@ func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool,
 			}
 		}
 	}
-	push := func(lambda float64) {
-		var res serve.PushResult
-		if err := cl.call("POST", "/v1/sessions/"+info.ID+"/push", serve.PushRequest{Lambda: lambda}, &res); err != nil {
-			log.Fatal(err)
+	pushPath := "/v1/sessions/" + info.ID + "/push"
+	pending := make([]serve.PushRequest, 0, batch)
+	flush := func() {
+		switch {
+		case len(pending) == 0:
+		case len(pending) == 1 && batch == 1:
+			// The single-slot wire form: object in, object out.
+			var res serve.PushResult
+			if err := cl.call("POST", pushPath, pending[0], &res); err != nil {
+				log.Fatal(err)
+			}
+			if res.Decided {
+				emit(*res.Advisory)
+			}
+		default:
+			// The batch wire form: array in, array out.
+			var results []serve.PushResult
+			if err := cl.call("POST", pushPath, pending, &results); err != nil {
+				log.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Decided {
+					emit(*res.Advisory)
+				}
+			}
 		}
-		if res.Decided {
-			emit(*res.Advisory)
+		pending = pending[:0]
+	}
+	push := func(lambda float64) {
+		pending = append(pending, serve.PushRequest{Lambda: lambda})
+		if len(pending) >= batch {
+			flush()
 		}
 	}
 
@@ -115,7 +141,7 @@ func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool,
 		}
 		for _, lambda := range trace {
 			push(lambda)
-			if interval > 0 {
+			if interval > 0 && len(pending) == 0 { // a batch just flushed
 				time.Sleep(interval)
 			}
 		}
@@ -136,6 +162,7 @@ func runStreamRemote(baseURL, alg, fleet, input string, seed int64, replay bool,
 			log.Fatal(err)
 		}
 	}
+	flush()
 
 	if checkpointPath != "" {
 		var snap serve.Snapshot

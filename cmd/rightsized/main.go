@@ -6,14 +6,14 @@
 // Usage:
 //
 //	rightsized [-addr :8080] [-max-sessions 256] [-idle-evict 10m]
-//	           [-snapshot-dir DIR] [-workers N]
+//	           [-snapshot-dir DIR] [-workers N] [-shards N]
 //
 // Endpoints (see the README's "Serving" section for curl examples):
 //
 //	POST   /v1/sessions                 open a session {"alg": "...", "fleet": {...}}
 //	GET    /v1/sessions                 list live sessions
 //	GET    /v1/sessions/{id}            session state
-//	POST   /v1/sessions/{id}/push       feed one slot {"lambda": 7.5}
+//	POST   /v1/sessions/{id}/push       feed one slot {"lambda": 7.5} or a JSON array of slots
 //	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
 //	DELETE /v1/sessions/{id}            close the session
 //	GET    /v1/algs                     the algorithm registry
@@ -49,9 +49,10 @@ func main() {
 	idleEvict := flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables the janitor)")
 	snapshotDir := flag.String("snapshot-dir", "", "persist evicted sessions as JSON here (default: in-memory)")
 	workers := flag.Int("workers", 0, "per-session solver worker pool size (0 = serial)")
+	shards := flag.Int("shards", 0, "session registry lock stripes, rounded up to a power of two (0 = one per CPU)")
 	flag.Parse()
 
-	opts := serve.Options{MaxSessions: *maxSessions, Workers: *workers}
+	opts := serve.Options{MaxSessions: *maxSessions, Workers: *workers, Shards: *shards}
 	if *snapshotDir != "" {
 		store, err := serve.NewDirStore(*snapshotDir)
 		if err != nil {

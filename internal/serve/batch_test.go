@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// pushReqs converts one trace slice into push requests.
+func pushReqs(ins *model.Instance, from, to int) []PushRequest {
+	out := make([]PushRequest, 0, to-from)
+	for ts := from + 1; ts <= to; ts++ {
+		req := PushRequest{Lambda: ins.Lambda[ts-1]}
+		if ins.Counts != nil {
+			req.Counts = ins.Counts[ts-1]
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// The batch differential: for every streamable algorithm on every stock
+// scenario, the full trace fed through Manager.PushBatch — including a
+// mid-batch checkpoint→evict→transparent-resume cycle — produces
+// advisories, telemetry and a final checkpoint bit-identical to the
+// serial slot-at-a-time stream.Session path. Jobs run concurrently
+// across a 4-shard manager, so the striping is exercised under real
+// parallelism in the -race -cpu 4 CI job.
+func TestPushBatchDifferential(t *testing.T) {
+	const seed = 7
+	const batch = 7 // odd: batch boundaries straddle lookahead windows
+
+	type job struct {
+		id   string
+		sc   string
+		spec engine.AlgSpec
+		ins  *model.Instance
+	}
+	var jobs []job
+	for _, sc := range engine.Scenarios() {
+		ins := sc.Instance(seed)
+		for _, spec := range engine.Algorithms() {
+			if !spec.Streamable() {
+				continue
+			}
+			if spec.Skip != nil && spec.Skip(ins) != "" {
+				continue
+			}
+			jobs = append(jobs, job{
+				id: fmt.Sprintf("%s-%s", sc.Name, spec.Key),
+				sc: sc.Name, spec: spec, ins: ins,
+			})
+		}
+	}
+	if len(jobs) < 40 {
+		t.Fatalf("only %d algorithm x scenario jobs; the stock registry should yield >= 40", len(jobs))
+	}
+
+	m := NewManager(Options{MaxSessions: len(jobs) + 1, Shards: 4})
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	totalSlots := 0
+	for _, jb := range jobs {
+		totalSlots += jb.ins.T()
+		wg.Add(1)
+		go func(jb job) {
+			defer wg.Done()
+			if err := runBatchDifferentialJob(t, m, jb.id, jb.sc, seed, batch, jb.spec, jb.ins); err != nil {
+				errs <- fmt.Errorf("%s: %w", jb.id, err)
+			}
+		}(jb)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	met := m.Metrics()
+	if met.SessionsOpened != uint64(len(jobs)) || met.SessionsDeleted != uint64(len(jobs)) ||
+		met.SessionsEvicted != uint64(len(jobs)) || met.SessionsResumed != uint64(len(jobs)) {
+		t.Errorf("merged metrics: %+v, want %d opened/deleted/evicted/resumed", met, len(jobs))
+	}
+	if met.SlotsPushed != uint64(totalSlots) {
+		t.Errorf("merged SlotsPushed = %d, want %d (batched pushes count per slot)", met.SlotsPushed, totalSlots)
+	}
+	if met.PushErrors != 0 {
+		t.Errorf("merged PushErrors = %d, want 0", met.PushErrors)
+	}
+}
+
+// runBatchDifferentialJob drives one session's trace in batches against
+// the serial reference. Failures are returned, not t.Fatal'd: it runs
+// off the test goroutine.
+func runBatchDifferentialJob(t *testing.T, m *Manager, id, scenario string, seed int64, batch int, spec engine.AlgSpec, ins *model.Instance) error {
+	want := serialAdvisories(t, spec, ins)
+	refSess, err := engine.OpenSession(spec.Key, ins.Types, stream.Options{})
+	if err != nil {
+		return err
+	}
+	for ts := 1; ts <= ins.T(); ts++ {
+		in := model.SlotInput{Lambda: ins.Lambda[ts-1]}
+		if ins.Counts != nil {
+			in.Counts = ins.Counts[ts-1]
+		}
+		if _, err := refSess.Feed(in); err != nil {
+			return err
+		}
+	}
+	wantCp := refSess.Checkpoint()
+
+	info, err := m.Open(OpenRequest{ID: id, Alg: spec.Key, Fleet: FleetJSON{Scenario: scenario, Seed: seed}})
+	if err != nil {
+		return err
+	}
+	if info.ID != id {
+		return fmt.Errorf("open returned %+v", info)
+	}
+
+	var got []stream.Advisory
+	half := ins.T() / 2
+	evicted := false
+	for start := 0; start < ins.T(); start += batch {
+		end := min(start+batch, ins.T())
+		results, err := m.PushBatch(id, pushReqs(ins, start, end))
+		if err != nil {
+			return fmt.Errorf("batch [%d,%d): %v", start, end, err)
+		}
+		if len(results) != end-start {
+			return fmt.Errorf("batch [%d,%d) returned %d results", start, end, len(results))
+		}
+		for _, res := range results {
+			if res.Decided {
+				got = append(got, *res.Advisory)
+			}
+		}
+		if !evicted && end >= half {
+			// Mid-trace lifecycle between two batches: persist a snapshot,
+			// shed the live session, and let the next PushBatch resume it
+			// transparently (mid-batch from the client's point of view).
+			snap, err := m.Checkpoint(id)
+			if err != nil {
+				return fmt.Errorf("checkpoint: %v", err)
+			}
+			if len(snap.Checkpoint.Slots) != end {
+				return fmt.Errorf("checkpoint at slot %d holds %d slots", end, len(snap.Checkpoint.Slots))
+			}
+			if err := m.Evict(id); err != nil {
+				return fmt.Errorf("evict: %v", err)
+			}
+			evicted = true
+		}
+	}
+
+	// The final checkpoint replays the identical log.
+	snap, err := m.Checkpoint(id)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(snap.Checkpoint, wantCp) {
+		return fmt.Errorf("final checkpoint diverged from the serial session's")
+	}
+
+	closed, err := m.Delete(id)
+	if err != nil {
+		return err
+	}
+	got = append(got, closed.Advisories...)
+
+	if len(got) != len(want) {
+		return fmt.Errorf("decided %d slots, serial reference decided %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return fmt.Errorf("slot %d advisory diverged:\n batch: %+v\nserial: %+v", i+1, got[i], want[i])
+		}
+	}
+	if closed.Info.CumCost != want[len(want)-1].CumCost {
+		return fmt.Errorf("close cum cost %v != serial %v", closed.Info.CumCost, want[len(want)-1].CumCost)
+	}
+	return nil
+}
+
+// Shard count is behaviorally invisible: N ∈ {1, 4, 16} produce
+// bit-identical per-session advisories and checkpoints and identical
+// merged metrics counts for the same workload (sessions, batches,
+// checkpoint/evict/resume cycles, deletes).
+func TestShardCountInvariance(t *testing.T) {
+	sc, ok := engine.Lookup("quickstart")
+	if !ok {
+		t.Fatal("quickstart scenario missing")
+	}
+	ins := sc.Instance(1)
+
+	type outcome struct {
+		advisories map[string][]stream.Advisory
+		checkpoint map[string]*stream.Checkpoint
+		met        Metrics
+	}
+	run := func(shards int) outcome {
+		m := NewManager(Options{Shards: shards, MaxSessions: 32})
+		out := outcome{
+			advisories: map[string][]stream.Advisory{},
+			checkpoint: map[string]*stream.Checkpoint{},
+		}
+		algs := []string{"alg-a", "alg-b", "receding-horizon", "all-on"}
+		var ids []string
+		for i := 0; i < 12; i++ {
+			id := fmt.Sprintf("inv-%02d", i)
+			ids = append(ids, id)
+			if _, err := m.Open(OpenRequest{ID: id, Alg: algs[i%len(algs)], Fleet: FleetJSON{Scenario: "quickstart", Seed: 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range ids {
+			// Mixed single and batch pushes with a mid-trace evict cycle.
+			for ts := 0; ts < 8; ts++ {
+				res, err := m.Push(id, PushRequest{Lambda: ins.Lambda[ts]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Decided {
+					out.advisories[id] = append(out.advisories[id], *res.Advisory)
+				}
+			}
+			if _, err := m.Checkpoint(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Evict(id); err != nil {
+				t.Fatal(err)
+			}
+			for start := 8; start < ins.T(); start += 5 {
+				results, err := m.PushBatch(id, pushReqs(ins, start, min(start+5, ins.T())))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Decided {
+						out.advisories[id] = append(out.advisories[id], *res.Advisory)
+					}
+				}
+			}
+			snap, err := m.Checkpoint(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.checkpoint[id] = snap.Checkpoint
+		}
+		for _, id := range ids {
+			closed, err := m.Delete(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.advisories[id] = append(out.advisories[id], closed.Advisories...)
+		}
+		met := m.Metrics()
+		met.PushP50Micros, met.PushP99Micros = 0, 0 // timing, not behavior
+		out.met = met
+		return out
+	}
+
+	ref := run(1)
+	if ref.met.SessionsOpened != 12 || ref.met.SessionsEvicted != 12 || ref.met.SessionsResumed != 12 {
+		t.Fatalf("reference run metrics: %+v", ref.met)
+	}
+	for _, shards := range []int{4, 16} {
+		got := run(shards)
+		if !reflect.DeepEqual(got.met, ref.met) {
+			t.Errorf("shards=%d merged metrics diverged:\n got %+v\nwant %+v", shards, got.met, ref.met)
+		}
+		for id := range ref.advisories {
+			if !reflect.DeepEqual(got.advisories[id], ref.advisories[id]) {
+				t.Errorf("shards=%d session %s advisories diverged", shards, id)
+			}
+			if !reflect.DeepEqual(got.checkpoint[id], ref.checkpoint[id]) {
+				t.Errorf("shards=%d session %s checkpoint diverged", shards, id)
+			}
+		}
+	}
+}
+
+// The HTTP push endpoint's response shape mirrors the request: an array
+// body answers with an array of results, fed as one batch; a single
+// object stays a single object; errors keep their statuses.
+func TestHTTPBatchPush(t *testing.T) {
+	m := NewManager(Options{})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cl := &httpClient{t: t, base: srv.URL}
+	trace := quickstartTrace(t)
+
+	cl.mustDo("POST", "/v1/sessions", OpenRequest{ID: "batch", Alg: "alg-b", Fleet: quickstartFleet()}, nil, http.StatusCreated)
+
+	// Array in, array out.
+	reqs := []PushRequest{{Lambda: trace[0]}, {Lambda: trace[1]}, {Lambda: trace[2]}}
+	var batch []PushResult
+	cl.mustDo("POST", "/v1/sessions/batch/push", reqs, &batch, http.StatusOK)
+	if len(batch) != 3 {
+		t.Fatalf("array push returned %d results, want 3", len(batch))
+	}
+	for i, res := range batch {
+		if !res.Decided || res.Advisory == nil || res.Advisory.Slot != i+1 {
+			t.Fatalf("batch result %d: %+v", i, res)
+		}
+	}
+
+	// Single object in, single object out (not a 1-element array).
+	resp := rawPost(t, srv.URL+"/v1/sessions/batch/push", fmt.Sprintf(`{"lambda": %g}`, trace[3]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single push: HTTP %d", resp.StatusCode)
+	}
+	var single PushResult
+	status, raw := cl.do("POST", "/v1/sessions/batch/push", PushRequest{Lambda: trace[4]}, &single)
+	if status != http.StatusOK || !single.Decided || single.Advisory.Slot != 5 {
+		t.Fatalf("single push: HTTP %d %s", status, raw)
+	}
+	if strings.HasPrefix(strings.TrimSpace(raw), "[") {
+		t.Fatalf("single push answered with an array: %s", raw)
+	}
+
+	// Whitespace before the bracket still selects the batch form.
+	resp = rawPost(t, srv.URL+"/v1/sessions/batch/push", fmt.Sprintf("  \n\t[{\"lambda\": %g}]", trace[5]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whitespace-led array push: HTTP %d", resp.StatusCode)
+	}
+
+	// An empty array answers with an empty array, feeding nothing — but
+	// still validates the session like any push would.
+	status, raw = cl.do("POST", "/v1/sessions/batch/push", []PushRequest{}, nil)
+	if status != http.StatusOK || strings.TrimSpace(raw) != "[]" {
+		t.Fatalf("empty batch: HTTP %d %q, want 200 []", status, raw)
+	}
+	if status, _ = cl.do("POST", "/v1/sessions/no-such-session/push", []PushRequest{}, nil); status != http.StatusNotFound {
+		t.Fatalf("empty batch to unknown session: HTTP %d, want 404", status)
+	}
+
+	// Unknown fields and malformed elements are 400s, batch or not.
+	for _, body := range []string{`[{"lambdo": 1}]`, `[{"lambda": "x"}]`, `[{`} {
+		if resp := rawPost(t, srv.URL+"/v1/sessions/batch/push", body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// A mid-batch infeasible slot fails the batch with 422; the slots
+	// before it were committed, the rest were not — and the committed
+	// slots' results ride along with the error so their advisories are
+	// not lost (a repeated-push client would have received them before
+	// the error).
+	var before SessionInfo
+	cl.mustDo("GET", "/v1/sessions/batch", nil, &before, http.StatusOK)
+	bad := []PushRequest{{Lambda: trace[6]}, {Lambda: -1}, {Lambda: trace[7]}}
+	var partial struct {
+		Error   string       `json:"error"`
+		Results []PushResult `json:"results"`
+	}
+	status, raw = cl.do("POST", "/v1/sessions/batch/push", bad, nil)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible mid-batch: HTTP %d %s, want 422", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &partial); err != nil {
+		t.Fatalf("partial-batch error body %q: %v", raw, err)
+	}
+	if partial.Error == "" || len(partial.Results) != 1 {
+		t.Fatalf("partial-batch error body %q: want the error and the 1 committed result", raw)
+	}
+	if !partial.Results[0].Decided || partial.Results[0].Advisory.Slot != before.Fed+1 {
+		t.Fatalf("committed result lost or wrong: %+v", partial.Results[0])
+	}
+	var after SessionInfo
+	cl.mustDo("GET", "/v1/sessions/batch", nil, &after, http.StatusOK)
+	if after.Fed != before.Fed+1 {
+		t.Fatalf("mid-batch error committed %d slots, want exactly the 1 before the bad slot", after.Fed-before.Fed)
+	}
+
+	cl.mustDo("DELETE", "/v1/sessions/batch", nil, nil, http.StatusOK)
+
+	met := m.Metrics()
+	if met.PushErrors != 2 {
+		t.Errorf("PushErrors = %d, want 2 (the unknown-session empty batch and the failed batch)", met.PushErrors)
+	}
+}
+
+// The batch path over HTTP is the same bytes as repeated single pushes:
+// a full trace pushed as arrays decodes to the same advisories the
+// serial differential checks, so clients can switch freely.
+func TestHTTPBatchMatchesSingle(t *testing.T) {
+	m := NewManager(Options{})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	cl := &httpClient{t: t, base: srv.URL}
+	trace := quickstartTrace(t)
+
+	for _, mode := range []string{"single", "batched"} {
+		cl.mustDo("POST", "/v1/sessions", OpenRequest{ID: mode, Alg: "alg-b", Fleet: quickstartFleet()}, nil, http.StatusCreated)
+	}
+	var single, batched []json.RawMessage
+	for _, lambda := range trace {
+		var res struct {
+			Decided  bool            `json:"decided"`
+			Advisory json.RawMessage `json:"advisory"`
+		}
+		cl.mustDo("POST", "/v1/sessions/single/push", PushRequest{Lambda: lambda}, &res, http.StatusOK)
+		single = append(single, res.Advisory)
+	}
+	for start := 0; start < len(trace); start += 11 {
+		var results []struct {
+			Decided  bool            `json:"decided"`
+			Advisory json.RawMessage `json:"advisory"`
+		}
+		reqs := []PushRequest{}
+		for _, lambda := range trace[start:min(start+11, len(trace))] {
+			reqs = append(reqs, PushRequest{Lambda: lambda})
+		}
+		cl.mustDo("POST", "/v1/sessions/batched/push", reqs, &results, http.StatusOK)
+		for _, res := range results {
+			batched = append(batched, res.Advisory)
+		}
+	}
+	if len(single) != len(batched) {
+		t.Fatalf("decided %d batched vs %d single", len(batched), len(single))
+	}
+	for i := range single {
+		if string(single[i]) != string(batched[i]) {
+			t.Fatalf("slot %d advisory JSON diverged:\nbatched: %s\n single: %s", i+1, batched[i], single[i])
+		}
+	}
+}

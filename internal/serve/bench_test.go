@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -29,5 +30,67 @@ func BenchmarkServePush(b *testing.B) {
 		if _, err := m.Delete(id); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServePushParallel measures aggregate serving throughput: one
+// op opens 16 managed sessions and drives the 48-slot quickstart trace
+// through all of them concurrently — unbatched (one Manager.Push per
+// slot) and batched (Manager.PushBatch in runs of 16 slots). With the
+// sharded registry the sessions spread across 16 lock stripes, so on a
+// multi-core box the op scales with GOMAXPROCS; the batched variant
+// additionally amortizes the acquire/metrics overhead. The batch=1
+// variant is gated by scripts/benchsmoke.sh against BENCH_serve.json.
+func BenchmarkServePushParallel(b *testing.B) {
+	const nSessions = 16
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m := NewManager(Options{MaxSessions: nSessions + 1, Shards: nSessions})
+			trace := quickstartTrace(b)
+			reqs := make([]PushRequest, len(trace))
+			for i, lambda := range trace {
+				reqs[i] = PushRequest{Lambda: lambda}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, nSessions)
+				for s := 0; s < nSessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						id := fmt.Sprintf("p%d-%d-%d", batch, i, s)
+						if _, err := m.Open(OpenRequest{ID: id, Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+							errs <- err
+							return
+						}
+						if batch == 1 {
+							for _, req := range reqs {
+								if _, err := m.Push(id, req); err != nil {
+									errs <- err
+									return
+								}
+							}
+						} else {
+							for start := 0; start < len(reqs); start += batch {
+								if _, err := m.PushBatch(id, reqs[start:min(start+batch, len(reqs))]); err != nil {
+									errs <- err
+									return
+								}
+							}
+						}
+						if _, err := m.Delete(id); err != nil {
+							errs <- err
+						}
+					}(s)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -14,7 +16,7 @@ import (
 //	POST   /v1/sessions                 open (or resume from a client checkpoint)
 //	GET    /v1/sessions                 list live sessions
 //	GET    /v1/sessions/{id}            session state
-//	POST   /v1/sessions/{id}/push       feed one slot, get the advisory
+//	POST   /v1/sessions/{id}/push       feed one slot — or a JSON array of slots
 //	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
 //	DELETE /v1/sessions/{id}            close the session (flushes semi-online tails)
 //	GET    /v1/algs                     the algorithm registry
@@ -23,7 +25,17 @@ import (
 // Every response is JSON; errors are {"error": "..."} with a status from
 // httpStatus. Request bodies are decoded strictly (unknown fields are
 // errors), so client typos fail loudly with 400 instead of serving with
-// defaults.
+// defaults. The push endpoint's response shape mirrors the request: a
+// single slot object answers with a single result object, a slot array
+// with a result array (one entry per fed slot, in order). A mid-batch
+// per-slot error keeps the error status but carries the committed
+// slots' results in the body ({"error": ..., "results": [...]}) —
+// batch semantics are exactly those of pushing one at a time, where
+// each committed slot's advisory was delivered before the error.
+//
+// Request body buffers and response encoders are pooled (sync.Pool), so
+// the per-push HTTP overhead is a handful of small allocations, not a
+// fresh decoder/encoder/buffer set per request.
 
 // NewHandler wires a Manager into an http.Handler.
 func NewHandler(m *Manager) http.Handler {
@@ -54,8 +66,39 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/push", func(w http.ResponseWriter, r *http.Request) {
+		buf := bodyPool.Get().(*bytes.Buffer)
+		defer putBody(buf)
+		buf.Reset()
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
+			return
+		}
+		data := bytes.TrimLeft(buf.Bytes(), " \t\r\n")
+		if len(data) > 0 && data[0] == '[' {
+			// Batch form: an array of slots answers with an array of
+			// results, fed under one session acquire.
+			var reqs []PushRequest
+			if !decodeStrict(w, data, &reqs) {
+				return
+			}
+			res, err := m.PushBatch(r.PathValue("id"), reqs)
+			if err != nil {
+				// A mid-batch per-slot error: the slots before it were
+				// committed exactly as repeated single pushes would have,
+				// so their results ride along with the error — the client
+				// must not lose advisories the session already accounted.
+				if len(res) > 0 {
+					writeJSON(w, httpStatus(err), batchErrorBody{Error: err.Error(), Results: res})
+					return
+				}
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
 		var req PushRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeStrict(w, data, &req) {
 			return
 		}
 		res, err := m.Push(r.PathValue("id"), req)
@@ -139,10 +182,47 @@ func httpStatus(err error) int {
 	}
 }
 
+// bodyPool recycles request-body buffers; encPool recycles response
+// buffers with their bound JSON encoders. Oversized buffers (huge
+// checkpoint payloads) are dropped instead of pinned.
+const pooledBufMax = 64 << 10
+
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func putBody(buf *bytes.Buffer) {
+	if buf.Cap() <= pooledBufMax {
+		bodyPool.Put(buf)
+	}
+}
+
+type pooledEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &pooledEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 // decodeBody strictly decodes a JSON request body, answering 400 itself
 // when it cannot; the caller proceeds only on true.
 func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(r.Body)
+	buf := bodyPool.Get().(*bytes.Buffer)
+	defer putBody(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
+		return false
+	}
+	return decodeStrict(w, buf.Bytes(), into)
+}
+
+// decodeStrict decodes one JSON value with unknown fields rejected,
+// answering 400 itself on failure.
+func decodeStrict(w http.ResponseWriter, data []byte, into any) bool {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("malformed request body: %v", err)})
@@ -155,13 +235,31 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// batchErrorBody is a failed batch push's response when some leading
+// slots were committed first: the usual error plus their results.
+type batchErrorBody struct {
+	Error   string       `json:"error"`
+	Results []PushResult `json:"results"`
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, httpStatus(err), errorBody{err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*pooledEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Encoding failed before anything was written: answer a plain 500
+		// instead of a torn body.
+		encPool.Put(e)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v) // the status line is out; nothing useful to do on error
+	_, _ = w.Write(e.buf.Bytes()) // the status line is out; nothing useful to do on error
+	if e.buf.Cap() <= pooledBufMax {
+		encPool.Put(e)
+	}
 }

@@ -4,26 +4,35 @@
 //
 // A Manager owns a bounded set of named sessions. Pushes to one session
 // are serialized by a per-session lock while different sessions proceed
-// concurrently; the session registry itself is guarded by a manager lock
-// that is never held across algorithm work. Idle sessions are evicted to
-// a pluggable SnapshotStore in stream.Checkpoint's portable form and are
-// transparently resumed by the next push — callers cannot tell eviction
-// happened except through the aggregate counters.
+// concurrently; the session registry is lock-striped across shards (hash
+// of the session id), so Open/Push/Delete on distinct sessions contend
+// on a shard lock only when their ids collide — never on a global lock.
+// The shard count is a pure contention knob: any value produces
+// bit-identical advisories (covered by a shard-invariance test). Idle
+// sessions are evicted to a pluggable SnapshotStore in
+// stream.Checkpoint's portable form and are transparently resumed by the
+// next push — callers cannot tell eviction happened except through the
+// aggregate counters.
 //
-// Lock ordering: the manager lock may be taken first and a session lock
+// Lock ordering: a shard lock may be taken first and a session lock
 // second only without blocking (TryLock, or a freshly created session's
-// lock); a session lock is never held while the manager lock is taken.
+// lock); a session lock is never held while a shard lock is taken.
 // That discipline makes the two-level scheme deadlock-free: slow
 // algorithm steps on one session never stall the registry or other
-// sessions.
+// sessions. The cross-shard state — the live-session count against
+// MaxSessions, the generated-id sequence, the closed flag and all
+// metrics — is atomic, so no path takes two shard locks at once.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -43,7 +52,8 @@ var (
 )
 
 // Options tunes a Manager. The zero value serves with defaults: 256 live
-// sessions, an in-memory snapshot store and serial trackers.
+// sessions, an in-memory snapshot store, serial trackers and one
+// registry shard per CPU.
 type Options struct {
 	// MaxSessions bounds the live (in-memory) session set; <= 0 means 256.
 	// Snapshotted sessions do not count: the bound is on resident
@@ -54,6 +64,10 @@ type Options struct {
 	// Workers is plumbed into each session's solver trackers
 	// (stream.Options.Workers).
 	Workers int
+	// Shards sets the number of lock stripes of the session registry,
+	// rounded up to a power of two; <= 0 means GOMAXPROCS. Purely a
+	// contention knob — behaviorally invisible.
+	Shards int
 }
 
 // OpenRequest describes a session to open. It doubles as the POST
@@ -73,7 +87,8 @@ type OpenRequest struct {
 }
 
 // PushRequest is one slot for a session. It doubles as the POST
-// /v1/sessions/{id}/push wire format.
+// /v1/sessions/{id}/push wire format (alone, or as an element of a JSON
+// array for batch pushes).
 type PushRequest struct {
 	// Lambda is the slot's job volume.
 	Lambda float64 `json:"lambda"`
@@ -127,7 +142,8 @@ type liveSession struct {
 	gone     bool
 }
 
-// infoLocked snapshots the session's state; callers hold ls.mu.
+// infoLocked snapshots the session's state; callers hold ls.mu (or own
+// the session exclusively, as on the open path).
 func (ls *liveSession) infoLocked() SessionInfo {
 	info := SessionInfo{
 		ID:      ls.id,
@@ -144,6 +160,15 @@ func (ls *liveSession) infoLocked() SessionInfo {
 	return info
 }
 
+// shard is one lock stripe of the session registry. Padded to a cache
+// line so neighbouring shards' locks do not false-share under write
+// traffic.
+type shard struct {
+	mu   sync.Mutex
+	live map[string]*liveSession
+	_    [64 - 16]byte
+}
+
 // Manager multiplexes live advisory sessions. All methods are safe for
 // concurrent use.
 type Manager struct {
@@ -151,10 +176,12 @@ type Manager struct {
 	store SnapshotStore
 	nowFn func() time.Time // test hook
 
-	mu     sync.Mutex
-	live   map[string]*liveSession
-	seq    int
-	closed bool
+	shards []shard
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	liveN  atomic.Int64  // resident sessions across all shards (vs MaxSessions)
+	seq    atomic.Uint64 // generated-id sequence
+	closed atomic.Bool
 
 	met counters
 }
@@ -167,12 +194,32 @@ func NewManager(opts Options) *Manager {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = 256
 	}
-	return &Manager{
-		opts:  opts,
-		store: opts.Store,
-		nowFn: time.Now,
-		live:  map[string]*liveSession{},
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	n = 1 << bits.Len(uint(n-1)) // round up to a power of two; 1 stays 1
+	m := &Manager{
+		opts:   opts,
+		store:  opts.Store,
+		nowFn:  time.Now,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range m.shards {
+		m.shards[i].live = map[string]*liveSession{}
+	}
+	return m
+}
+
+// shardFor hashes a session id onto its lock stripe (FNV-1a).
+func (m *Manager) shardFor(id string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &m.shards[h&m.mask]
 }
 
 func (m *Manager) streamOpts() stream.Options {
@@ -188,11 +235,8 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 	}
 	// Reject cheaply before constructing anything: a full manager, a
 	// taken id or a closed manager must not cost a checkpoint replay.
-	// The same checks re-run under the lock before the insert below.
-	m.mu.Lock()
-	err := m.openableLocked(req.ID)
-	m.mu.Unlock()
-	if err != nil {
+	// The same checks re-run under the shard lock before the insert.
+	if err := m.openable(req.ID); err != nil {
 		return SessionInfo{}, err
 	}
 
@@ -222,72 +266,105 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 		alg = spec.Key
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.openableLocked(req.ID); err != nil {
+	ls := &liveSession{alg: alg, fleet: req.Fleet, types: types, sess: sess}
+	if err := m.insert(req.ID, ls); err != nil {
 		return SessionInfo{}, err
 	}
-	id := req.ID
-	if id == "" {
-		id, err = m.genIDLocked()
-		if err != nil {
-			return SessionInfo{}, err
-		}
-	}
-	ls := &liveSession{
-		id: id, alg: alg, fleet: req.Fleet, types: types,
-		sess: sess, lastUsed: m.nowFn(),
-	}
-	m.live[id] = ls
 	m.met.opened.Add(1)
-	return ls.infoLocked(), nil
+	// ls is published, but infoLocked needs no lock here: the fields it
+	// reads are immutable once inserted except through ls.mu, and no
+	// other goroutine has pushed yet within this call's happens-before
+	// edge. Take the lock anyway — it is uncontended and keeps the
+	// invariant trivially true.
+	ls.mu.Lock()
+	info := ls.infoLocked()
+	ls.mu.Unlock()
+	return info, nil
 }
 
-// openableLocked checks everything about an open request that does not
-// require the session to exist yet: manager liveness, the id being free
-// and a slot under the cap.
-func (m *Manager) openableLocked(id string) error {
-	if m.closed {
+// insert links a constructed session into the registry under the given
+// id (or a generated one), enforcing id uniqueness and the live-session
+// cap atomically with the link.
+func (m *Manager) insert(id string, ls *liveSession) error {
+	now := m.nowFn()
+	for {
+		generated := false
+		if id == "" {
+			id = fmt.Sprintf("s-%06d", m.seq.Add(1))
+			generated = true
+		}
+		sh := m.shardFor(id)
+		sh.mu.Lock()
+		err := m.insertableLocked(sh, id)
+		if err == nil {
+			// Reserve a cap slot; release it if over.
+			if m.liveN.Add(1) > int64(m.opts.MaxSessions) {
+				n := m.liveN.Add(-1)
+				err = fmt.Errorf("%w (%d live)", ErrSessionLimit, n)
+			} else {
+				ls.id = id
+				ls.lastUsed = now
+				sh.live[id] = ls
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil && generated && errors.Is(err, ErrSessionExists) {
+			id = "" // lost a race for the generated id; draw the next one
+			continue
+		}
+		return err
+	}
+}
+
+// insertableLocked checks manager liveness and id freedom; the caller
+// holds sh.mu, which makes the checks atomic with the insert.
+func (m *Manager) insertableLocked(sh *shard, id string) error {
+	if m.closed.Load() {
 		return ErrClosed
 	}
-	if id != "" {
-		if taken, err := m.idTakenLocked(id); err != nil {
-			return err
-		} else if taken {
-			return fmt.Errorf("%w: %q", ErrSessionExists, id)
-		}
+	if _, live := sh.live[id]; live {
+		return fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
-	if len(m.live) >= m.opts.MaxSessions {
-		return fmt.Errorf("%w (%d live)", ErrSessionLimit, len(m.live))
+	if _, ok, err := m.store.Load(id); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	} else if ok {
+		return fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
 	return nil
 }
 
-// idTakenLocked reports whether an id is in use, live or snapshotted.
-func (m *Manager) idTakenLocked(id string) (bool, error) {
-	if _, live := m.live[id]; live {
-		return true, nil
+// openable is the cheap pre-construction screen of an open request:
+// manager liveness, the id being free and the cap having room. Nothing
+// is reserved — the insert re-checks under the shard lock.
+func (m *Manager) openable(id string) error {
+	if m.closed.Load() {
+		return ErrClosed
 	}
-	_, ok, err := m.store.Load(id)
-	if err != nil {
-		return false, fmt.Errorf("%w: %v", ErrStore, err)
+	if id != "" {
+		sh := m.shardFor(id)
+		sh.mu.Lock()
+		err := m.insertableLocked(sh, id)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	return ok, nil
+	if n := m.liveN.Load(); n >= int64(m.opts.MaxSessions) {
+		return fmt.Errorf("%w (%d live)", ErrSessionLimit, n)
+	}
+	return nil
 }
 
-// genIDLocked assigns the next free generated id.
-func (m *Manager) genIDLocked() (string, error) {
-	for {
-		m.seq++
-		id := fmt.Sprintf("s-%06d", m.seq)
-		taken, err := m.idTakenLocked(id)
-		if err != nil {
-			return "", err
-		}
-		if !taken {
-			return id, nil
-		}
+// unlink removes a session from its shard if it is still the linked one,
+// releasing its cap slot exactly once.
+func (m *Manager) unlink(ls *liveSession) {
+	sh := m.shardFor(ls.id)
+	sh.mu.Lock()
+	if sh.live[ls.id] == ls {
+		delete(sh.live, ls.id)
+		m.liveN.Add(-1)
 	}
+	sh.mu.Unlock()
 }
 
 // acquire returns the live session for id, transparently resuming it from
@@ -301,17 +378,20 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 	if !validID(id) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if m.closed.Load() {
+		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if ls, ok := m.live[id]; ok {
-		m.mu.Unlock()
+	if ls, ok := sh.live[id]; ok {
+		sh.mu.Unlock()
 		return ls, nil
 	}
-	if len(m.live) >= m.opts.MaxSessions {
-		m.mu.Unlock()
+	// Reserve a cap slot for the resume.
+	if m.liveN.Add(1) > int64(m.opts.MaxSessions) {
+		m.liveN.Add(-1)
+		sh.mu.Unlock()
 		// Unknown ids must stay 404s even at the cap: only a session that
 		// exists (snapshotted) and cannot be resumed is a capacity problem.
 		if _, ok, err := m.store.Load(id); err != nil {
@@ -326,18 +406,14 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 	// replay of the same log.
 	ls := &liveSession{id: id}
 	ls.mu.Lock()
-	m.live[id] = ls
-	m.mu.Unlock()
+	sh.live[id] = ls
+	sh.mu.Unlock()
 
 	sess, snap, types, err := m.resumeFromStore(id)
 	if err != nil {
 		ls.gone = true
 		ls.mu.Unlock()
-		m.mu.Lock()
-		if m.live[id] == ls {
-			delete(m.live, id)
-		}
-		m.mu.Unlock()
+		m.unlink(ls)
 		return nil, err
 	}
 	ls.alg = snap.Checkpoint.Alg
@@ -376,82 +452,130 @@ func (m *Manager) resumeFromStore(id string) (*stream.Session, *Snapshot, []mode
 	return sess, snap, types, nil
 }
 
+// withSession runs fn with the session's lock held, transparently
+// resuming evicted sessions and re-acquiring when a concurrent
+// evict/delete marked the pointer gone between acquire and lock.
+func (m *Manager) withSession(id string, fn func(ls *liveSession)) error {
+	for {
+		ls, err := m.acquire(id)
+		if err != nil {
+			return err
+		}
+		ls.mu.Lock()
+		if ls.gone {
+			ls.mu.Unlock()
+			continue
+		}
+		fn(ls)
+		ls.mu.Unlock()
+		return nil
+	}
+}
+
+// pushLocked feeds one slot to a held session, classifying the error.
+func (m *Manager) pushLocked(ls *liveSession, req PushRequest, res *PushResult) error {
+	adv := &stream.Advisory{}
+	decided, perr := ls.sess.Push(model.SlotInput{Lambda: req.Lambda, Counts: req.Counts}, adv)
+	if perr != nil {
+		if ls.sess.Err() != nil {
+			return fmt.Errorf("%w: %v", ErrSessionFailed, perr)
+		}
+		return fmt.Errorf("%w: %v", ErrBadSlot, perr)
+	}
+	res.Decided = decided
+	if decided {
+		res.Advisory = adv
+	}
+	return nil
+}
+
 // Push feeds one slot to the session, resuming it from the store first if
 // it was evicted. Pushes to the same session are serialized in arrival
 // order; pushes to different sessions run concurrently.
 func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 	start := m.nowFn()
-	for {
-		ls, err := m.acquire(id)
-		if err != nil {
-			m.met.pushErr.Add(1)
-			return PushResult{}, err
-		}
-		ls.mu.Lock()
-		if ls.gone {
-			ls.mu.Unlock()
-			continue
-		}
-		adv := &stream.Advisory{}
-		decided, perr := ls.sess.Push(model.SlotInput{Lambda: req.Lambda, Counts: req.Counts}, adv)
+	var res PushResult
+	var perr error
+	err := m.withSession(id, func(ls *liveSession) {
+		perr = m.pushLocked(ls, req, &res)
 		ls.lastUsed = m.nowFn()
-		sticky := ls.sess.Err() != nil
-		ls.mu.Unlock()
-		if perr != nil {
-			m.met.pushErr.Add(1)
-			if sticky {
-				return PushResult{}, fmt.Errorf("%w: %v", ErrSessionFailed, perr)
-			}
-			return PushResult{}, fmt.Errorf("%w: %v", ErrBadSlot, perr)
-		}
-		m.met.pushes.Add(1)
-		m.met.lat.observe(m.nowFn().Sub(start))
-		res := PushResult{Decided: decided}
-		if decided {
-			res.Advisory = adv
-		}
-		return res, nil
+	})
+	if err == nil {
+		err = perr
 	}
+	if err != nil {
+		m.met.pushErr.Add(1)
+		return PushResult{}, err
+	}
+	m.met.pushes.Add(1)
+	m.met.lat.observe(m.nowFn().Sub(start))
+	return res, nil
+}
+
+// PushBatch feeds a run of slots to the session under one acquire and
+// one session-lock hold, with one latency observation for the whole
+// batch — the amortized counterpart of repeated Push calls with
+// identical per-slot semantics. On a per-slot error the results of the
+// slots committed before it are returned alongside the error; the
+// failing slot and everything after it are not fed (exactly as if the
+// same slots had been pushed one by one). An empty batch feeds nothing
+// but still validates the session — unknown ids and a closed manager
+// answer the same errors any push would.
+func (m *Manager) PushBatch(id string, reqs []PushRequest) ([]PushResult, error) {
+	start := m.nowFn()
+	out := make([]PushResult, 0, len(reqs))
+	var perr error
+	err := m.withSession(id, func(ls *liveSession) {
+		for i := range reqs {
+			var res PushResult
+			if perr = m.pushLocked(ls, reqs[i], &res); perr != nil {
+				break
+			}
+			out = append(out, res)
+		}
+		ls.lastUsed = m.nowFn()
+	})
+	if err != nil {
+		m.met.pushErr.Add(1)
+		return nil, err
+	}
+	m.met.pushes.Add(uint64(len(out)))
+	if perr != nil {
+		m.met.pushErr.Add(1)
+		return out, perr
+	}
+	if len(reqs) > 0 {
+		m.met.lat.observe(m.nowFn().Sub(start))
+	}
+	return out, nil
 }
 
 // Info reports a session's state, transparently resuming it if evicted.
 func (m *Manager) Info(id string) (SessionInfo, error) {
-	for {
-		ls, err := m.acquire(id)
-		if err != nil {
-			return SessionInfo{}, err
-		}
-		ls.mu.Lock()
-		if ls.gone {
-			ls.mu.Unlock()
-			continue
-		}
-		info := ls.infoLocked()
-		ls.mu.Unlock()
-		return info, nil
+	var info SessionInfo
+	err := m.withSession(id, func(ls *liveSession) {
+		info = ls.infoLocked()
+	})
+	if err != nil {
+		return SessionInfo{}, err
 	}
+	return info, nil
 }
 
 // Checkpoint snapshots the session's replay log, persists it to the store
 // and returns it. The session stays live.
 func (m *Manager) Checkpoint(id string) (*Snapshot, error) {
-	for {
-		ls, err := m.acquire(id)
-		if err != nil {
-			return nil, err
-		}
-		ls.mu.Lock()
-		if ls.gone {
-			ls.mu.Unlock()
-			continue
-		}
-		snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
-		ls.mu.Unlock()
-		if err := m.store.Save(snap); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStore, err)
-		}
-		return snap, nil
+	var snap *Snapshot
+	err := m.withSession(id, func(ls *liveSession) {
+		snap = &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+	})
+	if err != nil {
+		return nil, err
 	}
+	if err := m.store.Save(snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return snap, nil
 }
 
 // Delete ends a session: a live one is closed (semi-online algorithms
@@ -461,10 +585,11 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 	if !validID(id) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
+	sh := m.shardFor(id)
 	for {
-		m.mu.Lock()
-		ls, live := m.live[id]
-		m.mu.Unlock()
+		sh.mu.Lock()
+		ls, live := sh.live[id]
+		sh.mu.Unlock()
 		if !live {
 			return m.deleteSnapshot(id)
 		}
@@ -478,11 +603,7 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 		ls.gone = true
 		ls.mu.Unlock()
 
-		m.mu.Lock()
-		if m.live[id] == ls {
-			delete(m.live, id)
-		}
-		m.mu.Unlock()
+		m.unlink(ls)
 		if err := m.store.Delete(id); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrStore, err)
 		}
@@ -517,14 +638,14 @@ func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
 }
 
 // evictHoldingBoth completes an eviction of a session the caller holds
-// both m.mu and ls.mu on (ls.mu via TryLock). It releases m.mu before
+// both sh.mu and ls.mu on (ls.mu via TryLock). It releases sh.mu before
 // the store write — the write runs under ls.mu alone, serialized against
 // pushes to this session but never stalling the registry or other
 // sessions — then marks the session gone and unlinks it. Both locks are
 // released on return.
-func (m *Manager) evictHoldingBoth(ls *liveSession) error {
+func (m *Manager) evictHoldingBoth(sh *shard, ls *liveSession) error {
 	snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	err := m.store.Save(snap)
 	if err == nil {
 		ls.gone = true
@@ -533,11 +654,7 @@ func (m *Manager) evictHoldingBoth(ls *liveSession) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	m.mu.Lock()
-	if m.live[ls.id] == ls {
-		delete(m.live, ls.id)
-	}
-	m.mu.Unlock()
+	m.unlink(ls)
 	m.met.evicted.Add(1)
 	return nil
 }
@@ -556,73 +673,80 @@ func (ls *liveSession) evictable() bool {
 // mid-push is not evictable (ErrBusy), and neither is a failed one
 // (ErrSessionFailed) — delete those instead.
 func (m *Manager) Evict(id string) error {
-	m.mu.Lock()
-	ls, ok := m.live[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	ls, ok := sh.live[id]
 	if !ok {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	if !ls.mu.TryLock() {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return ErrBusy
 	}
 	if !ls.evictable() {
 		failed := ls.sess != nil && ls.sess.Err() != nil
 		ls.mu.Unlock()
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		if failed {
 			return fmt.Errorf("%w: evicting would drop the failure state; delete the session instead", ErrSessionFailed)
 		}
 		return ErrBusy
 	}
-	return m.evictHoldingBoth(ls) // releases both locks
+	return m.evictHoldingBoth(sh, ls) // releases both locks
 }
 
 // EvictIdle evicts every live session whose last activity is at least
 // olderThan ago and that is not mid-push or failed, returning how many
-// went. The daemon's janitor calls this periodically; EvictIdle(0)
-// empties the manager of idle healthy sessions.
+// went. The daemon's janitor calls this periodically, walking the shards
+// one at a time; EvictIdle(0) empties the manager of idle healthy
+// sessions.
 func (m *Manager) EvictIdle(olderThan time.Duration) (int, error) {
 	cutoff := m.nowFn().Add(-olderThan)
 
-	// Collect candidates under the registry lock, then evict one by one,
-	// re-validating each: the store writes must not run under m.mu.
-	m.mu.Lock()
-	var cands []*liveSession
-	for _, ls := range m.live {
-		if !ls.mu.TryLock() {
-			continue // mid-push: by definition not idle
-		}
-		if ls.evictable() && !ls.lastUsed.After(cutoff) {
-			cands = append(cands, ls)
-		}
-		ls.mu.Unlock()
-	}
-	m.mu.Unlock()
-
 	evicted := 0
 	var firstErr error
-	for _, ls := range cands {
-		m.mu.Lock()
-		if m.live[ls.id] != ls {
-			m.mu.Unlock()
-			continue // deleted or already evicted since collection
-		}
-		if !ls.mu.TryLock() {
-			m.mu.Unlock()
-			continue
-		}
-		if !ls.evictable() || ls.lastUsed.After(cutoff) {
-			ls.mu.Unlock()
-			m.mu.Unlock()
-			continue // touched since collection
-		}
-		if err := m.evictHoldingBoth(ls); err != nil { // releases both locks
-			if firstErr == nil {
-				firstErr = err
+	var cands []*liveSession
+	for i := range m.shards {
+		sh := &m.shards[i]
+
+		// Collect candidates under the shard lock, then evict one by one,
+		// re-validating each: the store writes must not run under sh.mu.
+		sh.mu.Lock()
+		cands = cands[:0]
+		for _, ls := range sh.live {
+			if !ls.mu.TryLock() {
+				continue // mid-push: by definition not idle
 			}
-		} else {
-			evicted++
+			if ls.evictable() && !ls.lastUsed.After(cutoff) {
+				cands = append(cands, ls)
+			}
+			ls.mu.Unlock()
+		}
+		sh.mu.Unlock()
+
+		for _, ls := range cands {
+			sh.mu.Lock()
+			if sh.live[ls.id] != ls {
+				sh.mu.Unlock()
+				continue // deleted or already evicted since collection
+			}
+			if !ls.mu.TryLock() {
+				sh.mu.Unlock()
+				continue
+			}
+			if !ls.evictable() || ls.lastUsed.After(cutoff) {
+				ls.mu.Unlock()
+				sh.mu.Unlock()
+				continue // touched since collection
+			}
+			if err := m.evictHoldingBoth(sh, ls); err != nil { // releases both locks
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				evicted++
+			}
 		}
 	}
 	return evicted, firstErr
@@ -632,12 +756,15 @@ func (m *Manager) EvictIdle(olderThan time.Duration) (int, error) {
 // snapshotted sessions are not enumerated — stores are keyed, not
 // scanned.
 func (m *Manager) Sessions() []SessionInfo {
-	m.mu.Lock()
-	live := make([]*liveSession, 0, len(m.live))
-	for _, ls := range m.live {
-		live = append(live, ls)
+	var live []*liveSession
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, ls := range sh.live {
+			live = append(live, ls)
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	out := make([]SessionInfo, 0, len(live))
 	for _, ls := range live {
 		ls.mu.Lock()
@@ -649,45 +776,42 @@ func (m *Manager) Sessions() []SessionInfo {
 	return out
 }
 
-// Metrics snapshots the aggregate counters.
+// Metrics snapshots the aggregate counters, merging per-shard state (the
+// live count is the cross-shard resident total, placeholders included).
 func (m *Manager) Metrics() Metrics {
-	m.mu.Lock()
-	live := len(m.live)
-	m.mu.Unlock()
-	return m.met.snapshot(live)
+	return m.met.snapshot(int(m.liveN.Load()))
 }
 
 // Close shuts the manager down: new requests fail with ErrClosed,
 // in-flight pushes finish, and every live session is checkpointed to the
 // store (so a durable store resumes them after a restart).
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return nil
 	}
-	m.closed = true
-	live := make([]*liveSession, 0, len(m.live))
-	for _, ls := range m.live {
-		live = append(live, ls)
-	}
-	m.mu.Unlock()
-
 	var firstErr error
-	for _, ls := range live {
-		ls.mu.Lock() // blocks until any in-flight push completes
-		if !ls.gone && ls.sess != nil {
-			snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
-			if err := m.store.Save(snap); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%w: %v", ErrStore, err)
-			}
-			ls.gone = true
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		live := make([]*liveSession, 0, len(sh.live))
+		for _, ls := range sh.live {
+			live = append(live, ls)
 		}
-		ls.mu.Unlock()
+		sh.mu.Unlock()
+
+		for _, ls := range live {
+			ls.mu.Lock() // blocks until any in-flight push completes
+			if !ls.gone && ls.sess != nil {
+				snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+				if err := m.store.Save(snap); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%w: %v", ErrStore, err)
+				}
+				ls.gone = true
+			}
+			ls.mu.Unlock()
+			m.unlink(ls)
+		}
 	}
-	m.mu.Lock()
-	clear(m.live)
-	m.mu.Unlock()
 	return firstErr
 }
 

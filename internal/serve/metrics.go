@@ -1,15 +1,15 @@
 package serve
 
 import (
-	"sort"
-	"sync"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
 
 // Metrics is the manager's aggregate-counter snapshot, reported by
-// GET /v1/healthz. Latency quantiles cover the most recent pushes (a
-// bounded ring, see latencyRing) and are 0 until the first push.
+// GET /v1/healthz. Latency quantiles are interpolated from a lock-free
+// log-bucketed histogram over all observations (one observation per
+// Push, one per PushBatch) and are 0 until the first observation.
 type Metrics struct {
 	LiveSessions    int     `json:"live_sessions"`
 	SessionsOpened  uint64  `json:"sessions_opened"`
@@ -22,9 +22,9 @@ type Metrics struct {
 	PushP99Micros   float64 `json:"push_p99_us"`
 }
 
-// counters aggregates manager activity. All fields are updated atomically;
-// the latency ring has its own lock so a healthz scrape never contends
-// with the session locks.
+// counters aggregates manager activity. Every field — the latency
+// histogram included — is updated atomically, so the push hot path never
+// takes a metrics lock and a healthz scrape never stalls pushes.
 type counters struct {
 	opened  atomic.Uint64
 	resumed atomic.Uint64
@@ -32,7 +32,7 @@ type counters struct {
 	deleted atomic.Uint64
 	pushes  atomic.Uint64
 	pushErr atomic.Uint64
-	lat     latencyRing
+	lat     latencyHist
 }
 
 func (c *counters) snapshot(live int) Metrics {
@@ -45,38 +45,98 @@ func (c *counters) snapshot(live int) Metrics {
 		SessionsDeleted: c.deleted.Load(),
 		SlotsPushed:     c.pushes.Load(),
 		PushErrors:      c.pushErr.Load(),
-		PushP50Micros:   float64(p50) / float64(time.Microsecond),
-		PushP99Micros:   float64(p99) / float64(time.Microsecond),
+		PushP50Micros:   p50 / float64(time.Microsecond),
+		PushP99Micros:   p99 / float64(time.Microsecond),
 	}
 }
 
-// latencyRing keeps the last ringSize push durations; quantiles sort a
-// copy on demand. Exact over a sliding window, O(ringSize) memory, and a
-// scrape-time sort is cheap at this size.
-const ringSize = 2048
+// latencyHist is a lock-free histogram of push latencies: 4 log-spaced
+// sub-buckets per power of two of nanoseconds (quarter-octave, so bucket
+// bounds are within ~19% of each other across the whole range), counted
+// with plain atomic adds. observe is wait-free; quantiles reads a
+// best-effort snapshot of the counters and linearly interpolates inside
+// the winning bucket, which is exact enough for p50/p99 reporting and
+// never blocks a push. Unlike the ring it replaced, the histogram covers
+// every observation since start, not a sliding window — and a scrape no
+// longer sorts under the same lock the hot path takes (it takes none).
+const (
+	histSubBits = 2                // sub-buckets per octave = 1<<histSubBits
+	histSub     = 1 << histSubBits // 4
+	histBuckets = 64 * histSub     // durations up to 2^63 ns
+)
 
-type latencyRing struct {
-	mu   sync.Mutex
-	buf  [ringSize]time.Duration
-	n    int // total observations (buf holds min(n, ringSize))
-	sort []time.Duration
+type latencyHist struct {
+	buckets [histBuckets]atomic.Uint64
 }
 
-func (r *latencyRing) observe(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.n%ringSize] = d
-	r.n++
-	r.mu.Unlock()
+// bucketOf maps a duration in nanoseconds onto its bucket index. The top
+// histSubBits bits below the leading bit select the sub-bucket, so the
+// index is monotone in d.
+func bucketOf(d uint64) int {
+	if d < 2*histSub {
+		return int(d) // the first octaves are exact: one bucket per ns
+	}
+	top := bits.Len64(d) - 1 // position of the leading bit, >= histSubBits+1
+	sub := (d >> (top - histSubBits)) & (histSub - 1)
+	return (top-histSubBits+1)*histSub + int(sub)
 }
 
-func (r *latencyRing) quantiles() (p50, p99 time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := min(r.n, ringSize)
-	if n == 0 {
+// bucketBounds returns the [lo, hi) duration range of bucket i, the
+// inverse of bucketOf.
+func bucketBounds(i int) (lo, hi float64) {
+	if i < 2*histSub {
+		return float64(i), float64(i + 1)
+	}
+	top := i/histSub + histSubBits - 1
+	sub := uint64(i % histSub)
+	l := uint64(1)<<top + sub<<(top-histSubBits)
+	// Widths are added in float64: the last bucket's upper bound exceeds
+	// the uint64 range.
+	return float64(l), float64(l) + float64(uint64(1)<<(top-histSubBits))
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(uint64(d))].Add(1)
+}
+
+// quantiles interpolates p50 and p99 (in nanoseconds) from one counter
+// snapshot, so the pair is mutually consistent (p99 >= p50) even while
+// pushes land concurrently.
+func (h *latencyHist) quantiles() (p50, p99 float64) {
+	var snap [histBuckets]uint64
+	total := uint64(0)
+	for i := range snap {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
 		return 0, 0
 	}
-	r.sort = append(r.sort[:0], r.buf[:n]...)
-	sort.Slice(r.sort, func(i, j int) bool { return r.sort[i] < r.sort[j] })
-	return r.sort[n/2], r.sort[(n*99)/100]
+	return quantileOf(&snap, total, 0.50), quantileOf(&snap, total, 0.99)
+}
+
+// quantileOf locates the bucket holding the q-th observation and
+// interpolates linearly within its bounds.
+func quantileOf(snap *[histBuckets]uint64, total uint64, q float64) float64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := uint64(0)
+	for i, n := range snap {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+n {
+			lo, hi := bucketBounds(i)
+			return lo + (hi-lo)*(float64(rank-cum)+0.5)/float64(n)
+		}
+		cum += n
+	}
+	// Unreachable when total matches the snapshot; be defensive.
+	lo, _ := bucketBounds(histBuckets - 1)
+	return lo
 }

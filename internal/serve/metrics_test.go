@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every duration lands in exactly one bucket whose bounds contain it,
+// and bucket indices are monotone in the duration.
+func TestHistBucketRoundTrip(t *testing.T) {
+	prev := -1
+	for _, d := range []uint64{
+		0, 1, 3, 7, 8, 9, 15, 16, 100, 250, 1000, 4096, 4097,
+		1e6, 1e6 + 1, 123456789, 1e9, 1e12, 1e15, 1 << 62,
+	} {
+		i := bucketOf(d)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", d, i)
+		}
+		lo, hi := bucketBounds(i)
+		if float64(d) < lo || float64(d) >= hi {
+			t.Errorf("bucketOf(%d) = %d with bounds [%g, %g): does not contain it", d, i, lo, hi)
+		}
+		if i < prev {
+			t.Errorf("bucketOf(%d) = %d < previous bucket %d: not monotone", d, i, prev)
+		}
+		prev = i
+	}
+	// Exhaustive monotonicity + containment over the low range, where the
+	// exact and log-spaced regimes meet.
+	prev = -1
+	for d := uint64(0); d < 4096; d++ {
+		i := bucketOf(d)
+		lo, hi := bucketBounds(i)
+		if float64(d) < lo || float64(d) >= hi {
+			t.Fatalf("bucketOf(%d) = %d with bounds [%g, %g)", d, i, lo, hi)
+		}
+		if i < prev {
+			t.Fatalf("bucketOf(%d) = %d < %d", d, i, prev)
+		}
+		prev = i
+	}
+}
+
+// Quantiles over a known distribution land within bucket resolution
+// (quarter-octave, <= 1/4 relative error) of the exact answer, p99 never
+// undercuts p50, and concurrent observes don't corrupt the counters.
+func TestHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if p50, p99 := h.quantiles(); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty histogram quantiles = %g, %g, want 0, 0", p50, p99)
+	}
+
+	// 1..1000 µs uniformly: p50 ~ 500 µs, p99 ~ 990 µs.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 1000; i += 4 {
+				h.observe(time.Duration(i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	p50, p99 := h.quantiles()
+	if p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	p50us, p99us := p50/1000, p99/1000
+	if p50us < 500*0.75 || p50us > 500*1.25 {
+		t.Errorf("p50 = %g µs, want ~500 within bucket resolution", p50us)
+	}
+	if p99us < 990*0.75 || p99us > 990*1.25 {
+		t.Errorf("p99 = %g µs, want ~990 within bucket resolution", p99us)
+	}
+
+	// A point mass pins both quantiles to its bucket.
+	var point latencyHist
+	for i := 0; i < 100; i++ {
+		point.observe(5 * time.Millisecond)
+	}
+	lo, hi := bucketBounds(bucketOf(uint64(5 * time.Millisecond)))
+	for _, q := range []float64{0.5, 0.99} {
+		p50, p99 = point.quantiles()
+		for _, v := range []float64{p50, p99} {
+			if v < lo || v > hi {
+				t.Errorf("point-mass quantile %g (q=%g) outside its bucket [%g, %g]", v, q, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// advisoriesEqual compares advisories bit-for-bit (Configs by value,
+// floats by bits so -0/NaN differences would not hide).
+func advisoriesEqual(a, b Advisory) bool {
+	return a.Slot == b.Slot &&
+		math.Float64bits(a.Lambda) == math.Float64bits(b.Lambda) &&
+		a.Config.Equal(b.Config) &&
+		a.Active == b.Active &&
+		math.Float64bits(a.Operating) == math.Float64bits(b.Operating) &&
+		math.Float64bits(a.Switching) == math.Float64bits(b.Switching) &&
+		math.Float64bits(a.CumCost) == math.Float64bits(b.CumCost) &&
+		math.Float64bits(a.Opt) == math.Float64bits(b.Opt) &&
+		math.Float64bits(a.Ratio) == math.Float64bits(b.Ratio) &&
+		a.Pending == b.Pending
+}
+
+// PushBatch is repeated Push: for several batch sizes (including ones
+// that straddle the trace end) the advisories, telemetry, cumulative
+// state and checkpoint are bit-identical to the slot-at-a-time session.
+func TestPushBatchMatchesRepeatedPush(t *testing.T) {
+	types := sharingFleet()
+	trace := sharingTrace()
+
+	mk := func() *Session {
+		alg, err := core.NewAlgorithmB(types)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := New(alg, types, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	serial := mk()
+	var want []Advisory
+	for _, lambda := range trace {
+		advs, err := serial.FeedDemand(lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, advs...)
+	}
+	wantCp := serial.Checkpoint()
+
+	for _, batch := range []int{1, 2, 7, 16, len(trace), len(trace) + 9} {
+		sess := mk()
+		ins := make([]model.SlotInput, 0, batch)
+		advs := make([]Advisory, batch)
+		var got []Advisory
+		for start := 0; start < len(trace); start += batch {
+			ins = ins[:0]
+			for _, lambda := range trace[start:min(start+batch, len(trace))] {
+				ins = append(ins, model.SlotInput{Lambda: lambda})
+			}
+			n, err := sess.PushBatch(ins, advs)
+			if err != nil {
+				t.Fatalf("batch=%d start=%d: %v", batch, start, err)
+			}
+			if n != len(ins) {
+				t.Fatalf("batch=%d start=%d: decided %d of %d (fully online algorithm)", batch, start, n, len(ins))
+			}
+			for i := 0; i < n; i++ {
+				cp := advs[i]
+				cp.Config = append(model.Config(nil), advs[i].Config...)
+				got = append(got, cp)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d decided %d slots, serial decided %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if !advisoriesEqual(got[i], want[i]) {
+				t.Fatalf("batch=%d slot %d diverged:\n batch: %+v\nserial: %+v", batch, i+1, got[i], want[i])
+			}
+		}
+		if !reflect.DeepEqual(sess.Checkpoint(), wantCp) {
+			t.Fatalf("batch=%d checkpoint diverged from serial", batch)
+		}
+	}
+}
+
+// A buffered (semi-online) algorithm decides lagged slots: a batch can
+// unlock fewer advisories than it feeds, and the Close flush matches the
+// serial session's.
+func TestPushBatchBuffered(t *testing.T) {
+	types := sharingFleet()
+	trace := sharingTrace()
+	const w = 3
+
+	mk := func() *Session {
+		alg, err := baseline.NewLookahead(types, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := New(alg, types, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	serial := mk()
+	var want []Advisory
+	for _, lambda := range trace {
+		advs, err := serial.FeedDemand(lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, advs...)
+	}
+	tail, err := serial.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, tail...)
+
+	sess := mk()
+	const batch = 5
+	advs := make([]Advisory, batch)
+	var got []Advisory
+	for start := 0; start < len(trace); start += batch {
+		ins := []model.SlotInput{}
+		for _, lambda := range trace[start:min(start+batch, len(trace))] {
+			ins = append(ins, model.SlotInput{Lambda: lambda})
+		}
+		n, err := sess.PushBatch(ins, advs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start == 0 && n != batch-(w-1) {
+			t.Fatalf("first batch decided %d slots, want %d (lookahead lag)", n, batch-(w-1))
+		}
+		for i := 0; i < n; i++ {
+			cp := advs[i]
+			cp.Config = append(model.Config(nil), advs[i].Config...)
+			got = append(got, cp)
+		}
+	}
+	btail, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, btail...)
+
+	if len(got) != len(want) {
+		t.Fatalf("batched decided %d slots, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if !advisoriesEqual(got[i], want[i]) {
+			t.Fatalf("slot %d diverged:\n batch: %+v\nserial: %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+// A mid-batch error commits the prefix exactly like repeated pushes: the
+// slots before the infeasible one are fed, their advisories are
+// returned, and the session continues from the committed prefix.
+func TestPushBatchPartialCommit(t *testing.T) {
+	types := sharingFleet()
+	sess, err := New(mustAlgB(t, types), types, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []model.SlotInput{
+		{Lambda: 3}, {Lambda: 4}, {Lambda: -1}, {Lambda: 5},
+	}
+	advs := make([]Advisory, len(ins))
+	n, err := sess.PushBatch(ins, advs)
+	if err == nil {
+		t.Fatal("negative demand must fail the batch")
+	}
+	if n != 2 || sess.Fed() != 2 {
+		t.Fatalf("decided %d, fed %d; want 2 committed slots before the error", n, sess.Fed())
+	}
+	if sess.Err() != nil {
+		t.Fatalf("validation error must not be sticky: %v", sess.Err())
+	}
+	// The remainder of the batch was not fed; the session continues.
+	if _, err := sess.FeedDemand(5); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Fed() != 3 {
+		t.Fatalf("fed %d, want 3", sess.Fed())
+	}
+
+	// An undersized advisory buffer is rejected before any slot is fed.
+	if _, err := sess.PushBatch(ins[:2], advs[:1]); err == nil || sess.Fed() != 3 {
+		t.Fatalf("undersized buffer: err=%v fed=%d, want error and no commit", err, sess.Fed())
+	}
+}
+
+func mustAlgB(t *testing.T, types []model.ServerType) core.Online {
+	t.Helper()
+	alg, err := core.NewAlgorithmB(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+// The batch counterpart of TestSteadyStatePushZeroAllocs: once the
+// session reaches steady state, PushBatch performs zero allocations for
+// the whole batch.
+func TestSteadyStatePushBatchZeroAllocs(t *testing.T) {
+	types := sharingFleet()
+	sess, err := New(mustAlgB(t, types), types, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 16
+	ins := make([]model.SlotInput, batch)
+	for i := range ins {
+		ins[i] = model.SlotInput{Lambda: 7.5}
+	}
+	advs := make([]Advisory, batch)
+	push := func() {
+		n, err := sess.PushBatch(ins, advs)
+		if err != nil || n != batch {
+			t.Fatalf("push batch: n=%d err=%v", n, err)
+		}
+	}
+	// Reach steady state (cf. the single-push guard): grow the replay
+	// log, histories and DP buffers, and populate the layer memo.
+	for i := 0; i < 32; i++ {
+		push()
+	}
+	if avg := testing.AllocsPerRun(50, push); avg != 0 {
+		t.Errorf("steady-state Session.PushBatch allocates %v/op, want 0", avg)
+	}
+	if advs[batch-1].Slot != sess.Decided() || advs[batch-1].Opt <= 0 {
+		t.Fatalf("advisories not maintained through steady state: %+v", advs[batch-1])
+	}
+}

@@ -246,6 +246,31 @@ func (s *Session) Push(in model.SlotInput, adv *Advisory) (decided bool, err err
 	return true, nil
 }
 
+// PushBatch feeds the slots of ins in order, writing the advisories the
+// batch unlocks into the leading elements of advs (reusing their
+// buffers, like Push) and returning how many were decided. advs must
+// hold at least len(ins) elements — each slot unlocks at most one
+// advisory. Per-slot semantics are exactly those of repeated Push calls:
+// slots are committed one at a time, so on error the slots before the
+// failing one remain fed (and their advisories are in advs[:decided])
+// while the failing slot and everything after it are not. Steady-state
+// batches on a static fleet perform zero allocations.
+func (s *Session) PushBatch(ins []model.SlotInput, advs []Advisory) (decided int, err error) {
+	if len(advs) < len(ins) {
+		return 0, fmt.Errorf("stream: advisory buffer holds %d slots, batch has %d", len(advs), len(ins))
+	}
+	for i := range ins {
+		d, err := s.Push(ins[i], &advs[decided])
+		if err != nil {
+			return decided, err
+		}
+		if d {
+			decided++
+		}
+	}
+	return decided, nil
+}
+
 // Feed is Push with an allocated result: it returns the advisories the
 // slot unlocks — exactly one for fully online algorithms, none while a
 // semi-online algorithm's lookahead window fills.

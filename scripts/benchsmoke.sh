@@ -67,14 +67,15 @@ if [ "$scur_allocs" -gt "$((sbase_allocs * 11 / 10))" ]; then
   exit 1
 fi
 
-# ---- serve manager push ----
+# ---- serve manager push (serial + parallel) ----
 # 50 iterations, same methodology as the stream baseline (first op pays
-# the layer-memo warm-up and is amortised).
-vout="$(go test -run '^$' -bench 'BenchmarkServePush$' -benchtime 50x -benchmem ./internal/serve )"
+# the layer-memo warm-up and is amortised). The parallel benchmark's
+# unbatched variant is gated; batch=16 is reported for the record.
+vout="$(go test -run '^$' -bench 'BenchmarkServePush(Parallel)?$' -benchtime 50x -benchmem ./internal/serve )"
 echo "$vout"
 
-vcur_ns="$(echo "$vout" | awk '/^BenchmarkServePush/ {print int($3)}')"
-vcur_allocs="$(echo "$vout" | awk '/^BenchmarkServePush/ {print int($7)}')"
+vcur_ns="$(echo "$vout" | awk '/^BenchmarkServePush(-[0-9]+)? / {print int($3)}')"
+vcur_allocs="$(echo "$vout" | awk '/^BenchmarkServePush(-[0-9]+)? / {print int($7)}')"
 if [ -z "$vcur_ns" ]; then
   echo "benchsmoke: could not parse BenchmarkServePush output" >&2
   exit 1
@@ -92,6 +93,29 @@ if [ "$vcur_ns" -gt "$((vbase_ns * 2))" ]; then
 fi
 if [ "$vcur_allocs" -gt "$((vbase_allocs * 11 / 10))" ]; then
   echo "benchsmoke: FAIL — serve allocations regressed more than 10% vs BENCH_serve.json" >&2
+  exit 1
+fi
+
+# ---- serve parallel push (16 concurrent sessions, unbatched) ----
+pcur_ns="$(echo "$vout" | awk '/^BenchmarkServePushParallel\/batch=1[- ]/ {print int($3)}')"
+pcur_allocs="$(echo "$vout" | awk '/^BenchmarkServePushParallel\/batch=1[- ]/ {print int($7)}')"
+if [ -z "$pcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkServePushParallel/batch=1 output" >&2
+  exit 1
+fi
+
+pbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePushParallel/batch=1"][0])')"
+pbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePushParallel/batch=1"][0])')"
+
+echo "benchsmoke: serve-parallel ns/op current=$pcur_ns baseline=$pbase_ns (limit 2x)"
+echo "benchsmoke: serve-parallel allocs/op current=$pcur_allocs baseline=$pbase_allocs (limit 1.1x)"
+
+if [ "$pcur_ns" -gt "$((pbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — parallel serve benchmark regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$pcur_allocs" -gt "$((pbase_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — parallel serve allocations regressed more than 10% vs BENCH_serve.json" >&2
   exit 1
 fi
 
