@@ -113,6 +113,16 @@ func Evaluate(sc Scenario, seed int64, keepSchedules bool) (Result, error) {
 // discipline of the DP layer evaluator (solver/parallel.go): a static
 // chunk partition and per-unit state make the output bit-identical for
 // any worker count. The first scenario error aborts the run.
+//
+// Cross-core audit: each worker owns everything it writes. Work units
+// share only read-only scenario specs and the process-global layer memo,
+// whose read path is lock-free (solver/gcache.go — its sharded RCU
+// design exists for exactly this fan-out plus the serving tier); results
+// land in worker-local chunk buffers and are copied into the ordered
+// output after the barrier, so no two workers ever store into the same
+// slice backing array while running. The optSolves probe below is the
+// one shared write left — one atomic add per scenario, far off any hot
+// path.
 func RunSuite(scenarios []Scenario, opts SuiteOptions) (*SuiteResult, error) {
 	workers := opts.Workers
 	if workers == AutoWorkers {
@@ -126,38 +136,53 @@ func RunSuite(scenarios []Scenario, opts SuiteOptions) (*SuiteResult, error) {
 	}
 	out := &SuiteResult{Seed: opts.Seed}
 	results := make([]Result, len(scenarios))
-	errs := make([]error, len(scenarios))
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			results[i], errs[i] = Evaluate(scenarios[i], opts.Seed, opts.KeepSchedules)
-		}
-	}
 	if workers <= 1 {
-		run(0, len(scenarios))
-	} else {
-		var wg sync.WaitGroup
-		chunk := (len(scenarios) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(scenarios) {
-				break
+		for i := range scenarios {
+			var err error
+			if results[i], err = Evaluate(scenarios[i], opts.Seed, opts.KeepSchedules); err != nil {
+				return nil, err
 			}
-			hi := lo + chunk
-			if hi > len(scenarios) {
-				hi = len(scenarios)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				run(lo, hi)
-			}(lo, hi)
 		}
-		wg.Wait()
+		out.Results = results
+		return out, nil
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var wg sync.WaitGroup
+	chunk := (len(scenarios) + workers - 1) / workers
+	type chunkOut struct {
+		lo      int
+		results []Result
+		err     error
+	}
+	chunks := make([]*chunkOut, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(scenarios) {
+			break
 		}
+		hi := lo + chunk
+		if hi > len(scenarios) {
+			hi = len(scenarios)
+		}
+		co := &chunkOut{lo: lo, results: make([]Result, hi-lo)}
+		chunks = append(chunks, co)
+		wg.Add(1)
+		go func(lo, hi int, co *chunkOut) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var err error
+				if co.results[i-lo], err = Evaluate(scenarios[i], opts.Seed, opts.KeepSchedules); err != nil {
+					co.err = err
+					return
+				}
+			}
+		}(lo, hi, co)
+	}
+	wg.Wait()
+	for _, co := range chunks {
+		if co.err != nil {
+			return nil, co.err
+		}
+		copy(results[co.lo:], co.results)
 	}
 	out.Results = results
 	return out, nil

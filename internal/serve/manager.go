@@ -179,10 +179,16 @@ type Manager struct {
 	shards []shard
 	mask   uint64 // len(shards)-1; len is a power of two
 
+	// The cross-shard atomics are spaced so the rarely written closed
+	// flag — read by every acquire — does not ride the cache line that
+	// liveN write traffic (opens, evictions, deletes, resumes)
+	// invalidates.
 	liveN  atomic.Int64  // resident sessions across all shards (vs MaxSessions)
 	seq    atomic.Uint64 // generated-id sequence
+	_      [48]byte
 	closed atomic.Bool
 
+	// met is striped in lockstep with shards (see counterStripe).
 	met counters
 }
 
@@ -205,6 +211,7 @@ func NewManager(opts Options) *Manager {
 		nowFn:  time.Now,
 		shards: make([]shard, n),
 		mask:   uint64(n - 1),
+		met:    newCounters(n),
 	}
 	for i := range m.shards {
 		m.shards[i].live = map[string]*liveSession{}
@@ -212,14 +219,25 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
-// shardFor hashes a session id onto its lock stripe (FNV-1a).
-func (m *Manager) shardFor(id string) *shard {
+// shardIdx hashes a session id onto its stripe index (FNV-1a); the
+// registry shard and the counter stripe share the index.
+func (m *Manager) shardIdx(id string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(id); i++ {
 		h ^= uint64(id[i])
 		h *= 1099511628211
 	}
-	return &m.shards[h&m.mask]
+	return h & m.mask
+}
+
+// shardFor returns a session id's registry lock stripe.
+func (m *Manager) shardFor(id string) *shard {
+	return &m.shards[m.shardIdx(id)]
+}
+
+// stripeFor returns a session id's counter stripe.
+func (m *Manager) stripeFor(id string) *counterStripe {
+	return &m.met.stripes[m.shardIdx(id)]
 }
 
 func (m *Manager) streamOpts() stream.Options {
@@ -270,7 +288,7 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 	if err := m.insert(req.ID, ls); err != nil {
 		return SessionInfo{}, err
 	}
-	m.met.opened.Add(1)
+	m.stripeFor(ls.id).opened.Add(1)
 	// ls is published, but infoLocked needs no lock here: the fields it
 	// reads are immutable once inserted except through ls.mu, and no
 	// other goroutine has pushed yet within this call's happens-before
@@ -425,7 +443,7 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 	ls.sess = sess
 	ls.lastUsed = m.nowFn()
 	ls.mu.Unlock()
-	m.met.resumed.Add(1)
+	m.stripeFor(id).resumed.Add(1)
 	return ls, nil
 }
 
@@ -494,6 +512,7 @@ func (m *Manager) pushLocked(ls *liveSession, req PushRequest, res *PushResult) 
 // order; pushes to different sessions run concurrently.
 func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 	start := m.nowFn()
+	met := m.stripeFor(id)
 	var res PushResult
 	var perr error
 	err := m.withSession(id, func(ls *liveSession) {
@@ -504,11 +523,11 @@ func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 		err = perr
 	}
 	if err != nil {
-		m.met.pushErr.Add(1)
+		met.pushErr.Add(1)
 		return PushResult{}, err
 	}
-	m.met.pushes.Add(1)
-	m.met.lat.observe(m.nowFn().Sub(start))
+	met.pushes.Add(1)
+	met.lat.observe(m.nowFn().Sub(start))
 	return res, nil
 }
 
@@ -523,6 +542,7 @@ func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 // answer the same errors any push would.
 func (m *Manager) PushBatch(id string, reqs []PushRequest) ([]PushResult, error) {
 	start := m.nowFn()
+	met := m.stripeFor(id)
 	out := make([]PushResult, 0, len(reqs))
 	var perr error
 	err := m.withSession(id, func(ls *liveSession) {
@@ -536,16 +556,16 @@ func (m *Manager) PushBatch(id string, reqs []PushRequest) ([]PushResult, error)
 		ls.lastUsed = m.nowFn()
 	})
 	if err != nil {
-		m.met.pushErr.Add(1)
+		met.pushErr.Add(1)
 		return nil, err
 	}
-	m.met.pushes.Add(uint64(len(out)))
+	met.pushes.Add(uint64(len(out)))
 	if perr != nil {
-		m.met.pushErr.Add(1)
+		met.pushErr.Add(1)
 		return out, perr
 	}
 	if len(reqs) > 0 {
-		m.met.lat.observe(m.nowFn().Sub(start))
+		met.lat.observe(m.nowFn().Sub(start))
 	}
 	return out, nil
 }
@@ -607,7 +627,7 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 		if err := m.store.Delete(id); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrStore, err)
 		}
-		m.met.deleted.Add(1)
+		m.stripeFor(id).deleted.Add(1)
 		if cerr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSessionFailed, cerr)
 		}
@@ -628,7 +648,7 @@ func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
 	if err := m.store.Delete(id); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	m.met.deleted.Add(1)
+	m.stripeFor(id).deleted.Add(1)
 	info := SessionInfo{ID: id}
 	if snap.Checkpoint != nil {
 		info.Alg = snap.Checkpoint.Alg
@@ -655,7 +675,7 @@ func (m *Manager) evictHoldingBoth(sh *shard, ls *liveSession) error {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	m.unlink(ls)
-	m.met.evicted.Add(1)
+	m.stripeFor(ls.id).evicted.Add(1)
 	return nil
 }
 

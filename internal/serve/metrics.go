@@ -22,32 +22,61 @@ type Metrics struct {
 	PushP99Micros   float64 `json:"push_p99_us"`
 }
 
-// counters aggregates manager activity. Every field — the latency
-// histogram included — is updated atomically, so the push hot path never
-// takes a metrics lock and a healthz scrape never stalls pushes.
+// counters aggregates manager activity. The counters are striped in
+// lockstep with the registry's lock shards: a push to session X bumps the
+// stripe of X's shard, so under cross-core traffic two sessions on
+// different shards never write the same counter cache line — global
+// atomics would be true sharing, one line ping-ponging between every
+// core on every push. Every field — the per-stripe latency histograms
+// included — is updated atomically, so the push hot path never takes a
+// metrics lock and a healthz scrape (which merges the stripes) never
+// stalls pushes.
 type counters struct {
+	stripes []counterStripe
+}
+
+// counterStripe is one registry shard's counter block. The six hot
+// words are padded out to a full cache line before the histogram so the
+// stripe occupies a whole number of lines and adjacent stripes never
+// false-share; TestCounterStripePadding asserts the layout.
+type counterStripe struct {
 	opened  atomic.Uint64
 	resumed atomic.Uint64
 	evicted atomic.Uint64
 	deleted atomic.Uint64
 	pushes  atomic.Uint64
 	pushErr atomic.Uint64
+	_       [16]byte // 48 bytes of counters -> one full 64-byte line
 	lat     latencyHist
 }
 
+func newCounters(stripes int) counters {
+	return counters{stripes: make([]counterStripe, stripes)}
+}
+
 func (c *counters) snapshot(live int) Metrics {
-	p50, p99 := c.lat.quantiles()
-	return Metrics{
-		LiveSessions:    live,
-		SessionsOpened:  c.opened.Load(),
-		SessionsResumed: c.resumed.Load(),
-		SessionsEvicted: c.evicted.Load(),
-		SessionsDeleted: c.deleted.Load(),
-		SlotsPushed:     c.pushes.Load(),
-		PushErrors:      c.pushErr.Load(),
-		PushP50Micros:   p50 / float64(time.Microsecond),
-		PushP99Micros:   p99 / float64(time.Microsecond),
+	m := Metrics{LiveSessions: live}
+	var snap [histBuckets]uint64
+	total := uint64(0)
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		m.SessionsOpened += s.opened.Load()
+		m.SessionsResumed += s.resumed.Load()
+		m.SessionsEvicted += s.evicted.Load()
+		m.SessionsDeleted += s.deleted.Load()
+		m.SlotsPushed += s.pushes.Load()
+		m.PushErrors += s.pushErr.Load()
+		for b := range snap {
+			v := s.lat.buckets[b].Load()
+			snap[b] += v
+			total += v
+		}
 	}
+	if total > 0 {
+		m.PushP50Micros = quantileOf(&snap, total, 0.50) / float64(time.Microsecond)
+		m.PushP99Micros = quantileOf(&snap, total, 0.99) / float64(time.Microsecond)
+	}
+	return m
 }
 
 // latencyHist is a lock-free histogram of push latencies: 4 log-spaced

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 // Every duration lands in exactly one bucket whose bounds contain it,
@@ -90,5 +92,41 @@ func TestHistQuantiles(t *testing.T) {
 				t.Errorf("point-mass quantile %g (q=%g) outside its bucket [%g, %g]", v, q, lo, hi)
 			}
 		}
+	}
+}
+
+// The registry shard and its counter stripe are the two structures every
+// push writes; both must stay whole numbers of cache lines so adjacent
+// stripes in their arrays never false-share across cores.
+func TestCounterStripePadding(t *testing.T) {
+	if s := unsafe.Sizeof(counterStripe{}); s%64 != 0 {
+		t.Errorf("counterStripe is %d bytes, not a multiple of the 64-byte cache line", s)
+	}
+	if s := unsafe.Sizeof(shard{}); s%64 != 0 {
+		t.Errorf("shard is %d bytes, not a multiple of the 64-byte cache line", s)
+	}
+}
+
+// Counter stripes must merge: activity spread across many shards reports
+// identical aggregates to a single-shard manager. (The full behavioral
+// invariance across shard counts is TestShardCountInvariance; this is the
+// metrics-only fast check.)
+func TestMetricsMergeAcrossStripes(t *testing.T) {
+	m := NewManager(Options{Shards: 8})
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("merge-%d", i)
+		if _, err := m.Open(OpenRequest{ID: id, Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Push(id, PushRequest{Lambda: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Metrics()
+	if got.SessionsOpened != 10 || got.SlotsPushed != 10 || got.LiveSessions != 10 {
+		t.Fatalf("merged metrics = %+v; want 10 opened, 10 pushed, 10 live", got)
+	}
+	if got.PushP50Micros <= 0 || got.PushP99Micros < got.PushP50Micros {
+		t.Fatalf("merged quantiles p50=%v p99=%v; want 0 < p50 <= p99", got.PushP50Micros, got.PushP99Micros)
 	}
 }

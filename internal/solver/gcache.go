@@ -3,6 +3,7 @@ package solver
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/costfn"
 	"repro/internal/numeric"
@@ -27,18 +28,84 @@ import (
 // (Constant, Affine, Power, Exponential, PiecewiseLinear, Scaled); slots
 // carrying any other implementation are not memoised. Hash collisions are
 // resolved by full structural key comparison, never trusted.
+//
+// Concurrency: the memo is sharded (power-of-two stripes keyed by the
+// structural fingerprint) and each shard publishes an immutable
+// generation map through an atomic pointer — reads are lock-free and
+// inserts are copy-on-write under a per-shard mutex (RCU). Sixteen
+// concurrent serving sessions therefore share read-only cache lines on
+// the hit path instead of funnelling through one process-global mutex;
+// see BenchmarkGCacheParallel / BENCH_solver.json for the before/after.
 
-// gcacheMaxFloats bounds the memo's payload (~32 MB of float64s). When an
-// insert would exceed it the memo resets — a simple, deterministic
-// eviction that keeps unbounded fuzz/property workloads from growing it
-// without limit.
+// gcacheMaxFloats bounds the memo's payload (~32 MB of float64s) across
+// all shards. When an insert would exceed a shard's slice of the budget
+// the shard resets — a simple, deterministic eviction that keeps
+// unbounded fuzz/property workloads from growing the memo without limit.
 const gcacheMaxFloats = 4 << 20
 
-var gcache = struct {
-	sync.Mutex
+// gcacheShards stripes the memo. Every concurrent session in the process
+// funnels its layer lookups through this structure, so the shard count is
+// sized for the serving tier's 16-way concurrency, not for GOMAXPROCS.
+// Power of two; behaviorally invisible (see gcache_test.go).
+const gcacheShards = 16
+
+// gcacheGen is one immutable generation of a shard's merged contents.
+// Readers see a generation through one atomic load and never take a
+// lock; writers build the next generation copy-on-write under the shard
+// mutex and publish it with one atomic store (RCU). Entries and chains
+// are never mutated after publication, so a generation loaded by a
+// reader stays valid for as long as the reader holds it.
+type gcacheGen struct {
 	m      map[uint64]*gcacheEntry
 	floats int
-}{m: make(map[uint64]*gcacheEntry)}
+}
+
+// gcachePendingMax bounds a shard's write-behind buffer. Cloning the
+// whole generation map on every insert would make a cold sweep's misses
+// O(shard size) each; batching gcachePendingMax inserts per clone
+// amortizes the copy to O(size/pendingMax) while keeping the locked
+// miss-path scan short.
+const gcachePendingMax = 32
+
+// gcacheShard is one stripe of the memo, padded out to a whole number of
+// cache lines: the read-hot generation pointer and the write-only mutex
+// and pending buffer of neighbouring shards must not false-share under
+// cross-core traffic. TestGCacheShardPadding asserts the layout.
+type gcacheShard struct {
+	cur atomic.Pointer[gcacheGen] // lock-free read path (merged entries)
+
+	mu            sync.Mutex     // serializes inserts, merges, resets
+	pending       []*gcacheEntry // inserted but not yet merged into cur
+	pendingFloats int
+	_             [16]byte // 48 bytes of fields -> one full cache line
+}
+
+// gMemo is the sharded layer memo. The zero shard count is invalid; use
+// newGMemo. Shard selection reuses the signature's FNV-1a digest: the
+// digest's low bits pick the stripe, the full digest keys the map inside.
+type gMemo struct {
+	shards []gcacheShard
+	mask   uint64
+	budget int // per-shard float budget
+}
+
+// newGMemo builds a memo with the given power-of-two shard count and
+// total float budget. A 1-shard memo is semantically the legacy
+// single-map design (one global budget, whole-memo resets); the default
+// 16-shard memo splits the budget evenly and resets shard-locally —
+// either way the memo stays bounded by total and eviction stays a
+// deterministic function of the insert sequence per shard.
+func newGMemo(shards, totalFloats int) *gMemo {
+	return &gMemo{
+		shards: make([]gcacheShard, shards),
+		mask:   uint64(shards - 1),
+		budget: totalFloats / shards,
+	}
+}
+
+// gcache is the process-global memo. Tests swap it (see gcache_test.go)
+// to prove shard-count invisibility; production code only ever reads it.
+var gcache = newGMemo(gcacheShards, gcacheMaxFloats)
 
 type gcacheEntry struct {
 	sig  gcacheSig
@@ -172,24 +239,53 @@ func fnEqual(a, b costfn.Func) bool {
 	}
 }
 
-// gcacheGet returns the cached layer for sig, if present.
+// gcacheGet returns the cached layer for sig, if present. The fast path
+// is lock-free: one atomic generation load, one map probe, a chain walk
+// over immutable entries — concurrent readers on different cores share
+// nothing writable. Only a miss on the merged generation falls back to
+// scanning the shard's short write-behind buffer under the shard mutex,
+// so recently inserted layers are visible immediately without ever
+// putting a lock on the hit path.
 func gcacheGet(sig *gcacheSig) ([]float64, bool) {
-	gcache.Lock()
-	defer gcache.Unlock()
-	for e := gcache.m[sig.hash]; e != nil; e = e.next {
-		if e.sig.equal(sig) {
-			return e.g, true
+	return gcache.get(sig)
+}
+
+func (c *gMemo) get(sig *gcacheSig) ([]float64, bool) {
+	sh := &c.shards[sig.hash&c.mask]
+	if gen := sh.cur.Load(); gen != nil {
+		for e := gen.m[sig.hash]; e != nil; e = e.next {
+			if e.sig.equal(sig) {
+				return e.g, true
+			}
 		}
 	}
+	sh.mu.Lock()
+	for _, e := range sh.pending {
+		if e.sig.hash == sig.hash && e.sig.equal(sig) {
+			g := e.g
+			sh.mu.Unlock()
+			return g, true
+		}
+	}
+	sh.mu.Unlock()
 	return nil, false
 }
 
 // gcachePut stores a layer under sig, copying the key material and the
-// vector so callers may reuse their buffers. A concurrent duplicate insert
-// is harmless (identical content); the first entry on the chain wins
-// lookups.
+// vector so callers may reuse their buffers. Writes land in the shard's
+// pending buffer under the shard mutex; every gcachePendingMax inserts
+// the buffer is merged into the next immutable generation copy-on-write
+// and published with one atomic store (RCU), so readers never observe a
+// map mid-mutation and the clone cost amortizes to O(1) map writes per
+// insert. A concurrent duplicate insert — a second session computing the
+// same layer between its miss and its put — is detected under the lock
+// and dropped (the content would be bit-identical anyway: g_t is pure).
 func gcachePut(sig *gcacheSig, g []float64) {
-	stored := gcacheEntry{
+	gcache.put(sig, g)
+}
+
+func (c *gMemo) put(sig *gcacheSig, g []float64) {
+	stored := &gcacheEntry{
 		sig: gcacheSig{
 			hash:   sig.hash,
 			lambda: sig.lambda,
@@ -200,13 +296,64 @@ func gcachePut(sig *gcacheSig, g []float64) {
 		},
 		g: append([]float64(nil), g...),
 	}
-	gcache.Lock()
-	defer gcache.Unlock()
-	if gcache.floats+len(g) > gcacheMaxFloats {
-		gcache.m = make(map[uint64]*gcacheEntry)
-		gcache.floats = 0
+	sh := &c.shards[sig.hash&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gen := sh.cur.Load()
+	genFloats := 0
+	if gen != nil {
+		for e := gen.m[sig.hash]; e != nil; e = e.next {
+			if e.sig.equal(sig) {
+				return
+			}
+		}
+		genFloats = gen.floats
 	}
-	stored.next = gcache.m[sig.hash]
-	gcache.m[sig.hash] = &stored
-	gcache.floats += len(g)
+	for _, e := range sh.pending {
+		if e.sig.hash == sig.hash && e.sig.equal(sig) {
+			return
+		}
+	}
+	if genFloats+sh.pendingFloats+len(g) > c.budget {
+		// The shard's budget slice is exhausted: drop both the merged
+		// generation and the buffer — the sharded form of the legacy
+		// whole-memo reset, still a deterministic function of the shard's
+		// insert sequence.
+		sh.cur.Store(&gcacheGen{m: make(map[uint64]*gcacheEntry)})
+		sh.pending = sh.pending[:0]
+		sh.pendingFloats = 0
+		gen = nil
+	}
+	sh.pending = append(sh.pending, stored)
+	sh.pendingFloats += len(g)
+	if len(sh.pending) >= gcachePendingMax {
+		c.mergeLocked(sh, gen)
+	}
+}
+
+// mergeLocked folds the shard's pending buffer into a fresh immutable
+// generation and publishes it. Caller holds sh.mu. Chaining mutates the
+// pending entries' next pointers, which is safe: buffer readers never
+// touch next, and chain readers only reach these entries through the
+// atomic store below (release/acquire ordering).
+func (c *gMemo) mergeLocked(sh *gcacheShard, gen *gcacheGen) {
+	size := len(sh.pending)
+	if gen != nil {
+		size += len(gen.m)
+	}
+	next := &gcacheGen{m: make(map[uint64]*gcacheEntry, size)}
+	if gen != nil {
+		for k, v := range gen.m {
+			next.m[k] = v
+		}
+		next.floats = gen.floats
+	}
+	for _, e := range sh.pending {
+		e.next = next.m[e.sig.hash]
+		next.m[e.sig.hash] = e
+		next.floats += len(e.g)
+	}
+	sh.pending = sh.pending[:0]
+	sh.pendingFloats = 0
+	sh.cur.Store(next)
 }

@@ -1,0 +1,89 @@
+package solver
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/costfn"
+)
+
+// benchSig builds a distinct, fully fingerprintable layer signature. The
+// field layout and hash ordering mirror layerEvaluator.signature, so the
+// benchmark exercises exactly the key path production lookups take.
+func benchSig(i uint64) *gcacheSig {
+	s := &gcacheSig{
+		lambda: 1 + float64(i)*1e-9,
+		gamma:  0,
+		counts: []int{24, 6},
+		caps:   []float64{1, 4},
+		fns: []costfn.Func{
+			costfn.Power{Idle: 1, Coef: 0.6, Exp: 2},
+			costfn.Affine{Idle: 4, Rate: 0.3},
+		},
+	}
+	h := newFnv()
+	h.f64(s.lambda)
+	h.f64(s.gamma)
+	for j := range s.counts {
+		h.u64(uint64(s.counts[j]))
+		h.f64(s.caps[j])
+		fnFingerprint(&h, s.fns[j])
+	}
+	s.hash = uint64(h)
+	return s
+}
+
+// benchLayerLen matches the facade benchmark fleet's 175-cell lattice, so
+// cached vectors have production-shaped payloads.
+const benchLayerLen = 175
+
+// BenchmarkGCacheParallel measures memo contention under concurrent
+// sessions — the serving tier's steady state, where every push on every
+// core consults the process-global layer memo. Run with -cpu 1,2,4,8 via
+// scripts/benchscale.sh; recorded in BENCH_solver.json.
+//
+//	hit:    every lookup is served from a warm memo (periodic traces in
+//	        steady state). The reference single-mutex design serializes
+//	        all readers here; the sharded RCU design takes no lock.
+//	insert: every lookup misses and inserts a fresh layer (cold start,
+//	        many distinct fleets). Writers contend on one shard at worst.
+func BenchmarkGCacheParallel(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		const warm = 64
+		sigs := make([]*gcacheSig, warm)
+		g := make([]float64, benchLayerLen)
+		for i := range g {
+			g[i] = float64(i)
+		}
+		for i := range sigs {
+			sigs[i] = benchSig(uint64(i))
+			gcachePut(sigs[i], g)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := gcacheGet(sigs[i%warm]); !ok {
+					b.Fatal("warm entry missing")
+				}
+				i++
+			}
+		})
+	})
+	b.Run("insert", func(b *testing.B) {
+		var seq atomic.Uint64
+		seq.Store(1 << 32) // disjoint from the hit variant's warm keys
+		g := make([]float64, benchLayerLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				sig := benchSig(seq.Add(1))
+				if _, ok := gcacheGet(sig); !ok {
+					gcachePut(sig, g)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,119 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"repro/internal/model"
+)
+
+// The shard struct must stay a whole number of cache lines so adjacent
+// shards in the array never share a line — the padding the RCU design's
+// contention-freedom rests on.
+func TestGCacheShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(gcacheShard{}); s%64 != 0 {
+		t.Fatalf("gcacheShard is %d bytes, not a multiple of the 64-byte cache line", s)
+	}
+}
+
+// A layer just inserted must be visible to lookups immediately — served
+// from the write-behind buffer before the batch merge, from the merged
+// generation after it — and merging must not drop or duplicate entries.
+func TestGCachePendingVisibleBeforeMerge(t *testing.T) {
+	swapGcache(t, 1, gcacheMaxFloats)
+	g := []float64{1, 2, 3}
+	first := benchSig(1 << 40)
+	gcachePut(first, g)
+	if got, ok := gcacheGet(first); !ok || len(got) != len(g) || got[0] != 1 {
+		t.Fatalf("pre-merge lookup: got %v, %v; want the pending entry", got, ok)
+	}
+	for i := 0; i < gcachePendingMax; i++ {
+		gcachePut(benchSig(uint64(1<<40+i+1)), g)
+	}
+	sh := &gcache.shards[0]
+	sh.mu.Lock()
+	pending := len(sh.pending)
+	sh.mu.Unlock()
+	if pending >= gcachePendingMax {
+		t.Fatalf("pending buffer never merged: %d entries", pending)
+	}
+	if got, ok := gcacheGet(first); !ok || len(got) != len(g) || got[2] != 3 {
+		t.Fatalf("post-merge lookup: got %v, %v; want the merged entry", got, ok)
+	}
+}
+
+// TestGCacheShardStress hammers the sharded memo from many goroutines
+// solving memo-eligible instances concurrently while a starvation-sized
+// budget forces shard resets throughout — the darkest corner of the RCU
+// design (concurrent lock-free reads racing copy-on-write merges and
+// resets). Every concurrent result must be bit-identical to the serially
+// computed memo-off answer. CI runs this under -race.
+func TestGCacheShardStress(t *testing.T) {
+	// A budget of ~2k floats across 4 shards holds only a handful of
+	// layers per shard, so inserts trip resets constantly.
+	swapGcache(t, 4, 2048)
+
+	rng := rand.New(rand.NewSource(99))
+	const nInstances = 6
+	type baseline struct {
+		cost  uint64
+		sched [][]int
+	}
+	inss := make([]*model.Instance, 0, nInstances)
+	wants := make([]baseline, 0, nInstances)
+	for i := 0; i < nInstances; i++ {
+		ins := randomInstance(rng, 2, 4, 8)
+		plain, err := Solve(ins, Options{NoMemo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := baseline{cost: math.Float64bits(plain.Cost())}
+		for _, cfg := range plain.Schedule {
+			want.sched = append(want.sched, append([]int(nil), cfg...))
+		}
+		inss = append(inss, ins)
+		wants = append(wants, want)
+	}
+
+	goroutines := 8
+	rounds := 10
+	if testing.Short() {
+		goroutines, rounds = 4, 3
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % nInstances
+				opts := Options{}
+				if g%4 == 3 {
+					opts.NoMemo = true // mix memo-off traffic into the race
+				}
+				res, err := Solve(inss[k], opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Float64bits(res.Cost()) != wants[k].cost {
+					t.Errorf("goroutine %d round %d: cost %v != plain %v",
+						g, r, res.Cost(), math.Float64frombits(wants[k].cost))
+					return
+				}
+				for s, cfg := range res.Schedule {
+					for j, v := range cfg {
+						if v != wants[k].sched[s][j] {
+							t.Errorf("goroutine %d round %d slot %d: schedule diverged", g, r, s+1)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -16,9 +16,23 @@ type opaqueFn struct{ rate float64 }
 
 func (o opaqueFn) Value(z float64) float64 { return 1 + o.rate*z*z }
 
+// swapGcache replaces the process-global memo with a fresh one of the
+// given geometry for the duration of the test. Tests in a package run
+// sequentially (none of these call t.Parallel), so the swap is safe; the
+// stress test's goroutines all run against the swapped instance.
+func swapGcache(t testing.TB, shards, totalFloats int) {
+	old := gcache
+	gcache = newGMemo(shards, totalFloats)
+	t.Cleanup(func() { gcache = old })
+}
+
 // The memo must be invisible in results: solving with and without it is
 // bit-identical, across periodic traces (heavy reuse), time-varying
-// fleets, modulated (Scaled) costs and unmemoisable functions.
+// fleets, modulated (Scaled) costs and unmemoisable functions — and
+// regardless of the shard geometry: the default 16-shard RCU memo, a
+// single shard (the legacy one-map semantics), and a starved memo whose
+// budget forces a reset on nearly every insert must all agree with the
+// memo-off answer.
 func TestLayerMemoBitIdentical(t *testing.T) {
 	price := []float64{1, 1, 0.6, 1.8, 1, 0.6, 1.8, 1, 1, 0.6, 1.8, 1}
 	counts := make([][]int, 12)
@@ -59,25 +73,39 @@ func TestLayerMemoBitIdentical(t *testing.T) {
 			Lambda: workload.Diurnal(10, 1, 7, 5, 0),
 		},
 	}
+	geometries := []struct {
+		name   string
+		shards int
+		floats int
+	}{
+		{"sharded", gcacheShards, gcacheMaxFloats},
+		{"single-shard", 1, gcacheMaxFloats},
+		{"starved", 4, 256}, // a reset on nearly every insert
+	}
 	for name, ins := range instances {
 		t.Run(name, func(t *testing.T) {
 			plain, err := Solve(ins, Options{NoMemo: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			for round := 0; round < 2; round++ { // second round hits the memo
-				memo, err := Solve(ins, Options{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if math.Float64bits(memo.Cost()) != math.Float64bits(plain.Cost()) {
-					t.Fatalf("round %d: memoised cost %v != plain %v", round, memo.Cost(), plain.Cost())
-				}
-				for i := range plain.Schedule {
-					if !memo.Schedule[i].Equal(plain.Schedule[i]) {
-						t.Fatalf("round %d slot %d: schedules diverge", round, i+1)
+			for _, geo := range geometries {
+				t.Run(geo.name, func(t *testing.T) {
+					swapGcache(t, geo.shards, geo.floats)
+					for round := 0; round < 2; round++ { // second round hits the memo
+						memo, err := Solve(ins, Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if math.Float64bits(memo.Cost()) != math.Float64bits(plain.Cost()) {
+							t.Fatalf("round %d: memoised cost %v != plain %v", round, memo.Cost(), plain.Cost())
+						}
+						for i := range plain.Schedule {
+							if !memo.Schedule[i].Equal(plain.Schedule[i]) {
+								t.Fatalf("round %d slot %d: schedules diverge", round, i+1)
+							}
+						}
 					}
-				}
+				})
 			}
 		})
 	}

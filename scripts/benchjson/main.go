@@ -1,0 +1,337 @@
+// Command benchjson is the one parser behind the repo's benchmark gates:
+// it reads and rewrites the BENCH_*.json baselines and parses `go test
+// -bench` output, so scripts/benchsmoke.sh and scripts/benchscale.sh
+// need no non-Go tooling (the former shelled out to python3 for every
+// baseline lookup).
+//
+// Subcommands:
+//
+//	baseline -file BENCH_x.json -bench Name [-field ns_per_op]
+//	    Print one recorded field of one benchmark as an integer.
+//
+//	numcpu
+//	    Print runtime.NumCPU() — the rig's physically available cores,
+//	    as opposed to GOMAXPROCS, which -cpu oversubscribes at will.
+//
+//	scale -file BENCH_x.json -bench Name [-slots N] [-mineff F]
+//	      [-maxover F] [-gate] [-update] [-date YYYY-MM-DD]
+//	    Read `go test -bench -cpu c1,c2,...` output on stdin, extract the
+//	    named benchmark's per-cpu-count entries, derive speedups vs one
+//	    CPU (and slots/sec when -slots is given), print the scaling
+//	    table, and optionally:
+//	      -gate    enforce scaling: for cpu counts the rig actually has
+//	               (c <= NumCPU), speedup must reach mineff*c; for
+//	               oversubscribed counts (c > NumCPU) wall time must stay
+//	               within maxover of the 1-cpu run — contention, not
+//	               parallelism, is what an oversubscribed run measures.
+//	      -update  merge the entries into the file's "cpu_counts" section
+//	               (replacing same-name entries, keeping other
+//	               benchmarks') and refresh its num_cpu stamp.
+//
+// Gates are self-relative — ratios between cpu counts of one run on one
+// machine — so they hold on any rig, unlike absolute ns baselines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchFile mirrors the BENCH_*.json schema with a fixed key order so a
+// rewrite round-trips cleanly; benchmark entries are kept raw because
+// each suite records bespoke fields (memo, workers, previous, ...).
+type benchFile struct {
+	Suite       string            `json:"suite"`
+	Description string            `json:"description"`
+	Regenerate  string            `json:"regenerate,omitempty"`
+	Date        string            `json:"date"`
+	Goos        string            `json:"goos,omitempty"`
+	Goarch      string            `json:"goarch,omitempty"`
+	CPU         string            `json:"cpu,omitempty"`
+	Gomaxprocs  int               `json:"gomaxprocs,omitempty"`
+	NumCPU      int               `json:"num_cpu,omitempty"`
+	Benchmarks  []json.RawMessage `json:"benchmarks"`
+	CPUCounts   *cpuCounts        `json:"cpu_counts,omitempty"`
+	Note        string            `json:"note,omitempty"`
+	Previous    json.RawMessage   `json:"previous,omitempty"`
+}
+
+// cpuCounts is the multi-core scaling section: one entry per benchmark
+// per -cpu count, with ratios derived against the 1-cpu entry.
+type cpuCounts struct {
+	Date    string     `json:"date"`
+	NumCPU  int        `json:"num_cpu"`
+	Note    string     `json:"note,omitempty"`
+	Entries []cpuEntry `json:"entries"`
+}
+
+type cpuEntry struct {
+	Name        string  `json:"name"`
+	CPU         int     `json:"cpu"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
+	SpeedupVs1  float64 `json:"speedup_vs_1cpu,omitempty"`
+	Efficiency  float64 `json:"scaling_efficiency,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		die("usage: benchjson <baseline|numcpu|scale> [flags]")
+	}
+	switch os.Args[1] {
+	case "baseline":
+		cmdBaseline(os.Args[2:])
+	case "numcpu":
+		fmt.Println(runtime.NumCPU())
+	case "scale":
+		cmdScale(os.Args[2:])
+	default:
+		die("benchjson: unknown subcommand %q", os.Args[1])
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func loadFile(path string) *benchFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die("benchjson: %v", err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		die("benchjson: %s: %v", path, err)
+	}
+	return &f
+}
+
+func cmdBaseline(args []string) {
+	var file, bench, field string
+	fs := flagSet("baseline", args, map[string]*string{
+		"file": &file, "bench": &bench, "field": &field,
+	}, nil, nil)
+	_ = fs
+	if field == "" {
+		field = "ns_per_op"
+	}
+	if file == "" || bench == "" {
+		die("benchjson baseline: -file and -bench are required")
+	}
+	f := loadFile(file)
+	for _, raw := range f.Benchmarks {
+		var entry map[string]any
+		if err := json.Unmarshal(raw, &entry); err != nil {
+			die("benchjson: %s: %v", file, err)
+		}
+		if entry["name"] != bench {
+			continue
+		}
+		v, ok := entry[field].(float64)
+		if !ok {
+			die("benchjson: %s: benchmark %q has no numeric field %q", file, bench, field)
+		}
+		fmt.Println(int64(v))
+		return
+	}
+	die("benchjson: %s: no benchmark named %q", file, bench)
+}
+
+// flagSet is a tiny -key value parser (the stdlib flag package would do,
+// but subcommand flag errors read better with one consistent usage line).
+func flagSet(cmd string, args []string, strs map[string]*string, floats map[string]*float64, bools map[string]*bool) bool {
+	for i := 0; i < len(args); i++ {
+		name := strings.TrimPrefix(args[i], "-")
+		if b, ok := bools[name]; ok {
+			*b = true
+			continue
+		}
+		if i+1 >= len(args) {
+			die("benchjson %s: flag -%s needs a value", cmd, name)
+		}
+		if s, ok := strs[name]; ok {
+			*s = args[i+1]
+			i++
+			continue
+		}
+		if fp, ok := floats[name]; ok {
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				die("benchjson %s: -%s: %v", cmd, name, err)
+			}
+			*fp = v
+			i++
+			continue
+		}
+		die("benchjson %s: unknown flag %q", cmd, args[i])
+	}
+	return true
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName[/sub][-procs]  iters  N ns/op [ N B/op  N allocs/op]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// parseBench extracts the named benchmark's entries from bench output.
+func parseBench(lines []string, bench string) []cpuEntry {
+	var out []cpuEntry
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil || m[1] != bench {
+			continue
+		}
+		cpu := 1
+		if m[2] != "" {
+			cpu, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		e := cpuEntry{Name: bench, CPU: cpu, Iterations: iters, NsPerOp: ns}
+		if m[5] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			e.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CPU < out[j].CPU })
+	return out
+}
+
+func cmdScale(args []string) {
+	var file, bench, date string
+	var slots, mineff, maxover, gatemax float64
+	var gate, update bool
+	flagSet("scale", args,
+		map[string]*string{"file": &file, "bench": &bench, "date": &date},
+		map[string]*float64{"slots": &slots, "mineff": &mineff, "maxover": &maxover, "gatemax": &gatemax},
+		map[string]*bool{"gate": &gate, "update": &update})
+	if gatemax == 0 {
+		gatemax = 4 // gate the linear floor up to 4 cpus; larger counts report only
+	}
+	if bench == "" {
+		die("benchjson scale: -bench is required")
+	}
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	entries := parseBench(lines, bench)
+	if len(entries) == 0 {
+		die("benchjson scale: no %q entries in input", bench)
+	}
+	var base *cpuEntry
+	for i := range entries {
+		if entries[i].CPU == 1 {
+			base = &entries[i]
+		}
+	}
+	if base == nil {
+		die("benchjson scale: %q has no -cpu 1 entry to anchor ratios", bench)
+	}
+	numCPU := runtime.NumCPU()
+	for i := range entries {
+		e := &entries[i]
+		if slots > 0 {
+			e.SlotsPerSec = round2(slots * 1e9 / e.NsPerOp)
+		}
+		e.SpeedupVs1 = round3(base.NsPerOp / e.NsPerOp)
+		e.Efficiency = round3(e.SpeedupVs1 / float64(e.CPU))
+	}
+
+	fmt.Printf("benchscale: %s (NumCPU=%d)\n", bench, numCPU)
+	fmt.Printf("  %-6s %14s %14s %9s %11s\n", "cpu", "ns/op", "slots/sec", "speedup", "efficiency")
+	for _, e := range entries {
+		slotsCol := "-"
+		if e.SlotsPerSec > 0 {
+			slotsCol = fmt.Sprintf("%.0f", e.SlotsPerSec)
+		}
+		fmt.Printf("  %-6d %14.0f %14s %8.2fx %11.2f\n", e.CPU, e.NsPerOp, slotsCol, e.SpeedupVs1, e.Efficiency)
+	}
+
+	failed := false
+	for _, e := range entries {
+		if e.CPU == 1 {
+			continue
+		}
+		if e.CPU <= numCPU && float64(e.CPU) <= gatemax && mineff > 0 {
+			want := mineff * float64(e.CPU)
+			status := "PASS"
+			if e.SpeedupVs1 < want {
+				status, failed = "FAIL", true
+			}
+			fmt.Printf("benchscale: %s cpu=%d speedup %.2fx (floor %.2fx = %.2f of linear) %s\n",
+				bench, e.CPU, e.SpeedupVs1, want, mineff, status)
+		}
+		if e.CPU > numCPU && maxover > 0 {
+			ratio := e.NsPerOp / base.NsPerOp
+			status := "PASS"
+			if ratio > maxover {
+				status, failed = "FAIL", true
+			}
+			fmt.Printf("benchscale: %s cpu=%d oversubscribed on %d core(s): %.2fx of 1-cpu wall time (ceiling %.2fx) %s\n",
+				bench, e.CPU, numCPU, ratio, maxover, status)
+		}
+	}
+
+	if update {
+		if file == "" {
+			die("benchjson scale: -update requires -file")
+		}
+		f := loadFile(file)
+		cc := f.CPUCounts
+		if cc == nil {
+			cc = &cpuCounts{}
+			f.CPUCounts = cc
+		}
+		kept := cc.Entries[:0]
+		for _, e := range cc.Entries {
+			if e.Name != bench {
+				kept = append(kept, e)
+			}
+		}
+		cc.Entries = append(kept, entries...)
+		sort.Slice(cc.Entries, func(i, j int) bool {
+			if cc.Entries[i].Name != cc.Entries[j].Name {
+				return cc.Entries[i].Name < cc.Entries[j].Name
+			}
+			return cc.Entries[i].CPU < cc.Entries[j].CPU
+		})
+		cc.Date = date
+		cc.NumCPU = numCPU
+		f.NumCPU = numCPU
+		out, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			die("benchjson: %v", err)
+		}
+		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+			die("benchjson: %v", err)
+		}
+		fmt.Printf("benchscale: updated %s cpu_counts (%s)\n", file, bench)
+	}
+
+	if gate && failed {
+		die("benchscale: FAIL — %s scaling gates not met", bench)
+	}
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

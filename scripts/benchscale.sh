@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Multi-core scaling rig: run the parallel serving, suite and layer-memo
+# benchmarks at -cpu 1,2,4,8 and derive scaling tables with
+# scripts/benchjson (the same Go parser benchsmoke.sh uses — no python3
+# or other non-Go tooling).
+#
+# Usage:
+#   benchscale.sh            full benchtime, print scaling tables
+#   benchscale.sh --check    CI smoke: reduced benchtime, gates ON
+#   benchscale.sh --update   full benchtime, write the "cpu_counts"
+#                            sections of BENCH_serve/engine/solver.json
+#
+# Gates are self-relative (ratios between cpu counts of one run), so
+# they hold on any machine, and they adapt to the rig via
+# runtime.NumCPU():
+#   - cpu counts the rig actually has (c <= NumCPU, up to -gatemax 4):
+#     speedup vs -cpu 1 must reach mineff*c — e.g. batch=16 serving must
+#     hit 0.625*4 = 2.5x slots/sec at -cpu 4 on a 4-core box.
+#   - oversubscribed counts (c > NumCPU, e.g. everything on a 1-core CI
+#     container): wall time must stay within maxover of the -cpu 1 run.
+#     An oversubscribed run can't show parallel speedup, but it is the
+#     sharpest contention detector there is: a serialized hot path
+#     (like the pre-sharding single-mutex layer memo, 1.51x slower at
+#     -cpu 8 on one core) fails this gate, a contention-free one passes
+#     flat.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+CPUS="1,2,4,8"
+GATE=""
+UPDATE=""
+SERVE_BT=50x
+SUITE_BT=3x
+GC_BT=500000x
+case "$MODE" in
+  --check) GATE="-gate"; SERVE_BT=10x; SUITE_BT=2x; GC_BT=100000x ;;
+  --update) UPDATE="-update" ;;
+  "") ;;
+  *) echo "usage: benchscale.sh [--check|--update]" >&2; exit 2 ;;
+esac
+
+echo "benchscale: NumCPU=$(go run ./scripts/benchjson numcpu), -cpu $CPUS, mode=${MODE:-report}"
+
+# ---- serving tier: 16 concurrent sessions x 48 slots = 768 slots/op ----
+out="$(go test -run '^$' -bench 'BenchmarkServePushParallel$' -benchtime "$SERVE_BT" -benchmem -cpu "$CPUS" ./internal/serve)"
+echo "$out"
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
+  -bench 'BenchmarkServePushParallel/batch=16' -slots 768 -mineff 0.625 -maxover 1.6 $GATE $UPDATE
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
+  -bench 'BenchmarkServePushParallel/batch=1' -slots 768 -mineff 0.4 -maxover 1.6 $GATE $UPDATE
+
+# ---- scenario suite: 8 scenarios fanned over one worker per cpu ----
+# Chunked distribution over 8 uneven scenarios bounds speedup by the
+# heaviest chunk, hence the lower floor.
+out="$(go test -run '^$' -bench 'BenchmarkSuiteParallel$' -benchtime "$SUITE_BT" -benchmem -cpu "$CPUS" .)"
+echo "$out"
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_engine.json \
+  -bench 'BenchmarkSuiteParallel' -mineff 0.35 -maxover 1.5 $GATE $UPDATE
+
+# ---- layer-memo contention: hit-heavy must scale, insert-heavy must ----
+# ---- not collapse (copy-on-write inserts serialize per shard)       ----
+out="$(go test -run '^$' -bench 'BenchmarkGCacheParallel' -benchtime "$GC_BT" -benchmem -cpu "$CPUS" ./internal/solver)"
+echo "$out"
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_solver.json \
+  -bench 'BenchmarkGCacheParallel/hit' -mineff 0.5 -maxover 1.6 $GATE $UPDATE
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_solver.json \
+  -bench 'BenchmarkGCacheParallel/insert' -maxover 1.75 $GATE $UPDATE
+
+echo "benchscale: OK"

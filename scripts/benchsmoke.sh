@@ -7,7 +7,11 @@
 # coarse 2x, not a tight threshold; allocation counts are
 # machine-independent and gated at +10%. The solver's layer-eval
 # microbench (BENCH_solver.json) is run and reported for the record but
-# not gated.
+# not gated. Baseline lookups go through scripts/benchjson (go run), so
+# the gate needs no tooling beyond the Go toolchain; multi-core scaling
+# is gated separately by scripts/benchscale.sh.
+
+baseline() { go run ./scripts/benchjson baseline -file "$1" -bench "$2" -field "$3"; }
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,8 +28,8 @@ if [ -z "$cur_ns" ]; then
   exit 1
 fi
 
-base_ns="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
-base_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_engine.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkSuiteSerial"][0])')"
+base_ns="$(baseline BENCH_engine.json BenchmarkSuiteSerial ns_per_op)"
+base_allocs="$(baseline BENCH_engine.json BenchmarkSuiteSerial allocs_per_op)"
 
 echo "benchsmoke: suite ns/op current=$cur_ns baseline=$base_ns (limit 2x)"
 echo "benchsmoke: suite allocs/op current=$cur_allocs baseline=$base_allocs (limit 1.1x)"
@@ -52,8 +56,8 @@ if [ -z "$scur_ns" ]; then
   exit 1
 fi
 
-sbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_stream.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkStreamSession"][0])')"
-sbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_stream.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkStreamSession"][0])')"
+sbase_ns="$(baseline BENCH_stream.json BenchmarkStreamSession ns_per_op)"
+sbase_allocs="$(baseline BENCH_stream.json BenchmarkStreamSession allocs_per_op)"
 
 echo "benchsmoke: stream ns/op current=$scur_ns baseline=$sbase_ns (limit 2x)"
 echo "benchsmoke: stream allocs/op current=$scur_allocs baseline=$sbase_allocs (limit 1.1x)"
@@ -81,8 +85,8 @@ if [ -z "$vcur_ns" ]; then
   exit 1
 fi
 
-vbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePush"][0])')"
-vbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePush"][0])')"
+vbase_ns="$(baseline BENCH_serve.json BenchmarkServePush ns_per_op)"
+vbase_allocs="$(baseline BENCH_serve.json BenchmarkServePush allocs_per_op)"
 
 echo "benchsmoke: serve ns/op current=$vcur_ns baseline=$vbase_ns (limit 2x)"
 echo "benchsmoke: serve allocs/op current=$vcur_allocs baseline=$vbase_allocs (limit 1.1x)"
@@ -104,8 +108,8 @@ if [ -z "$pcur_ns" ]; then
   exit 1
 fi
 
-pbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePushParallel/batch=1"][0])')"
-pbase_allocs="$(python3 -c 'import json;d=json.load(open("BENCH_serve.json"));print([b["allocs_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkServePushParallel/batch=1"][0])')"
+pbase_ns="$(baseline BENCH_serve.json 'BenchmarkServePushParallel/batch=1' ns_per_op)"
+pbase_allocs="$(baseline BENCH_serve.json 'BenchmarkServePushParallel/batch=1' allocs_per_op)"
 
 echo "benchsmoke: serve-parallel ns/op current=$pcur_ns baseline=$pbase_ns (limit 2x)"
 echo "benchsmoke: serve-parallel allocs/op current=$pcur_allocs baseline=$pbase_allocs (limit 1.1x)"
@@ -122,7 +126,7 @@ fi
 # ---- solver layer-eval microbench (recorded, informational) ----
 lout="$(go test -run '^$' -bench 'BenchmarkLayerEval' -benchtime 10x -benchmem ./internal/solver )"
 echo "$lout"
-lbase_ns="$(python3 -c 'import json;d=json.load(open("BENCH_solver.json"));print([b["ns_per_op"] for b in d["benchmarks"] if b["name"]=="BenchmarkLayerEval"][0])')"
+lbase_ns="$(baseline BENCH_solver.json BenchmarkLayerEval ns_per_op)"
 lcur_ns="$(echo "$lout" | awk '/^BenchmarkLayerEval(-[0-9]+)? / {print int($3)}')"
 echo "benchsmoke: layer-eval ns/op current=${lcur_ns:-?} baseline=$lbase_ns (informational)"
 
