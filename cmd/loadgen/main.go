@@ -10,11 +10,18 @@
 // One goroutine per session opens a fresh session, pushes -slots demand
 // values (the fleet scenario's trace, cycled) in batches of -batch, and
 // deletes the session. On exit loadgen prints total slots, wall time,
-// aggregate slots/sec and client-observed push latency quantiles —
+// aggregate slots/sec, client-observed push latency quantiles —
 // p50/p90/p99 over HTTP round-trips, so daemon-side time (the healthz
-// quantiles) plus transport. Compare -batch 1 against -batch 16 to see
-// the round-trip amortization, and scale -sessions to probe shard
-// contention.
+// quantiles) plus transport — and the generator's own allocation rate,
+// so a noisy client never masquerades as daemon-side regression.
+// Compare -batch 1 against -batch 16 to see the round-trip
+// amortization, and scale -sessions to probe shard contention.
+//
+// The client is built not to be the bottleneck: push bodies are encoded
+// with the zero-reflection internal/wire encoder into a per-worker
+// buffer reused across requests, responses drain into a reused buffer,
+// and the transport keeps one idle connection per session so steady
+// state never redials.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +41,7 @@ import (
 
 	rightsizing "repro"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -57,7 +66,7 @@ func main() {
 	}
 	trace := sc.Instance(*seed).Lambda
 
-	cl := &client{base: strings.TrimRight(*url, "/")}
+	cl := newClient(strings.TrimRight(*url, "/"), *sessions)
 	var health struct {
 		OK bool `json:"ok"`
 	}
@@ -71,6 +80,8 @@ func main() {
 	}
 	results := make([]result, *sessions)
 	var wg sync.WaitGroup
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
@@ -81,6 +92,8 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 
 	var lats []time.Duration
 	for i, r := range results {
@@ -104,10 +117,18 @@ func main() {
 	fmt.Printf("push latency p50=%v p90=%v p99=%v max=%v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	// Client-side allocation rate across the whole run (loadgen's own
+	// bookkeeping included): if this climbs, the generator is eating the
+	// machine and the slots/sec above stops being a daemon measurement.
+	fmt.Printf("client allocs: %.0f allocs/push, %.0f B/push\n",
+		float64(after.Mallocs-before.Mallocs)/float64(len(lats)),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(len(lats)))
 }
 
 // driveSession opens one session, pushes slots demands in batches and
-// deletes it, timing every HTTP push round-trip.
+// deletes it, timing every HTTP push round-trip. The push body is
+// wire-encoded into a buffer owned by this worker and reused for every
+// request, so the generator allocates next to nothing per push.
 func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch int) (res struct {
 	lats []time.Duration
 	err  error
@@ -128,19 +149,25 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 	path := "/v1/sessions/" + id + "/push"
 	res.lats = make([]time.Duration, 0, (slots+batch-1)/batch)
 	reqs := make([]serve.PushRequest, 0, batch)
+	w := newPushWorker()
 	fed := 0
 	for fed < slots {
 		reqs = reqs[:0]
 		for len(reqs) < batch && fed+len(reqs) < slots {
 			reqs = append(reqs, serve.PushRequest{Lambda: trace[(fed+len(reqs))%len(trace)]})
 		}
-		t0 := time.Now()
 		var err error
 		if batch == 1 {
-			err = cl.call("POST", path, reqs[0], nil)
+			w.body, err = wire.AppendPushRequest(w.body[:0], &reqs[0])
 		} else {
-			err = cl.call("POST", path, reqs, nil)
+			w.body, err = wire.AppendPushRequests(w.body[:0], reqs)
 		}
+		if err != nil {
+			res.err = err
+			return
+		}
+		t0 := time.Now()
+		err = cl.push(path, w)
 		res.lats = append(res.lats, time.Since(t0))
 		if err != nil {
 			res.err = err
@@ -151,10 +178,63 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 	return
 }
 
-// client is a minimal JSON-over-HTTP caller for the rightsized API.
+// pushWorker holds one session goroutine's reusable push state: the
+// encoded body, the reader handed to the transport, and the response
+// drain buffer. None of it is reallocated between pushes.
+type pushWorker struct {
+	body []byte
+	rd   *bytes.Reader
+	resp bytes.Buffer
+}
+
+func newPushWorker() *pushWorker {
+	return &pushWorker{body: make([]byte, 0, 512), rd: bytes.NewReader(nil)}
+}
+
+// client is a minimal JSON-over-HTTP caller for the rightsized API. Its
+// transport keeps one idle connection per concurrent session
+// (DefaultTransport caps at 2 per host, which would force most workers
+// to redial every push).
 type client struct {
 	base string
 	http http.Client
+}
+
+func newClient(base string, sessions int) *client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = sessions + 2
+	tr.MaxIdleConnsPerHost = sessions + 2
+	return &client{base: base, http: http.Client{Transport: tr}}
+}
+
+// push posts the worker's encoded body and drains the response into the
+// worker's buffer, reusing both across calls.
+func (c *client) push(path string, w *pushWorker) error {
+	w.rd.Reset(w.body)
+	req, err := http.NewRequest("POST", c.base+path, w.rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	w.resp.Reset()
+	if _, err := w.resp.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(w.resp.Bytes(), &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("POST %s: %s (HTTP %d)", path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
 }
 
 func (c *client) call(method, path string, body, into any) error {

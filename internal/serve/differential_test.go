@@ -89,12 +89,27 @@ func serialAdvisories(t *testing.T, spec engine.AlgSpec, ins *model.Instance) []
 	return append(out, tail...)
 }
 
+// forEachCodec runs a subtest under both wire codecs: the default
+// zero-reflection internal/wire path and the encoding/json reference
+// (Options.ReflectCodec). Any behavioural difference between the two is
+// a codec bug by definition.
+func forEachCodec(t *testing.T, run func(t *testing.T, reflectCodec bool)) {
+	t.Run("codec=wire", func(t *testing.T) { run(t, false) })
+	t.Run("codec=reflect", func(t *testing.T) { run(t, true) })
+}
+
 // The tentpole's acceptance test: for every registered streamable
 // algorithm on three stock scenarios, the full trace driven through the
 // HTTP API — interleaved across all sessions at once — produces
 // advisories bit-identical to a serial stream.Session.Feed, including
-// across a mid-trace checkpoint→evict→transparent-resume cycle.
+// across a mid-trace checkpoint→evict→transparent-resume cycle. It runs
+// under both codecs (PR 7): the hand-rolled wire path and the
+// encoding/json reference must be indistinguishable end to end.
 func TestHTTPDifferentialAllAlgorithms(t *testing.T) {
+	forEachCodec(t, testHTTPDifferentialAllAlgorithms)
+}
+
+func testHTTPDifferentialAllAlgorithms(t *testing.T, reflectCodec bool) {
 	const seed = 7
 	scenarios := []string{"quickstart", "onoff", "heterogeneous"}
 
@@ -128,7 +143,7 @@ func TestHTTPDifferentialAllAlgorithms(t *testing.T) {
 		t.Fatalf("only %d applicable algorithm x scenario sessions; want >= 8 for the concurrency requirement", len(jobs))
 	}
 
-	m := NewManager(Options{MaxSessions: len(jobs) + 1})
+	m := NewManager(Options{MaxSessions: len(jobs) + 1, ReflectCodec: reflectCodec})
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()
 
@@ -227,7 +242,11 @@ func runDifferentialJob(t *testing.T, m *Manager, baseURL, id, scenario string, 
 // maintenance scenario's per-slot counts produce the same advisories as
 // the serial session, including across the mid-trace evict cycle.
 func TestHTTPDifferentialTimeVaryingCounts(t *testing.T) {
-	m := NewManager(Options{})
+	forEachCodec(t, testHTTPDifferentialTimeVaryingCounts)
+}
+
+func testHTTPDifferentialTimeVaryingCounts(t *testing.T, reflectCodec bool) {
+	m := NewManager(Options{ReflectCodec: reflectCodec})
 	srv := httptest.NewServer(NewHandler(m))
 	defer srv.Close()
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/wire"
 )
 
 // The HTTP JSON API over a Manager:
@@ -33,12 +34,27 @@ import (
 // batch semantics are exactly those of pushing one at a time, where
 // each committed slot's advisory was delivered before the error.
 //
-// Request body buffers and response encoders are pooled (sync.Pool), so
-// the per-push HTTP overhead is a handful of small allocations, not a
-// fresh decoder/encoder/buffer set per request.
+// Request body buffers and response encoders are pooled (sync.Pool),
+// and the hot path — push in both forms, session info, healthz — runs
+// on the zero-reflection internal/wire codec: the request is scanned in
+// place and the response is appended into a pooled byte slice, with no
+// encoding/json anywhere on a well-formed request. Malformed input
+// falls back to the strict reflection decoder so clients see
+// encoding/json's exact error prose; Options.ReflectCodec routes the
+// whole hot path back through encoding/json (the two are byte-for-byte
+// interchangeable — see internal/wire's package doc). Push bodies are
+// bounded by maxPushBody and answer 413 beyond it.
+
+// maxPushBody bounds a push request body. The largest legitimate bodies
+// are batch pushes — a full 768-slot trace with per-slot counts is
+// still under 64 KiB — so 1 MiB is far past any real request while
+// keeping hostile bodies from ballooning the pooled buffers (putBody
+// drops oversized ones rather than pinning them).
+const maxPushBody = 1 << 20
 
 // NewHandler wires a Manager into an http.Handler.
 func NewHandler(m *Manager) http.Handler {
+	reflectCodec := m.opts.ReflectCodec
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req OpenRequest
@@ -60,16 +76,29 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := m.Info(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			writePushError(w, err, reflectCodec)
 			return
 		}
-		writeJSON(w, http.StatusOK, info)
+		if reflectCodec {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		bp := wireBuf()
+		b, werr := appendSessionInfo(*bp, &info)
+		*bp = b
+		writeWire(w, http.StatusOK, bp, werr)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/push", func(w http.ResponseWriter, r *http.Request) {
 		buf := bodyPool.Get().(*bytes.Buffer)
 		defer putBody(buf)
 		buf.Reset()
-		if _, err := buf.ReadFrom(r.Body); err != nil {
+		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxPushBody)); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{fmt.Sprintf("request body exceeds %d bytes", maxPushBody)})
+				return
+			}
 			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
 			return
 		}
@@ -77,8 +106,8 @@ func NewHandler(m *Manager) http.Handler {
 		if len(data) > 0 && data[0] == '[' {
 			// Batch form: an array of slots answers with an array of
 			// results, fed under one session acquire.
-			var reqs []PushRequest
-			if !decodeStrict(w, data, &reqs) {
+			reqs, ok := decodePushBatch(w, data, reflectCodec)
+			if !ok {
 				return
 			}
 			res, err := m.PushBatch(r.PathValue("id"), reqs)
@@ -88,25 +117,46 @@ func NewHandler(m *Manager) http.Handler {
 				// so their results ride along with the error — the client
 				// must not lose advisories the session already accounted.
 				if len(res) > 0 {
-					writeJSON(w, httpStatus(err), batchErrorBody{Error: err.Error(), Results: res})
+					if reflectCodec {
+						writeJSON(w, httpStatus(err), batchErrorBody{Error: err.Error(), Results: res})
+						return
+					}
+					bp := wireBuf()
+					b, werr := wire.AppendBatchError(*bp, err.Error(), res)
+					*bp = b
+					writeWire(w, httpStatus(err), bp, werr)
 					return
 				}
-				writeError(w, err)
+				writePushError(w, err, reflectCodec)
 				return
 			}
-			writeJSON(w, http.StatusOK, res)
+			if reflectCodec {
+				writeJSON(w, http.StatusOK, res)
+				return
+			}
+			bp := wireBuf()
+			b, werr := wire.AppendPushResults(*bp, res)
+			*bp = b
+			writeWire(w, http.StatusOK, bp, werr)
 			return
 		}
-		var req PushRequest
-		if !decodeStrict(w, data, &req) {
+		req, ok := decodePushOne(w, data, reflectCodec)
+		if !ok {
 			return
 		}
 		res, err := m.Push(r.PathValue("id"), req)
 		if err != nil {
-			writeError(w, err)
+			writePushError(w, err, reflectCodec)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		if reflectCodec {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		bp := wireBuf()
+		b, werr := wire.AppendPushResult(*bp, &res)
+		*bp = b
+		writeWire(w, http.StatusOK, bp, werr)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := m.Checkpoint(r.PathValue("id"))
@@ -130,12 +180,64 @@ func NewHandler(m *Manager) http.Handler {
 		}{algInfos()})
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			OK      bool    `json:"ok"`
-			Metrics Metrics `json:"metrics"`
-		}{true, m.Metrics()})
+		if reflectCodec {
+			writeJSON(w, http.StatusOK, struct {
+				OK      bool    `json:"ok"`
+				Metrics Metrics `json:"metrics"`
+			}{true, m.Metrics()})
+			return
+		}
+		mt := m.Metrics()
+		bp := wireBuf()
+		b, werr := appendHealthz(*bp, true, &mt)
+		*bp = b
+		writeWire(w, http.StatusOK, bp, werr)
 	})
 	return mux
+}
+
+// writePushError answers a manager error on the hot path under the
+// selected codec; both emit the identical {"error":"..."} body.
+func writePushError(w http.ResponseWriter, err error, reflectCodec bool) {
+	if reflectCodec {
+		writeError(w, err)
+		return
+	}
+	writeWireError(w, err)
+}
+
+// decodePushOne decodes a single-slot push body: the wire scanner on
+// the happy path, with a fallback through the strict reflection decoder
+// when the scanner rejects — the input is already known malformed (the
+// codecs accept identical inputs), so the second pass exists purely to
+// reproduce encoding/json's error prose, and reflection cost is paid
+// only on bad requests. It returns by value with a wire-path-only local
+// so the happy path's target stays off the heap; the fallback declares
+// its own, which escapes into encoding/json's any but is reached only
+// on malformed input or under the reference codec.
+func decodePushOne(w http.ResponseWriter, data []byte, reflectCodec bool) (PushRequest, bool) {
+	if !reflectCodec {
+		var req PushRequest
+		if wire.DecodePushRequest(data, &req) == nil {
+			return req, true
+		}
+	}
+	var req PushRequest
+	ok := decodeStrict(w, data, &req)
+	return req, ok
+}
+
+// decodePushBatch is decodePushOne's batch-form twin.
+func decodePushBatch(w http.ResponseWriter, data []byte, reflectCodec bool) ([]PushRequest, bool) {
+	if !reflectCodec {
+		var reqs []PushRequest
+		if wire.DecodePushRequests(data, &reqs) == nil {
+			return reqs, true
+		}
+	}
+	var reqs []PushRequest
+	ok := decodeStrict(w, data, &reqs)
+	return reqs, ok
 }
 
 // AlgInfo is one registry entry as served by GET /v1/algs.

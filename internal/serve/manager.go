@@ -37,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // Sentinel errors; the HTTP layer maps them onto status codes.
@@ -68,6 +69,14 @@ type Options struct {
 	// rounded up to a power of two; <= 0 means GOMAXPROCS. Purely a
 	// contention knob — behaviorally invisible.
 	Shards int
+	// ReflectCodec makes the HTTP handler encode and decode the push
+	// hot path (push, session info, healthz) with reflection-based
+	// encoding/json instead of the hand-rolled internal/wire codec.
+	// The two are byte-for-byte interchangeable (wire's contract,
+	// enforced by FuzzWireCodec and the differential HTTP suite run
+	// under both); this switch exists as the reference escape hatch
+	// for debugging and for measuring the codec delta.
+	ReflectCodec bool
 }
 
 // OpenRequest describes a session to open. It doubles as the POST
@@ -88,22 +97,15 @@ type OpenRequest struct {
 
 // PushRequest is one slot for a session. It doubles as the POST
 // /v1/sessions/{id}/push wire format (alone, or as an element of a JSON
-// array for batch pushes).
-type PushRequest struct {
-	// Lambda is the slot's job volume.
-	Lambda float64 `json:"lambda"`
-	// Counts optionally overrides the fleet sizes for this slot
-	// (time-varying data centers, Section 4.3).
-	Counts []int `json:"counts,omitempty"`
-}
+// array for batch pushes). The type lives in internal/wire so the
+// hand-rolled codec and the manager share it; the alias keeps serve's
+// API unchanged.
+type PushRequest = wire.PushRequest
 
 // PushResult is a push's outcome: Decided reports whether the slot
 // unlocked an advisory (semi-online algorithms buffer their lookahead
-// window first).
-type PushResult struct {
-	Decided  bool             `json:"decided"`
-	Advisory *stream.Advisory `json:"advisory,omitempty"`
-}
+// window first). Aliased from internal/wire like PushRequest.
+type PushResult = wire.PushResult
 
 // SessionInfo is a session's externally visible state.
 type SessionInfo struct {

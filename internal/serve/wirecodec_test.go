@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The serve-owned wire encoders (session info, healthz) must be
+// byte-identical to json.Marshal, like everything in internal/wire.
+func TestServeWireEncoders(t *testing.T) {
+	infos := []SessionInfo{
+		{},
+		{ID: "s-1", Alg: "alg-b", Name: "Algorithm B", Fed: 48, Decided: 48, CumCost: 1234.5625},
+		{ID: "semi", Alg: "alg-c", Name: "Algorithm C", Fed: 10, Decided: 7, Pending: 3,
+			CumCost: 1e-9, Failed: `subdivision cap <&> "hit"`},
+		{ID: "x", CumCost: math.MaxFloat64, Pending: -1},
+	}
+	for _, info := range infos {
+		got, err := appendSessionInfo(nil, &info)
+		want, werr := json.Marshal(info)
+		if (err != nil) != (werr != nil) {
+			t.Fatalf("appendSessionInfo(%+v): err=%v, json err=%v", info, err, werr)
+		}
+		if err == nil && !bytes.Equal(got, want) {
+			t.Fatalf("appendSessionInfo(%+v):\nwire %s\njson %s", info, got, want)
+		}
+	}
+
+	metrics := []Metrics{
+		{},
+		{LiveSessions: 3, SessionsOpened: 100, SessionsResumed: 2, SessionsEvicted: 2,
+			SessionsDeleted: 97, SlotsPushed: 4800, PushErrors: 1,
+			PushP50Micros: 812.5, PushP99Micros: 1514.2265625},
+		{SlotsPushed: math.MaxUint64, PushP50Micros: 1e-7},
+	}
+	for _, mt := range metrics {
+		got, err := appendHealthz(nil, true, &mt)
+		want, werr := json.Marshal(struct {
+			OK      bool    `json:"ok"`
+			Metrics Metrics `json:"metrics"`
+		}{true, mt})
+		if (err != nil) != (werr != nil) {
+			t.Fatalf("appendHealthz(%+v): err=%v, json err=%v", mt, err, werr)
+		}
+		if err == nil && !bytes.Equal(got, want) {
+			t.Fatalf("appendHealthz(%+v):\nwire %s\njson %s", mt, got, want)
+		}
+	}
+}
+
+// TestHTTPPushBodies drives the same raw bodies — valid, malformed,
+// truncated, oversize — at two identically seeded servers, one per
+// codec, and requires byte-identical responses: same status, same
+// headers that matter, same body down to encoding/json's error prose
+// (the wire decoder's fallback re-decode) and trailing newline.
+func TestHTTPPushBodies(t *testing.T) {
+	type server struct {
+		srv *httptest.Server
+	}
+	var servers []server
+	for _, reflectCodec := range []bool{false, true} {
+		m := NewManager(Options{ReflectCodec: reflectCodec})
+		srv := httptest.NewServer(NewHandler(m))
+		defer srv.Close()
+		cl := &httpClient{t: t, base: srv.URL}
+		cl.mustDo("POST", "/v1/sessions", OpenRequest{ID: "s", Alg: "alg-b", Fleet: quickstartFleet()}, nil, http.StatusCreated)
+		servers = append(servers, server{srv})
+	}
+
+	post := func(t *testing.T, srv *httptest.Server, path, body string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(data)
+	}
+
+	oversize := `{"lambda":1,"counts":[` + strings.Repeat("1,", maxPushBody/2) + `1]}`
+
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		// Well-formed pushes: the sessions advance in lockstep, so
+		// advisory payloads must match byte for byte too.
+		{"single", "/v1/sessions/s/push", `{"lambda":3.5}`, http.StatusOK},
+		{"single folded key", "/v1/sessions/s/push", `{"Lambda":2.25}`, http.StatusOK},
+		{"single escaped key", "/v1/sessions/s/push", `{"lambd\u0061":1.5}`, http.StatusOK},
+		{"single null lambda", "/v1/sessions/s/push", `{"lambda":null,"counts":null}`, http.StatusOK},
+		{"single duplicate keys", "/v1/sessions/s/push", `{"lambda":9,"lambda":0.5}`, http.StatusOK},
+		{"single trailing garbage", "/v1/sessions/s/push", `{"lambda":1}x[`, http.StatusOK},
+		{"batch", "/v1/sessions/s/push", `[{"lambda":1},{"lambda":2.5}]`, http.StatusOK},
+		{"batch empty", "/v1/sessions/s/push", `[]`, http.StatusOK},
+		{"batch null element", "/v1/sessions/s/push", `[null,{"lambda":1}]`, http.StatusOK},
+		{"null body", "/v1/sessions/s/push", `null`, http.StatusOK},
+		// Manager-level rejections (wire-encoded error bodies).
+		{"unknown session", "/v1/sessions/nope/push", `{"lambda":1}`, http.StatusNotFound},
+		{"infeasible slot", "/v1/sessions/s/push", `{"lambda":1e9}`, http.StatusUnprocessableEntity},
+		{"mid-batch error", "/v1/sessions/s/push",
+			`[{"lambda":0.5},{"lambda":1e9},{"lambda":0.5}]`, http.StatusUnprocessableEntity},
+		{"bad counts arity", "/v1/sessions/s/push", `{"lambda":1,"counts":[1,2,3]}`, http.StatusUnprocessableEntity},
+		// Malformed bodies: the wire decoder's reflect fallback must
+		// reproduce encoding/json's exact error text.
+		{"empty body", "/v1/sessions/s/push", ``, http.StatusBadRequest},
+		{"truncated object", "/v1/sessions/s/push", `{"lambda":1`, http.StatusBadRequest},
+		{"truncated batch", "/v1/sessions/s/push", `[{"lambda":1},`, http.StatusBadRequest},
+		{"truncated string", "/v1/sessions/s/push", `{"lambda`, http.StatusBadRequest},
+		{"unknown field", "/v1/sessions/s/push", `{"lambda":1,"bogus":2}`, http.StatusBadRequest},
+		{"wrong lambda type", "/v1/sessions/s/push", `{"lambda":"x"}`, http.StatusBadRequest},
+		{"wrong counts type", "/v1/sessions/s/push", `{"counts":[1.5]}`, http.StatusBadRequest},
+		{"float overflow", "/v1/sessions/s/push", `{"lambda":1e309}`, http.StatusBadRequest},
+		{"int overflow", "/v1/sessions/s/push", `{"counts":[9223372036854775808]}`, http.StatusBadRequest},
+		{"leading zero", "/v1/sessions/s/push", `{"lambda":01}`, http.StatusBadRequest},
+		{"bare value", "/v1/sessions/s/push", `12`, http.StatusBadRequest},
+		{"batch of scalars", "/v1/sessions/s/push", `[1,2]`, http.StatusBadRequest},
+		{"invalid escape", "/v1/sessions/s/push", `{"lambda\x61":1}`, http.StatusBadRequest},
+		// Oversize: MaxBytesReader answers 413 without poisoning pools.
+		{"oversize body", "/v1/sessions/s/push", oversize, http.StatusRequestEntityTooLarge},
+		{"push after oversize", "/v1/sessions/s/push", `{"lambda":0.5}`, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wStatus, wCT, wBody := post(t, servers[0].srv, tc.path, tc.body)
+			rStatus, rCT, rBody := post(t, servers[1].srv, tc.path, tc.body)
+			if wStatus != tc.status {
+				t.Errorf("wire codec: HTTP %d, want %d: %s", wStatus, tc.status, wBody)
+			}
+			if wStatus != rStatus || wBody != rBody || wCT != rCT {
+				t.Errorf("codecs diverged:\n wire: %d %s %q\n json: %d %s %q",
+					wStatus, wCT, wBody, rStatus, rCT, rBody)
+			}
+			if tc.status != http.StatusOK && !strings.Contains(wBody, `"error"`) {
+				t.Errorf("error response has no error body: %q", wBody)
+			}
+		})
+	}
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/stream"
+)
+
+// The encoder: append-based, allocation-free beyond growing dst, and
+// byte-identical to json.Marshal for every supported value (asserted by
+// TestEncodeMatchesJSON and FuzzWireCodec). Callers that need
+// json.Encoder framing append the trailing '\n' themselves.
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends s as a JSON string, replicating encoding/json's
+// escaping exactly: \b \f \n \r \t shorthands, \u00XX for the remaining
+// control characters, HTML-escaped < > &, the six-character escape
+// \ufffd for each invalid UTF-8 byte, and escaped U+2028/U+2029
+// (JSONP hazard).
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendFloat appends f in encoding/json's float format: shortest
+// round-trip representation, 'f' form for magnitudes in [1e-6, 1e21),
+// 'e' form outside with the exponent's leading zero stripped. Non-finite
+// floats have no JSON form and report ErrUnsupportedValue, exactly where
+// json.Marshal fails.
+func AppendFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, ErrUnsupportedValue
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// AppendInt appends v as a JSON number.
+func AppendInt(dst []byte, v int64) []byte { return strconv.AppendInt(dst, v, 10) }
+
+// AppendUint appends v as a JSON number.
+func AppendUint(dst []byte, v uint64) []byte { return strconv.AppendUint(dst, v, 10) }
+
+// AppendBool appends v as a JSON boolean.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendInts appends a []int as a JSON array (null when nil, matching
+// an un-omitempty'd nil slice).
+func appendInts(dst []byte, vs []int) []byte {
+	if vs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return append(dst, ']')
+}
+
+// AppendAdvisory appends one stream.Advisory object, field for field and
+// omitempty for omitempty what json.Marshal produces.
+func AppendAdvisory(dst []byte, adv *stream.Advisory) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"slot":`...)
+	dst = AppendInt(dst, int64(adv.Slot))
+	dst = append(dst, `,"lambda":`...)
+	if dst, err = AppendFloat(dst, adv.Lambda); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"config":`...)
+	dst = appendInts(dst, adv.Config)
+	dst = append(dst, `,"active":`...)
+	dst = AppendInt(dst, int64(adv.Active))
+	dst = append(dst, `,"operating":`...)
+	if dst, err = AppendFloat(dst, adv.Operating); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"switching":`...)
+	if dst, err = AppendFloat(dst, adv.Switching); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"cum_cost":`...)
+	if dst, err = AppendFloat(dst, adv.CumCost); err != nil {
+		return dst, err
+	}
+	if adv.Opt != 0 {
+		dst = append(dst, `,"opt":`...)
+		if dst, err = AppendFloat(dst, adv.Opt); err != nil {
+			return dst, err
+		}
+	}
+	if adv.Ratio != 0 {
+		dst = append(dst, `,"ratio":`...)
+		if dst, err = AppendFloat(dst, adv.Ratio); err != nil {
+			return dst, err
+		}
+	}
+	if adv.Pending != 0 {
+		dst = append(dst, `,"pending":`...)
+		dst = AppendInt(dst, int64(adv.Pending))
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendPushResult appends one PushResult object.
+func AppendPushResult(dst []byte, res *PushResult) ([]byte, error) {
+	dst = append(dst, `{"decided":`...)
+	dst = AppendBool(dst, res.Decided)
+	if res.Advisory != nil {
+		var err error
+		dst = append(dst, `,"advisory":`...)
+		if dst, err = AppendAdvisory(dst, res.Advisory); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendPushResults appends a batch response: a JSON array of results
+// (null for a nil slice, as json.Marshal encodes it).
+func AppendPushResults(dst []byte, res []PushResult) ([]byte, error) {
+	if res == nil {
+		return append(dst, "null"...), nil
+	}
+	dst = append(dst, '[')
+	for i := range res {
+		var err error
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if dst, err = AppendPushResult(dst, &res[i]); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, ']'), nil
+}
+
+// AppendError appends the API's error body, {"error":"..."}.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = AppendString(dst, msg)
+	return append(dst, '}')
+}
+
+// AppendBatchError appends a failed batch push's response: the error
+// plus the results of the slots committed before it.
+func AppendBatchError(dst []byte, msg string, results []PushResult) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"error":`...)
+	dst = AppendString(dst, msg)
+	dst = append(dst, `,"results":`...)
+	if dst, err = AppendPushResults(dst, results); err != nil {
+		return dst, err
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendPushRequest appends one PushRequest object — the client-side
+// encoder (cmd/loadgen reuses one buffer per worker with it).
+func AppendPushRequest(dst []byte, req *PushRequest) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"lambda":`...)
+	if dst, err = AppendFloat(dst, req.Lambda); err != nil {
+		return dst, err
+	}
+	if len(req.Counts) > 0 {
+		dst = append(dst, `,"counts":`...)
+		dst = appendInts(dst, req.Counts)
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendPushRequests appends a batch push request body.
+func AppendPushRequests(dst []byte, reqs []PushRequest) ([]byte, error) {
+	if reqs == nil {
+		return append(dst, "null"...), nil
+	}
+	dst = append(dst, '[')
+	for i := range reqs {
+		var err error
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if dst, err = AppendPushRequest(dst, &reqs[i]); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, ']'), nil
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// Field-name case folding, replicating encoding/json's fold.go: a key
+// matches a field when the folded forms are equal, where folding maps
+// ASCII letters to upper case and every other rune to the smallest rune
+// in its unicode.SimpleFold cycle (so U+017F LATIN SMALL LETTER LONG S
+// folds to 'S' and matches an 's' in a field name, exactly as the
+// reflection decoder's byFoldedName lookup does).
+
+// foldEqual reports whether key, folded, equals the pre-folded field
+// name. Invalid UTF-8 in key folds to U+FFFD per byte, which can never
+// match an ASCII field name — the same no-match outcome encoding/json
+// produces.
+func foldEqual(key []byte, folded string) bool {
+	j := 0
+	for i := 0; i < len(key); {
+		if c := key[i]; c < utf8.RuneSelf {
+			if 'a' <= c && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			if j >= len(folded) || folded[j] != c {
+				return false
+			}
+			i++
+			j++
+			continue
+		}
+		r, n := utf8.DecodeRune(key[i:])
+		var buf [utf8.UTFMax]byte
+		m := utf8.EncodeRune(buf[:], foldRune(r))
+		if j+m > len(folded) || string(buf[:m]) != folded[j:j+m] {
+			return false
+		}
+		i += n
+		j += m
+	}
+	return j == len(folded)
+}
+
+// foldRune returns the smallest rune in r's SimpleFold cycle.
+func foldRune(r rune) rune {
+	for {
+		r2 := unicode.SimpleFold(r)
+		if r2 <= r {
+			return r2
+		}
+		r = r2
+	}
+}

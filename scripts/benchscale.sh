@@ -33,8 +33,9 @@ UPDATE=""
 SERVE_BT=50x
 SUITE_BT=3x
 GC_BT=500000x
+HTTP_BT=30x
 case "$MODE" in
-  --check) GATE="-gate"; SERVE_BT=10x; SUITE_BT=2x; GC_BT=100000x ;;
+  --check) GATE="-gate"; SERVE_BT=10x; SUITE_BT=2x; GC_BT=100000x; HTTP_BT=10x ;;
   --update) UPDATE="-update" ;;
   "") ;;
   *) echo "usage: benchscale.sh [--check|--update]" >&2; exit 2 ;;
@@ -49,6 +50,17 @@ echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
   -bench 'BenchmarkServePushParallel/batch=16' -slots 768 -mineff 0.625 -maxover 1.6 $GATE $UPDATE
 echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
   -bench 'BenchmarkServePushParallel/batch=1' -slots 768 -mineff 0.4 -maxover 1.6 $GATE $UPDATE
+
+# ---- HTTP push path: the same 768 slots/op over loopback TCP     ----
+# ---- (16 keep-alive connections through the wire codec)           ----
+# batch=1 is round-trip-latency-bound, so it only carries the
+# oversubscription (contention) gate; batch=16 must show real scaling.
+out="$(go test -run '^$' -bench 'BenchmarkHTTPPushParallel$' -benchtime "$HTTP_BT" -benchmem -cpu "$CPUS" ./internal/serve)"
+echo "$out"
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
+  -bench 'BenchmarkHTTPPushParallel/batch=16' -slots 768 -mineff 0.4 -maxover 1.6 $GATE $UPDATE
+echo "$out" | go run ./scripts/benchjson scale -file BENCH_serve.json \
+  -bench 'BenchmarkHTTPPushParallel/batch=1' -slots 768 -maxover 1.6 $GATE $UPDATE
 
 # ---- scenario suite: 8 scenarios fanned over one worker per cpu ----
 # Chunked distribution over 8 uneven scenarios bounds speedup by the

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark smoke gate: run the scenario-suite, stream-session and
-# serve-push benchmarks once and fail if wall-clock regressed more than
-# 2x against the recorded baselines (BENCH_engine.json,
-# BENCH_stream.json, BENCH_serve.json). Timing
+# Benchmark smoke gate: run the scenario-suite, stream-session,
+# serve-push and HTTP-push benchmarks once and fail if wall-clock
+# regressed more than 2x against the recorded baselines
+# (BENCH_engine.json, BENCH_stream.json, BENCH_serve.json). Timing
 # across heterogeneous CI runners is noisy, which is why the gate is a
 # coarse 2x, not a tight threshold; allocation counts are
 # machine-independent and gated at +10%. The solver's layer-eval
@@ -120,6 +120,60 @@ if [ "$pcur_ns" -gt "$((pbase_ns * 2))" ]; then
 fi
 if [ "$pcur_allocs" -gt "$((pbase_allocs * 11 / 10))" ]; then
   echo "benchsmoke: FAIL — parallel serve allocations regressed more than 10% vs BENCH_serve.json" >&2
+  exit 1
+fi
+
+# ---- HTTP push path (wire codec, e2e + handler-isolated) ----
+# 2000 iterations against a live in-process httptest server. The e2e
+# number includes loopback TCP and the net/http serving stack; the
+# Handler number strips both, so it is the codec-dominated layer where
+# the wire codec's allocs/op win is pinned. The codec=reflect variants
+# re-run here for the record — they are the recorded "previous" in
+# BENCH_serve.json — but only codec=wire is gated.
+hout="$(go test -run '^$' -bench 'BenchmarkHTTPPush(Handler)?$' -benchtime 2000x -benchmem ./internal/serve )"
+echo "$hout"
+
+hcur_ns="$(echo "$hout" | awk '/^BenchmarkHTTPPush\/codec=wire\/batch=1[- ]/ {print int($3)}')"
+hcur_allocs="$(echo "$hout" | awk '/^BenchmarkHTTPPush\/codec=wire\/batch=1[- ]/ {print int($7)}')"
+if [ -z "$hcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkHTTPPush/codec=wire/batch=1 output" >&2
+  exit 1
+fi
+
+hbase_ns="$(baseline BENCH_serve.json 'BenchmarkHTTPPush/codec=wire/batch=1' ns_per_op)"
+hbase_allocs="$(baseline BENCH_serve.json 'BenchmarkHTTPPush/codec=wire/batch=1' allocs_per_op)"
+
+echo "benchsmoke: http-push ns/op current=$hcur_ns baseline=$hbase_ns (limit 2x)"
+echo "benchsmoke: http-push allocs/op current=$hcur_allocs baseline=$hbase_allocs (limit 1.1x)"
+
+if [ "$hcur_ns" -gt "$((hbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — HTTP push benchmark regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$hcur_allocs" -gt "$((hbase_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — HTTP push allocations regressed more than 10% vs BENCH_serve.json" >&2
+  exit 1
+fi
+
+dcur_ns="$(echo "$hout" | awk '/^BenchmarkHTTPPushHandler\/codec=wire[- ]/ {print int($3)}')"
+dcur_allocs="$(echo "$hout" | awk '/^BenchmarkHTTPPushHandler\/codec=wire[- ]/ {print int($7)}')"
+if [ -z "$dcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkHTTPPushHandler/codec=wire output" >&2
+  exit 1
+fi
+
+dbase_ns="$(baseline BENCH_serve.json 'BenchmarkHTTPPushHandler/codec=wire' ns_per_op)"
+dbase_allocs="$(baseline BENCH_serve.json 'BenchmarkHTTPPushHandler/codec=wire' allocs_per_op)"
+
+echo "benchsmoke: http-handler ns/op current=$dcur_ns baseline=$dbase_ns (limit 2x)"
+echo "benchsmoke: http-handler allocs/op current=$dcur_allocs baseline=$dbase_allocs (limit 1.1x)"
+
+if [ "$dcur_ns" -gt "$((dbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — HTTP handler benchmark regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$dcur_allocs" -gt "$((dbase_allocs * 11 / 10))" ]; then
+  echo "benchsmoke: FAIL — HTTP handler allocations regressed more than 10% vs BENCH_serve.json" >&2
   exit 1
 fi
 
