@@ -6,6 +6,7 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-sessions 16] [-slots 512]
 //	        [-batch 1] [-alg alg-b] [-fleet quickstart] [-seed 1]
+//	        [-retries 8] [-overload] [-offered 2000] [-steps 5] [-step 2s]
 //
 // One goroutine per session opens a fresh session, pushes -slots demand
 // values (the fleet scenario's trace, cycled) in batches of -batch, and
@@ -16,6 +17,24 @@
 // so a noisy client never masquerades as daemon-side regression.
 // Compare -batch 1 against -batch 16 to see the round-trip
 // amortization, and scale -sessions to probe shard contention.
+//
+// Against a daemon running admission control (rightsized -rate /
+// -max-inflight / -push-deadline), loadgen is a well-behaved client:
+// shed pushes (429/503) honor the server's Retry-After with jitter,
+// timeouts (504) retry with jittered exponential backoff — both are
+// safe, a shed or timed-out push fed nothing — and the summary splits
+// served / shed / timeout / hard-error counts so an overloaded run is
+// interpretable instead of one opaque failure total.
+//
+// -overload switches to the saturation probe: instead of a fixed slot
+// budget it paces an aggregate offered load starting at -offered
+// slots/sec and doubles it -steps times, -step long each, WITHOUT
+// retrying shed pushes (the point is to drive past the knee, not to
+// comply). Each step prints offered vs. served slots/sec, the shed /
+// timeout split, and served-push p99. Against a rate-limited daemon the
+// served column plateaus at the configured rate while offered keeps
+// doubling, shed responses all carry Retry-After, and the served p99
+// stays bounded — overload degrades into cheap refusals, not collapse.
 //
 // The client is built not to be the bottleneck: push bodies are encoded
 // with the zero-reflection internal/wire encoder into a per-worker
@@ -31,12 +50,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	rightsizing "repro"
@@ -55,6 +77,11 @@ func main() {
 	alg := flag.String("alg", "alg-b", "algorithm (registry name)")
 	fleet := flag.String("fleet", "quickstart", "fleet scenario name")
 	seed := flag.Int64("seed", 1, "scenario seed")
+	retries := flag.Int("retries", 8, "retry budget per push for shed (429/503) and timed-out (504) responses")
+	overload := flag.Bool("overload", false, "saturation probe: pace offered load past the knee instead of pushing a slot budget")
+	offered := flag.Float64("offered", 2000, "overload mode: first step's offered load, slots/sec")
+	steps := flag.Int("steps", 5, "overload mode: number of load-doubling steps")
+	stepDur := flag.Duration("step", 2*time.Second, "overload mode: duration of each step")
 	flag.Parse()
 	if *sessions < 1 || *slots < 1 || *batch < 1 {
 		log.Fatal("-sessions, -slots and -batch must all be >= 1")
@@ -74,11 +101,12 @@ func main() {
 		log.Fatalf("daemon not healthy at %s: %v", *url, err)
 	}
 
-	type result struct {
-		lats []time.Duration
-		err  error
+	if *overload {
+		runOverload(cl, trace, *sessions, *batch, *alg, *fleet, *seed, *offered, *steps, *stepDur)
+		return
 	}
-	results := make([]result, *sessions)
+
+	results := make([]tally, *sessions)
 	var wg sync.WaitGroup
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -87,7 +115,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch)
+			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch, *retries)
 		}(i)
 	}
 	wg.Wait()
@@ -95,44 +123,90 @@ func main() {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
-	var lats []time.Duration
-	for i, r := range results {
-		if r.err != nil {
-			log.Fatalf("session %d: %v", i, r.err)
+	var sum tally
+	for i := range results {
+		if results[i].err != nil {
+			log.Fatalf("session %d: %v", i, results[i].err)
 		}
-		lats = append(lats, r.lats...)
+		sum.add(&results[i])
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(sum.lats, func(i, j int) bool { return sum.lats[i] < sum.lats[j] })
 	q := func(p float64) time.Duration {
-		i := int(p * float64(len(lats)))
-		if i >= len(lats) {
-			i = len(lats) - 1
+		i := int(p * float64(len(sum.lats)))
+		if i >= len(sum.lats) {
+			i = len(sum.lats) - 1
 		}
-		return lats[i]
+		return sum.lats[i]
 	}
 	total := *sessions * *slots
 	fmt.Printf("sessions=%d slots/session=%d batch=%d\n", *sessions, *slots, *batch)
-	fmt.Printf("pushed %d slots in %v: %.0f slots/sec aggregate (%d HTTP pushes)\n",
-		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(), len(lats))
+	fmt.Printf("pushed %d slots in %v: %.0f slots/sec aggregate (%d served HTTP pushes)\n",
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(), len(sum.lats))
 	fmt.Printf("push latency p50=%v p90=%v p99=%v max=%v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+		q(0.99).Round(time.Microsecond), sum.lats[len(sum.lats)-1].Round(time.Microsecond))
+	// The failure breakdown: shed and timed-out pushes were retried (up
+	// to -retries) and are NOT in the throughput above; a lumped "errors"
+	// count would make an overloaded run unreadable.
+	fmt.Printf("shed: %d throttled (429) + %d overloaded (503), %d/%d carrying Retry-After; timeouts: %d (504); hard errors: 0\n",
+		sum.throttled, sum.overloaded, sum.shedWithRA, sum.throttled+sum.overloaded, sum.timeouts)
 	// Client-side allocation rate across the whole run (loadgen's own
 	// bookkeeping included): if this climbs, the generator is eating the
 	// machine and the slots/sec above stops being a daemon measurement.
 	fmt.Printf("client allocs: %.0f allocs/push, %.0f B/push\n",
-		float64(after.Mallocs-before.Mallocs)/float64(len(lats)),
-		float64(after.TotalAlloc-before.TotalAlloc)/float64(len(lats)))
+		float64(after.Mallocs-before.Mallocs)/float64(len(sum.lats)),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(len(sum.lats)))
+}
+
+// tally is one worker's (or the aggregate) outcome breakdown.
+type tally struct {
+	lats       []time.Duration // served pushes only
+	throttled  int             // 429 responses
+	overloaded int             // 503 responses
+	shedWithRA int             // shed responses that carried Retry-After
+	timeouts   int             // 504 responses
+	retried    int             // total retry attempts
+	err        error
+}
+
+func (t *tally) add(o *tally) {
+	t.lats = append(t.lats, o.lats...)
+	t.throttled += o.throttled
+	t.overloaded += o.overloaded
+	t.shedWithRA += o.shedWithRA
+	t.timeouts += o.timeouts
+	t.retried += o.retried
+}
+
+// classify files one non-2xx push response into the tally and reports
+// whether the push may be retried (shed and deadline responses fed
+// nothing by contract; anything else is a hard error).
+func (t *tally) classify(o pushOutcome) (retryable bool) {
+	switch o.status {
+	case http.StatusTooManyRequests:
+		t.throttled++
+	case http.StatusServiceUnavailable:
+		t.overloaded++
+	case http.StatusGatewayTimeout:
+		t.timeouts++
+		return true
+	default:
+		return false
+	}
+	if o.hasRetryAfter {
+		t.shedWithRA++
+	}
+	return true
 }
 
 // driveSession opens one session, pushes slots demands in batches and
-// deletes it, timing every HTTP push round-trip. The push body is
+// deletes it, timing every served HTTP push round-trip. Shed (429/503)
+// pushes wait out the server's Retry-After with jitter; timeouts (504)
+// back off exponentially with jitter; both then retry the identical
+// body — the wire encoding is reused, not rebuilt. The push body is
 // wire-encoded into a buffer owned by this worker and reused for every
 // request, so the generator allocates next to nothing per push.
-func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch int) (res struct {
-	lats []time.Duration
-	err  error
-}) {
+func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch, retries int) (res tally) {
 	open := serve.OpenRequest{ID: id, Alg: alg}
 	open.Fleet.Scenario = fleet
 	open.Fleet.Seed = seed
@@ -150,6 +224,7 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 	res.lats = make([]time.Duration, 0, (slots+batch-1)/batch)
 	reqs := make([]serve.PushRequest, 0, batch)
 	w := newPushWorker()
+	rng := rand.New(rand.NewSource(int64(len(id)) ^ seed<<16))
 	fed := 0
 	for fed < slots {
 		reqs = reqs[:0]
@@ -166,16 +241,151 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 			res.err = err
 			return
 		}
-		t0 := time.Now()
-		err = cl.push(path, w)
-		res.lats = append(res.lats, time.Since(t0))
-		if err != nil {
-			res.err = err
-			return
+		backoff := 50 * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			t0 := time.Now()
+			o, err := cl.push(path, w)
+			if err != nil {
+				res.err = err
+				return
+			}
+			if o.status < 300 {
+				res.lats = append(res.lats, time.Since(t0))
+				break
+			}
+			if !res.classify(o) || attempt >= retries {
+				res.err = fmt.Errorf("POST %s: %s (HTTP %d, %d retries)", path, o.errMsg, o.status, attempt)
+				return
+			}
+			res.retried++
+			wait := backoff
+			if o.hasRetryAfter {
+				wait = o.retryAfter
+			} else if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			// Full jitter over the upper half: desynchronizes the retry
+			// herd while never retrying before half the advertised wait.
+			wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+			time.Sleep(wait)
 		}
 		fed += len(reqs)
 	}
 	return
+}
+
+// runOverload paces an aggregate offered load across the worker pool,
+// doubling it each step, and reports served vs. offered per step. Shed
+// pushes are dropped, not retried: compliance would cap offered load at
+// the server's rate and hide the plateau this mode exists to show.
+func runOverload(cl *client, trace []float64, sessions, batch int, alg, fleet string, seed int64, offered float64, steps int, stepDur time.Duration) {
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("loadgen-ov-%d-%03d", os.Getpid(), i)
+		open := serve.OpenRequest{ID: ids[i], Alg: alg}
+		open.Fleet.Scenario = fleet
+		open.Fleet.Seed = seed
+		if err := cl.call("POST", "/v1/sessions", open, nil); err != nil {
+			log.Fatalf("open %s: %v", ids[i], err)
+		}
+	}
+	defer func() {
+		for _, id := range ids {
+			if err := cl.call("DELETE", "/v1/sessions/"+id, nil, nil); err != nil {
+				log.Printf("delete %s: %v", id, err)
+			}
+		}
+	}()
+
+	fmt.Printf("overload probe: %d sessions, batch %d, %v per step\n", sessions, batch, stepDur)
+	fmt.Printf("%14s %12s %12s %8s %8s %8s %12s\n",
+		"offered/s", "attempted/s", "served/s", "shed", "timeout", "hard", "p99(served)")
+
+	fedPos := make([]int, sessions) // per-worker trace cursor, continuous across steps
+	for s := 0; s < steps; s++ {
+		rate := offered * float64(int(1)<<s)
+		interval := time.Duration(float64(batch) * float64(time.Second) / rate)
+		tallies := make([]tally, sessions)
+		var hard atomic.Int64
+		var ticks atomic.Int64
+		start := time.Now()
+		deadline := start.Add(stepDur)
+
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w := newPushWorker()
+				path := "/v1/sessions/" + ids[i] + "/push"
+				reqs := make([]serve.PushRequest, batch)
+				for {
+					// Claim the next slot of the shared pace schedule.
+					k := ticks.Add(1) - 1
+					sendAt := start.Add(time.Duration(k) * interval)
+					if sendAt.After(deadline) {
+						ticks.Add(-1) // unclaimed: keep attempted/s honest
+						return
+					}
+					if d := time.Until(sendAt); d > 0 {
+						time.Sleep(d)
+					}
+					for j := range reqs {
+						reqs[j] = serve.PushRequest{Lambda: trace[fedPos[i]%len(trace)]}
+						fedPos[i]++
+					}
+					var err error
+					if batch == 1 {
+						w.body, err = wire.AppendPushRequest(w.body[:0], &reqs[0])
+					} else {
+						w.body, err = wire.AppendPushRequests(w.body[:0], reqs)
+					}
+					if err != nil {
+						log.Fatalf("encode: %v", err)
+					}
+					t0 := time.Now()
+					o, perr := cl.push(path, w)
+					if perr != nil {
+						hard.Add(1)
+						continue
+					}
+					if o.status < 300 {
+						tallies[i].lats = append(tallies[i].lats, time.Since(t0))
+						continue
+					}
+					if !tallies[i].classify(o) {
+						hard.Add(1)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		var sum tally
+		for i := range tallies {
+			sum.add(&tallies[i])
+		}
+		sort.Slice(sum.lats, func(a, b int) bool { return sum.lats[a] < sum.lats[b] })
+		p99 := time.Duration(0)
+		if n := len(sum.lats); n > 0 {
+			i := int(0.99 * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			p99 = sum.lats[i]
+		}
+		attempted := ticks.Load()
+		shed := sum.throttled + sum.overloaded
+		fmt.Printf("%14.0f %12.0f %12.0f %8d %8d %8d %12v\n",
+			rate,
+			float64(attempted*int64(batch))/elapsed.Seconds(),
+			float64(len(sum.lats)*batch)/elapsed.Seconds(),
+			shed, sum.timeouts, hard.Load(), p99.Round(time.Microsecond))
+		if shed > 0 && sum.shedWithRA < shed {
+			log.Printf("WARNING: %d/%d shed responses missing Retry-After", shed-sum.shedWithRA, shed)
+		}
+	}
 }
 
 // pushWorker holds one session goroutine's reusable push state: the
@@ -207,34 +417,54 @@ func newClient(base string, sessions int) *client {
 	return &client{base: base, http: http.Client{Transport: tr}}
 }
 
+// pushOutcome is one push response, classified enough for the retry
+// loop: the status, the parsed Retry-After (if any) and the server's
+// error prose for hard failures.
+type pushOutcome struct {
+	status        int
+	retryAfter    time.Duration
+	hasRetryAfter bool
+	errMsg        string
+}
+
 // push posts the worker's encoded body and drains the response into the
-// worker's buffer, reusing both across calls.
-func (c *client) push(path string, w *pushWorker) error {
+// worker's buffer, reusing both across calls. Transport failures are
+// the returned error; HTTP-level failures come back in the outcome for
+// the caller to classify.
+func (c *client) push(path string, w *pushWorker) (pushOutcome, error) {
 	w.rd.Reset(w.body)
 	req, err := http.NewRequest("POST", c.base+path, w.rd)
 	if err != nil {
-		return err
+		return pushOutcome{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return pushOutcome{}, err
 	}
 	defer resp.Body.Close()
 	w.resp.Reset()
 	if _, err := w.resp.ReadFrom(resp.Body); err != nil {
-		return err
+		return pushOutcome{}, err
 	}
+	o := pushOutcome{status: resp.StatusCode}
 	if resp.StatusCode >= 300 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				o.retryAfter = time.Duration(secs) * time.Second
+				o.hasRetryAfter = true
+			}
+		}
 		var eb struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(w.resp.Bytes(), &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("POST %s: %s (HTTP %d)", path, eb.Error, resp.StatusCode)
+			o.errMsg = eb.Error
+		} else {
+			o.errMsg = "HTTP " + strconv.Itoa(resp.StatusCode)
 		}
-		return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
 	}
-	return nil
+	return o, nil
 }
 
 func (c *client) call(method, path string, body, into any) error {

@@ -7,6 +7,8 @@
 //
 //	rightsized [-addr :8080] [-max-sessions 256] [-idle-evict 10m]
 //	           [-snapshot-dir DIR] [-workers N] [-shards N]
+//	           [-rate N] [-burst N] [-session-rate N] [-session-burst N]
+//	           [-max-inflight N] [-push-deadline D] [-drain-timeout 30s]
 //
 // Endpoints (see the README's "Serving" section for curl examples):
 //
@@ -23,7 +25,15 @@
 // store (-snapshot-dir for on-disk JSON, in-memory otherwise) and
 // transparently resumed by their next push. On SIGINT/SIGTERM the daemon
 // drains in-flight requests and checkpoints every live session, so with
-// -snapshot-dir a restart resumes exactly where it stopped.
+// -snapshot-dir a restart resumes exactly where it stopped; -drain-timeout
+// bounds the whole drain, abandoning stragglers rather than hanging
+// shutdown on a wedged store.
+//
+// Overload control (see the README's "Reliability" section): -rate/-burst
+// bound admitted slots/sec globally, -session-rate/-session-burst per
+// session, and -max-inflight caps concurrent pushes. Requests beyond a
+// limit are shed with 429/503 and a Retry-After header. -push-deadline
+// bounds each push end to end, answering 504 instead of stalling.
 package main
 
 import (
@@ -50,9 +60,21 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "persist evicted sessions as JSON here (default: in-memory)")
 	workers := flag.Int("workers", 0, "per-session solver worker pool size (0 = serial)")
 	shards := flag.Int("shards", 0, "session registry lock stripes, rounded up to a power of two (0 = one per CPU)")
+	rate := flag.Float64("rate", 0, "admitted slots/sec across all sessions, shed with 429 beyond (0 = unlimited)")
+	burst := flag.Int("burst", 0, "global rate-limit burst capacity (0 = one second of -rate)")
+	sessionRate := flag.Float64("session-rate", 0, "admitted slots/sec per session (0 = unlimited)")
+	sessionBurst := flag.Int("session-burst", 0, "per-session burst capacity (0 = one second of -session-rate)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent push budget, shed with 503 beyond (0 = unlimited)")
+	pushDeadline := flag.Duration("push-deadline", 0, "per-push deadline, answered with 504 past it (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "overall shutdown-drain deadline; stragglers are logged and abandoned (0 = wait forever)")
 	flag.Parse()
 
-	opts := serve.Options{MaxSessions: *maxSessions, Workers: *workers, Shards: *shards}
+	opts := serve.Options{
+		MaxSessions: *maxSessions, Workers: *workers, Shards: *shards,
+		GlobalRate: *rate, GlobalBurst: *burst,
+		SessionRate: *sessionRate, SessionBurst: *sessionBurst,
+		MaxInFlight: *maxInflight, PushDeadline: *pushDeadline,
+	}
 	if *snapshotDir != "" {
 		store, err := serve.NewDirStore(*snapshotDir)
 		if err != nil {
@@ -102,13 +124,31 @@ func main() {
 
 	log.Print("shutting down")
 	close(stopJanitor)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+
+	// One deadline bounds the whole drain — in-flight HTTP requests plus
+	// the checkpoint of every live session. Without it a single wedged
+	// store write would block shutdown forever; with it stragglers are
+	// logged and abandoned (a durable store still resumes every session
+	// that did checkpoint).
+	drainCtx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, *drainTimeout)
+		defer cancel()
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
-	if err := m.Close(); err != nil {
-		log.Printf("checkpointing live sessions: %v", err)
+	closed := make(chan error, 1)
+	go func() { closed <- m.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			log.Printf("checkpointing live sessions: %v", err)
+		}
+	case <-drainCtx.Done():
+		log.Printf("drain timeout %v elapsed; abandoning %d unsaved session(s)",
+			*drainTimeout, m.Metrics().LiveSessions)
 	}
 	met := m.Metrics()
 	log.Printf("served %d slots across %d sessions (%d resumed, %d evicted)",

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/wire"
@@ -110,7 +112,7 @@ func NewHandler(m *Manager) http.Handler {
 			if !ok {
 				return
 			}
-			res, err := m.PushBatch(r.PathValue("id"), reqs)
+			res, err := m.PushBatchCtx(r.Context(), r.PathValue("id"), reqs)
 			if err != nil {
 				// A mid-batch per-slot error: the slots before it were
 				// committed exactly as repeated single pushes would have,
@@ -144,7 +146,7 @@ func NewHandler(m *Manager) http.Handler {
 		if !ok {
 			return
 		}
-		res, err := m.Push(r.PathValue("id"), req)
+		res, err := m.PushCtx(r.Context(), r.PathValue("id"), req)
 		if err != nil {
 			writePushError(w, err, reflectCodec)
 			return
@@ -264,24 +266,49 @@ func algInfos() []AlgInfo {
 
 // httpStatus maps manager errors onto status codes. Anything unmapped is
 // a client mistake in the request itself (unknown algorithm, bad fleet,
-// malformed id) and reports 400.
+// malformed id) and reports 400. The README's "Reliability" section
+// documents the full taxonomy; keep the two in sync.
 func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownSession):
 		return http.StatusNotFound
 	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrSessionFailed), errors.Is(err, ErrBusy):
 		return http.StatusConflict
-	case errors.Is(err, ErrSessionLimit):
+	case errors.Is(err, ErrSessionLimit), errors.Is(err, ErrThrottled):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrBadSlot):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrStore):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// setRetryAfter stamps the Retry-After header on shed responses: the
+// admission layer's computed wait (ErrThrottled, ErrOverloaded) rounded
+// up to whole seconds — the header's granularity, so never below 1 —
+// or a fixed 1 on the session-cap 429 (ErrSessionLimit), whose true
+// wait depends on another client's delete or the idle janitor and
+// cannot be computed. Both codec paths run through it, so the header
+// set is identical under wire and reflect encoding.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var secs int64
+	if d, ok := RetryAfter(err); ok {
+		secs = int64((d + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+	} else if errors.Is(err, ErrSessionLimit) {
+		secs = 1
+	} else {
+		return
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // bodyPool recycles request-body buffers; encPool recycles response
@@ -345,6 +372,7 @@ type batchErrorBody struct {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	setRetryAfter(w, err)
 	writeJSON(w, httpStatus(err), errorBody{err.Error()})
 }
 

@@ -84,12 +84,17 @@ func TestHTTPErrorPaths(t *testing.T) {
 	}
 
 	t.Run("session cap hit", func(t *testing.T) {
-		// One slot is held; fill the second, then the third open must 429.
+		// One slot is held; fill the second, then the third open must 429
+		// — and carry a Retry-After so well-behaved clients back off
+		// instead of hammering the cap.
 		cl.mustDo("POST", "/v1/sessions", OpenRequest{ID: "filler", Alg: "alg-b", Fleet: quickstartFleet()}, nil, http.StatusCreated)
 		defer cl.mustDo("DELETE", "/v1/sessions/filler", nil, nil, http.StatusOK)
-		status, raw := cl.do("POST", "/v1/sessions", OpenRequest{Alg: "alg-b", Fleet: quickstartFleet()}, nil)
-		if status != http.StatusTooManyRequests {
-			t.Fatalf("open over the cap: HTTP %d, want 429: %s", status, raw)
+		resp := rawPost(t, srv.URL+"/v1/sessions", `{"alg": "alg-b", "fleet": {"scenario": "quickstart", "seed": 1}}`)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("open over the cap: HTTP %d, want 429", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Fatalf("session-cap 429 Retry-After = %q, want \"1\"", ra)
 		}
 	})
 

@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -77,6 +78,41 @@ type Options struct {
 	// under both); this switch exists as the reference escape hatch
 	// for debugging and for measuring the codec delta.
 	ReflectCodec bool
+
+	// GlobalRate admits at most this many slots/sec across all sessions
+	// (a batch of n slots charges n); <= 0 means unlimited. Denied
+	// pushes fail with ErrThrottled carrying a computed Retry-After.
+	GlobalRate float64
+	// GlobalBurst is the global bucket's capacity; <= 0 means one
+	// second's worth of GlobalRate (at least 1).
+	GlobalBurst int
+	// SessionRate / SessionBurst are the per-session counterparts,
+	// applied to every session independently.
+	SessionRate  float64
+	SessionBurst int
+	// MaxInFlight bounds concurrent push requests (admission's
+	// in-flight budget); <= 0 means unlimited. Beyond it pushes fail
+	// with ErrOverloaded (HTTP 503 + Retry-After).
+	MaxInFlight int
+
+	// PushDeadline bounds one Push/PushBatch end to end — admission,
+	// session-lock wait, a store resume, and the algorithm steps are
+	// all under it; 0 means no deadline. A push that times out fed
+	// nothing (the deadline is checked before the first slot, never
+	// between slots of a locked batch) and fails with ErrDeadline, so
+	// clients can always retry it.
+	PushDeadline time.Duration
+
+	// StoreRetries is how many times a failed eviction save is retried
+	// (with capped exponential backoff) before the eviction gives up
+	// and the session stays live; 0 means the default 3, negative
+	// disables retries. Explicit Checkpoint calls are not retried —
+	// the client sees the error and owns the retry.
+	StoreRetries int
+	// StoreBackoff is the first retry's backoff (doubling per attempt,
+	// default 5ms); StoreBackoffCap caps it (default 80ms).
+	StoreBackoff    time.Duration
+	StoreBackoffCap time.Duration
 }
 
 // OpenRequest describes a session to open. It doubles as the POST
@@ -133,10 +169,11 @@ type CloseResult struct {
 // evicted or deleted after a waiter obtained the pointer — waiters
 // re-acquire through the manager.
 type liveSession struct {
-	id    string
-	alg   string // registry key
-	fleet FleetJSON
-	types []model.ServerType
+	id     string
+	alg    string // registry key
+	fleet  FleetJSON
+	types  []model.ServerType
+	bucket *tokenBucket // per-session admission; nil = unlimited
 
 	mu       sync.Mutex
 	sess     *stream.Session
@@ -174,9 +211,11 @@ type shard struct {
 // Manager multiplexes live advisory sessions. All methods are safe for
 // concurrent use.
 type Manager struct {
-	opts  Options
-	store SnapshotStore
-	nowFn func() time.Time // test hook
+	opts    Options
+	store   SnapshotStore
+	nowFn   func() time.Time    // test hook
+	sleepFn func(time.Duration) // test hook (store-retry backoff)
+	adm     admission
 
 	shards []shard
 	mask   uint64 // len(shards)-1; len is a power of two
@@ -207,13 +246,32 @@ func NewManager(opts Options) *Manager {
 		n = runtime.GOMAXPROCS(0)
 	}
 	n = 1 << bits.Len(uint(n-1)) // round up to a power of two; 1 stays 1
+	switch {
+	case opts.StoreRetries == 0:
+		opts.StoreRetries = 3
+	case opts.StoreRetries < 0:
+		opts.StoreRetries = 0
+	}
+	if opts.StoreBackoff <= 0 {
+		opts.StoreBackoff = 5 * time.Millisecond
+	}
+	if opts.StoreBackoffCap <= 0 {
+		opts.StoreBackoffCap = 80 * time.Millisecond
+	}
 	m := &Manager{
-		opts:   opts,
-		store:  opts.Store,
-		nowFn:  time.Now,
-		shards: make([]shard, n),
-		mask:   uint64(n - 1),
-		met:    newCounters(n),
+		opts:    opts,
+		store:   opts.Store,
+		nowFn:   time.Now,
+		sleepFn: time.Sleep,
+		shards:  make([]shard, n),
+		mask:    uint64(n - 1),
+		met:     newCounters(n),
+	}
+	m.adm = admission{
+		global:       newTokenBucket(opts.GlobalRate, opts.GlobalBurst, m.nowFn().UnixNano()),
+		maxInFlight:  int64(opts.MaxInFlight),
+		sessionRate:  opts.SessionRate,
+		sessionBurst: opts.SessionBurst,
 	}
 	for i := range m.shards {
 		m.shards[i].live = map[string]*liveSession{}
@@ -286,7 +344,7 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 		alg = spec.Key
 	}
 
-	ls := &liveSession{alg: alg, fleet: req.Fleet, types: types, sess: sess}
+	ls := &liveSession{alg: alg, fleet: req.Fleet, types: types, sess: sess, bucket: m.newSessionBucket()}
 	if err := m.insert(req.ID, ls); err != nil {
 		return SessionInfo{}, err
 	}
@@ -387,11 +445,78 @@ func (m *Manager) unlink(ls *liveSession) {
 	sh.mu.Unlock()
 }
 
+// deadlineErr converts a context's end into the package's sentinel: a
+// timed-out or canceled push answers ErrDeadline (the slot was never
+// fed, so the caller can retry).
+func deadlineErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", ErrDeadline, context.Cause(ctx))
+}
+
+// loadCtx is store.Load bounded by ctx: when ctx can end, the load
+// runs on its own goroutine and a wedged store turns into a clean
+// ErrDeadline instead of an unbounded stall (the goroutine drains into
+// a buffered channel whenever the store does return).
+func (m *Manager) loadCtx(ctx context.Context, id string) (*Snapshot, bool, error) {
+	if ctx.Done() == nil {
+		return m.store.Load(id)
+	}
+	type loadResult struct {
+		snap *Snapshot
+		ok   bool
+		err  error
+	}
+	ch := make(chan loadResult, 1)
+	go func() {
+		snap, ok, err := m.store.Load(id)
+		ch <- loadResult{snap, ok, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.snap, r.ok, r.err
+	case <-ctx.Done():
+		return nil, false, deadlineErr(ctx)
+	}
+}
+
+// lockSessionCtx takes ls.mu, bounded by ctx. Without a deadline it is
+// a plain Lock; with one it polls TryLock on a doubling timer (100µs
+// up to 2ms), trading strict FIFO hand-off for interruptibility — a
+// session wedged by a slow algorithm step turns into ErrDeadline for
+// the waiters instead of an unbounded queue.
+func lockSessionCtx(ctx context.Context, ls *liveSession) error {
+	if ls.mu.TryLock() {
+		return nil
+	}
+	if ctx.Done() == nil {
+		ls.mu.Lock()
+		return nil
+	}
+	wait := 100 * time.Microsecond
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return deadlineErr(ctx)
+		case <-timer.C:
+		}
+		if ls.mu.TryLock() {
+			return nil
+		}
+		if wait < 2*time.Millisecond {
+			wait *= 2
+		}
+		timer.Reset(wait)
+	}
+}
+
 // acquire returns the live session for id, transparently resuming it from
 // the snapshot store when it was evicted. The returned session may be
 // marked gone by a concurrent evict/delete between return and the
-// caller's lock; callers loop on that.
-func (m *Manager) acquire(id string) (*liveSession, error) {
+// caller's lock; callers loop on that. ctx bounds the store reads of a
+// resume (the session-lock wait is bounded separately, in
+// withSessionCtx).
+func (m *Manager) acquire(ctx context.Context, id string) (*liveSession, error) {
 	// Ids that could never have been opened are 404s before they reach
 	// the store: a DirStore uses the id as a file name, so URL-supplied
 	// ids like "../backup" must never get that far.
@@ -414,8 +539,8 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 		sh.mu.Unlock()
 		// Unknown ids must stay 404s even at the cap: only a session that
 		// exists (snapshotted) and cannot be resumed is a capacity problem.
-		if _, ok, err := m.store.Load(id); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		if _, ok, err := m.loadCtx(ctx, id); err != nil {
+			return nil, storeErr(err)
 		} else if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 		}
@@ -429,7 +554,7 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 	sh.live[id] = ls
 	sh.mu.Unlock()
 
-	sess, snap, types, err := m.resumeFromStore(id)
+	sess, snap, types, err := m.resumeFromStore(ctx, id)
 	if err != nil {
 		ls.gone = true
 		ls.mu.Unlock()
@@ -443,17 +568,29 @@ func (m *Manager) acquire(id string) (*liveSession, error) {
 	ls.fleet = snap.Fleet
 	ls.types = types
 	ls.sess = sess
+	ls.bucket = m.newSessionBucket()
 	ls.lastUsed = m.nowFn()
 	ls.mu.Unlock()
 	m.stripeFor(id).resumed.Add(1)
 	return ls, nil
 }
 
+// storeErr wraps a store failure in ErrStore — except a deadline that
+// fired during the store call, which stays ErrDeadline (the caller's
+// timeout, not the store's fault; it must keep its 504 and its
+// safe-to-retry meaning).
+func storeErr(err error) error {
+	if errors.Is(err, ErrDeadline) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrStore, err)
+}
+
 // resumeFromStore loads and replays a snapshot.
-func (m *Manager) resumeFromStore(id string) (*stream.Session, *Snapshot, []model.ServerType, error) {
-	snap, ok, err := m.store.Load(id)
+func (m *Manager) resumeFromStore(ctx context.Context, id string) (*stream.Session, *Snapshot, []model.ServerType, error) {
+	snap, ok, err := m.loadCtx(ctx, id)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", ErrStore, err)
+		return nil, nil, nil, storeErr(err)
 	}
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
@@ -476,12 +613,23 @@ func (m *Manager) resumeFromStore(id string) (*stream.Session, *Snapshot, []mode
 // resuming evicted sessions and re-acquiring when a concurrent
 // evict/delete marked the pointer gone between acquire and lock.
 func (m *Manager) withSession(id string, fn func(ls *liveSession)) error {
+	return m.withSessionCtx(context.Background(), id, fn)
+}
+
+// withSessionCtx is withSession bounded by ctx: the resume's store
+// reads and the session-lock wait both end in ErrDeadline when ctx
+// does. fn itself is never interrupted — once the lock is held the
+// work runs to completion, so a timeout can only land before any state
+// changed.
+func (m *Manager) withSessionCtx(ctx context.Context, id string, fn func(ls *liveSession)) error {
 	for {
-		ls, err := m.acquire(id)
+		ls, err := m.acquire(ctx, id)
 		if err != nil {
 			return err
 		}
-		ls.mu.Lock()
+		if err := lockSessionCtx(ctx, ls); err != nil {
+			return err
+		}
 		if ls.gone {
 			ls.mu.Unlock()
 			continue
@@ -490,6 +638,16 @@ func (m *Manager) withSession(id string, fn func(ls *liveSession)) error {
 		ls.mu.Unlock()
 		return nil
 	}
+}
+
+// pushContext applies the configured push deadline on top of the
+// caller's context; the second return is nil when there is nothing to
+// cancel (no deadline configured).
+func (m *Manager) pushContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.opts.PushDeadline <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, m.opts.PushDeadline)
 }
 
 // pushLocked feeds one slot to a held session, classifying the error.
@@ -513,11 +671,39 @@ func (m *Manager) pushLocked(ls *liveSession, req PushRequest, res *PushResult) 
 // it was evicted. Pushes to the same session are serialized in arrival
 // order; pushes to different sessions run concurrently.
 func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
+	return m.PushCtx(context.Background(), id, req)
+}
+
+// PushCtx is Push under a caller context plus the configured
+// Options.PushDeadline: admission (global rate, in-flight budget,
+// per-session rate) runs first and sheds with ErrThrottled /
+// ErrOverloaded carrying a Retry-After; past admission, the lock wait
+// and any store resume are bounded and time out with ErrDeadline
+// having fed nothing.
+func (m *Manager) PushCtx(ctx context.Context, id string, req PushRequest) (PushResult, error) {
 	start := m.nowFn()
 	met := m.stripeFor(id)
+	if err := m.admitPush(met, start, 1); err != nil {
+		return PushResult{}, err
+	}
+	defer m.releasePush()
+	ctx, cancel := m.pushContext(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	var res PushResult
 	var perr error
-	err := m.withSession(id, func(ls *liveSession) {
+	err := m.withSessionCtx(ctx, id, func(ls *liveSession) {
+		now := m.nowFn()
+		if perr = m.admitSession(ls, met, now, 1); perr != nil {
+			return
+		}
+		if ctx.Err() != nil {
+			// The deadline passed while waiting for the lock; nothing
+			// has been fed, so answer the clean timeout.
+			perr = deadlineErr(ctx)
+			return
+		}
 		perr = m.pushLocked(ls, req, &res)
 		ls.lastUsed = m.nowFn()
 	})
@@ -525,12 +711,26 @@ func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 		err = perr
 	}
 	if err != nil {
-		met.pushErr.Add(1)
-		return PushResult{}, err
+		return PushResult{}, m.countPushErr(met, err)
 	}
 	met.pushes.Add(1)
 	met.lat.observe(m.nowFn().Sub(start))
 	return res, nil
+}
+
+// countPushErr files a failed push under the right counter: admission
+// denies were already counted as shed, deadlines count as timeouts,
+// everything else is a push error.
+func (m *Manager) countPushErr(met *counterStripe, err error) error {
+	switch {
+	case shedErr(err):
+		// already counted by admitPush/admitSession
+	case errors.Is(err, ErrDeadline):
+		met.timeout.Add(1)
+	default:
+		met.pushErr.Add(1)
+	}
+	return err
 }
 
 // PushBatch feeds a run of slots to the session under one acquire and
@@ -543,11 +743,37 @@ func (m *Manager) Push(id string, req PushRequest) (PushResult, error) {
 // but still validates the session — unknown ids and a closed manager
 // answer the same errors any push would.
 func (m *Manager) PushBatch(id string, reqs []PushRequest) ([]PushResult, error) {
+	return m.PushBatchCtx(context.Background(), id, reqs)
+}
+
+// PushBatchCtx is PushBatch under a caller context plus the configured
+// Options.PushDeadline. A batch of n slots charges n admission tokens
+// but occupies one in-flight slot. The deadline is checked before the
+// first slot only: once feeding starts the batch runs to completion,
+// so an ErrDeadline always means nothing was committed and the whole
+// batch is safe to retry.
+func (m *Manager) PushBatchCtx(ctx context.Context, id string, reqs []PushRequest) ([]PushResult, error) {
 	start := m.nowFn()
 	met := m.stripeFor(id)
+	if err := m.admitPush(met, start, len(reqs)); err != nil {
+		return nil, err
+	}
+	defer m.releasePush()
+	ctx, cancel := m.pushContext(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	out := make([]PushResult, 0, len(reqs))
 	var perr error
-	err := m.withSession(id, func(ls *liveSession) {
+	err := m.withSessionCtx(ctx, id, func(ls *liveSession) {
+		now := m.nowFn()
+		if perr = m.admitSession(ls, met, now, len(reqs)); perr != nil {
+			return
+		}
+		if ctx.Err() != nil {
+			perr = deadlineErr(ctx)
+			return
+		}
 		for i := range reqs {
 			var res PushResult
 			if perr = m.pushLocked(ls, reqs[i], &res); perr != nil {
@@ -558,13 +784,11 @@ func (m *Manager) PushBatch(id string, reqs []PushRequest) ([]PushResult, error)
 		ls.lastUsed = m.nowFn()
 	})
 	if err != nil {
-		met.pushErr.Add(1)
-		return nil, err
+		return nil, m.countPushErr(met, err)
 	}
 	met.pushes.Add(uint64(len(out)))
 	if perr != nil {
-		met.pushErr.Add(1)
-		return out, perr
+		return out, m.countPushErr(met, perr)
 	}
 	if len(reqs) > 0 {
 		met.lat.observe(m.nowFn().Sub(start))
@@ -585,17 +809,25 @@ func (m *Manager) Info(id string) (SessionInfo, error) {
 }
 
 // Checkpoint snapshots the session's replay log, persists it to the store
-// and returns it. The session stays live.
+// and returns it. The session stays live. The save runs under the
+// session lock, like eviction's: all store writes for a live session are
+// serialized, so a slow checkpoint save can never land after (and
+// clobber) a newer eviction snapshot — the chaos suite's torn-write
+// injection turns that interleaving into silently lost slots. The save
+// is not retried: the client asked for exactly one write and owns the
+// retry decision.
 func (m *Manager) Checkpoint(id string) (*Snapshot, error) {
 	var snap *Snapshot
+	var serr error
 	err := m.withSession(id, func(ls *liveSession) {
 		snap = &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
+		serr = m.store.Save(snap)
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := m.store.Save(snap); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	if serr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStore, serr)
 	}
 	return snap, nil
 }
@@ -659,16 +891,44 @@ func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
 	return &CloseResult{Info: info}, nil
 }
 
+// saveWithRetry writes snap to the store, retrying transient failures
+// with capped exponential backoff (Options.StoreRetries / StoreBackoff /
+// StoreBackoffCap). Each retry bumps the id's StoreRetries counter. The
+// eviction and shutdown paths use it — a flaky store should cost
+// latency, not sessions. Checkpoint does not: the client asked for
+// exactly one write and owns the retry decision.
+func (m *Manager) saveWithRetry(snap *Snapshot) error {
+	err := m.store.Save(snap)
+	if err == nil || m.opts.StoreRetries < 0 {
+		return err
+	}
+	backoff := m.opts.StoreBackoff
+	for attempt := 0; attempt < m.opts.StoreRetries; attempt++ {
+		m.stripeFor(snap.ID).retries.Add(1)
+		m.sleepFn(backoff)
+		if backoff *= 2; backoff > m.opts.StoreBackoffCap {
+			backoff = m.opts.StoreBackoffCap
+		}
+		if err = m.store.Save(snap); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // evictHoldingBoth completes an eviction of a session the caller holds
 // both sh.mu and ls.mu on (ls.mu via TryLock). It releases sh.mu before
 // the store write — the write runs under ls.mu alone, serialized against
 // pushes to this session but never stalling the registry or other
 // sessions — then marks the session gone and unlinks it. Both locks are
-// released on return.
+// released on return. A failed save (after retries) leaves the session
+// live and untouched: the checkpoint may be stale or torn in the store,
+// but the resident session still shadows it and the next eviction
+// attempt overwrites it.
 func (m *Manager) evictHoldingBoth(sh *shard, ls *liveSession) error {
 	snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
 	sh.mu.Unlock()
-	err := m.store.Save(snap)
+	err := m.saveWithRetry(snap)
 	if err == nil {
 		ls.gone = true
 	}
@@ -825,7 +1085,7 @@ func (m *Manager) Close() error {
 			ls.mu.Lock() // blocks until any in-flight push completes
 			if !ls.gone && ls.sess != nil {
 				snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
-				if err := m.store.Save(snap); err != nil && firstErr == nil {
+				if err := m.saveWithRetry(snap); err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("%w: %v", ErrStore, err)
 				}
 				ls.gone = true

@@ -18,6 +18,9 @@ type Metrics struct {
 	SessionsDeleted uint64  `json:"sessions_deleted"`
 	SlotsPushed     uint64  `json:"slots_pushed"`
 	PushErrors      uint64  `json:"push_errors"`
+	PushesShed      uint64  `json:"pushes_shed"`
+	PushTimeouts    uint64  `json:"push_timeouts"`
+	StoreRetries    uint64  `json:"store_retries"`
 	PushP50Micros   float64 `json:"push_p50_us"`
 	PushP99Micros   float64 `json:"push_p99_us"`
 }
@@ -35,8 +38,8 @@ type counters struct {
 	stripes []counterStripe
 }
 
-// counterStripe is one registry shard's counter block. The six hot
-// words are padded out to a full cache line before the histogram so the
+// counterStripe is one registry shard's counter block. The nine hot
+// words are padded out to whole cache lines before the histogram so the
 // stripe occupies a whole number of lines and adjacent stripes never
 // false-share; TestCounterStripePadding asserts the layout.
 type counterStripe struct {
@@ -46,7 +49,10 @@ type counterStripe struct {
 	deleted atomic.Uint64
 	pushes  atomic.Uint64
 	pushErr atomic.Uint64
-	_       [16]byte // 48 bytes of counters -> one full 64-byte line
+	shed    atomic.Uint64
+	timeout atomic.Uint64
+	retries atomic.Uint64
+	_       [56]byte // 72 bytes of counters -> two full 64-byte lines
 	lat     latencyHist
 }
 
@@ -66,6 +72,9 @@ func (c *counters) snapshot(live int) Metrics {
 		m.SessionsDeleted += s.deleted.Load()
 		m.SlotsPushed += s.pushes.Load()
 		m.PushErrors += s.pushErr.Load()
+		m.PushesShed += s.shed.Load()
+		m.PushTimeouts += s.timeout.Load()
+		m.StoreRetries += s.retries.Load()
 		for b := range snap {
 			v := s.lat.buckets[b].Load()
 			snap[b] += v

@@ -52,8 +52,10 @@ func writeWire(w http.ResponseWriter, status int, bp *[]byte, err error) {
 }
 
 // writeWireError answers a manager error exactly as writeError does:
-// {"error":"..."} with the httpStatus mapping.
+// {"error":"..."} with the httpStatus mapping and the same Retry-After
+// header on shed responses.
 func writeWireError(w http.ResponseWriter, err error) {
+	setRetryAfter(w, err)
 	bp := wireBuf()
 	*bp = wire.AppendError(*bp, err.Error())
 	writeWire(w, httpStatus(err), bp, nil)
@@ -105,6 +107,12 @@ func appendHealthz(dst []byte, ok bool, mt *Metrics) ([]byte, error) {
 	dst = wire.AppendUint(dst, mt.SlotsPushed)
 	dst = append(dst, `,"push_errors":`...)
 	dst = wire.AppendUint(dst, mt.PushErrors)
+	dst = append(dst, `,"pushes_shed":`...)
+	dst = wire.AppendUint(dst, mt.PushesShed)
+	dst = append(dst, `,"push_timeouts":`...)
+	dst = wire.AppendUint(dst, mt.PushTimeouts)
+	dst = append(dst, `,"store_retries":`...)
+	dst = wire.AppendUint(dst, mt.StoreRetries)
 	var err error
 	dst = append(dst, `,"push_p50_us":`...)
 	if dst, err = wire.AppendFloat(dst, mt.PushP50Micros); err != nil {

@@ -177,6 +177,31 @@ if [ "$dcur_allocs" -gt "$((dbase_allocs * 11 / 10))" ]; then
   exit 1
 fi
 
+# ---- admission accept path (wait-free gate) ----
+# The admission gates sit on every push before any work happens, so the
+# accept path must stay allocation-free — gated at exactly 0, not a
+# ratio, because a single alloc here is a design regression (the token
+# bucket is a CAS loop on purpose). ns/op is informational: tens of
+# nanoseconds drown in timer noise across runners. The deny path is
+# allowed its one alloc (the retryAfterError carrying the computed wait).
+aout="$(go test -run '^$' -bench 'BenchmarkAdmission$' -benchtime 10000x -benchmem ./internal/serve )"
+echo "$aout"
+
+acur_allocs="$(echo "$aout" | awk '/^BenchmarkAdmission\/admit[- ]/ {print int($7)}')"
+if [ -z "$acur_allocs" ]; then
+  echo "benchsmoke: could not parse BenchmarkAdmission/admit output" >&2
+  exit 1
+fi
+abase_ns="$(baseline BENCH_serve.json 'BenchmarkAdmission/admit' ns_per_op)"
+acur_ns="$(echo "$aout" | awk '/^BenchmarkAdmission\/admit[- ]/ {print int($3)}')"
+echo "benchsmoke: admission-admit allocs/op current=$acur_allocs (limit: exactly 0)"
+echo "benchsmoke: admission-admit ns/op current=${acur_ns:-?} baseline=$abase_ns (informational)"
+
+if [ "$acur_allocs" -gt 0 ]; then
+  echo "benchsmoke: FAIL — admission accept path allocates ($acur_allocs allocs/op, must be 0)" >&2
+  exit 1
+fi
+
 # ---- solver layer-eval microbench (recorded, informational) ----
 lout="$(go test -run '^$' -bench 'BenchmarkLayerEval' -benchtime 10x -benchmem ./internal/solver )"
 echo "$lout"
