@@ -6,7 +6,8 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-sessions 16] [-slots 512]
 //	        [-batch 1] [-alg alg-b] [-fleet quickstart] [-seed 1]
-//	        [-retries 8] [-overload] [-offered 2000] [-steps 5] [-step 2s]
+//	        [-retries 8] [-subscribe]
+//	        [-overload] [-offered 2000] [-steps 5] [-step 2s]
 //
 // One goroutine per session opens a fresh session, pushes -slots demand
 // values (the fleet scenario's trace, cycled) in batches of -batch, and
@@ -26,6 +27,16 @@
 // served / shed / timeout / hard-error counts so an overloaded run is
 // interpretable instead of one opaque failure total.
 //
+// -subscribe attaches one SSE consumer per session (GET
+// /v1/sessions/{id}/stream) before any slot is pushed and measures
+// advisory delivery latency: the wall time from a slot's push request
+// leaving the client to its advisory event arriving on the stream —
+// push round-trip plus fan-out, the end-to-end number a dashboard
+// consumer actually experiences. The summary adds an "advisory
+// delivery" line with event counts and p50/p90/p99, and every stream
+// must terminate with the server's end event (reason "deleted", fired
+// by the session delete) or the run reports it.
+//
 // -overload switches to the saturation probe: instead of a fixed slot
 // budget it paces an aggregate offered load starting at -offered
 // slots/sec and doubles it -steps times, -step long each, WITHOUT
@@ -44,6 +55,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -78,6 +90,7 @@ func main() {
 	fleet := flag.String("fleet", "quickstart", "fleet scenario name")
 	seed := flag.Int64("seed", 1, "scenario seed")
 	retries := flag.Int("retries", 8, "retry budget per push for shed (429/503) and timed-out (504) responses")
+	subscribe := flag.Bool("subscribe", false, "attach one SSE advisory consumer per session and report delivery latency")
 	overload := flag.Bool("overload", false, "saturation probe: pace offered load past the knee instead of pushing a slot budget")
 	offered := flag.Float64("offered", 2000, "overload mode: first step's offered load, slots/sec")
 	steps := flag.Int("steps", 5, "overload mode: number of load-doubling steps")
@@ -107,6 +120,13 @@ func main() {
 	}
 
 	results := make([]tally, *sessions)
+	var subs []*streamTally
+	if *subscribe {
+		subs = make([]*streamTally, *sessions)
+		for i := range subs {
+			subs[i] = newStreamTally(*slots)
+		}
+	}
 	var wg sync.WaitGroup
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -115,7 +135,11 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch, *retries)
+			var st *streamTally
+			if subs != nil {
+				st = subs[i]
+			}
+			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch, *retries, st)
 		}(i)
 	}
 	wg.Wait()
@@ -156,6 +180,36 @@ func main() {
 	fmt.Printf("client allocs: %.0f allocs/push, %.0f B/push\n",
 		float64(after.Mallocs-before.Mallocs)/float64(len(sum.lats)),
 		float64(after.TotalAlloc-before.TotalAlloc)/float64(len(sum.lats)))
+
+	if *subscribe {
+		var dl []time.Duration
+		events := 0
+		for i, st := range subs {
+			if err := st.wait(10 * time.Second); err != nil {
+				log.Fatalf("stream %d: %v", i, err)
+			}
+			if st.reason != "deleted" {
+				log.Printf("WARNING: stream %d ended with reason %q, want \"deleted\"", i, st.reason)
+			}
+			dl = append(dl, st.lats...)
+			events += st.events
+		}
+		if len(dl) == 0 {
+			log.Fatal("subscribed streams delivered no advisories")
+		}
+		sort.Slice(dl, func(i, j int) bool { return dl[i] < dl[j] })
+		dq := func(p float64) time.Duration {
+			i := int(p * float64(len(dl)))
+			if i >= len(dl) {
+				i = len(dl) - 1
+			}
+			return dl[i]
+		}
+		fmt.Printf("advisory delivery: %d events over %d streams, latency p50=%v p90=%v p99=%v max=%v\n",
+			events, len(subs),
+			dq(0.50).Round(time.Microsecond), dq(0.90).Round(time.Microsecond),
+			dq(0.99).Round(time.Microsecond), dl[len(dl)-1].Round(time.Microsecond))
+	}
 }
 
 // tally is one worker's (or the aggregate) outcome breakdown.
@@ -206,7 +260,12 @@ func (t *tally) classify(o pushOutcome) (retryable bool) {
 // body — the wire encoding is reused, not rebuilt. The push body is
 // wire-encoded into a buffer owned by this worker and reused for every
 // request, so the generator allocates next to nothing per push.
-func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch, retries int) (res tally) {
+//
+// With a non-nil st (-subscribe), an SSE consumer is attached after the
+// open and before the first push — a subscription only sees advisories
+// published after it exists — and every push attempt stamps its slots'
+// send times so the consumer can measure delivery latency.
+func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch, retries int, st *streamTally) (res tally) {
 	open := serve.OpenRequest{ID: id, Alg: alg}
 	open.Fleet.Scenario = fleet
 	open.Fleet.Seed = seed
@@ -219,6 +278,12 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 			res.err = err
 		}
 	}()
+	if st != nil {
+		if err := st.start(cl, "/v1/sessions/"+id+"/stream"); err != nil {
+			res.err = err
+			return
+		}
+	}
 
 	path := "/v1/sessions/" + id + "/push"
 	res.lats = make([]time.Duration, 0, (slots+batch-1)/batch)
@@ -243,6 +308,9 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 		}
 		backoff := 50 * time.Millisecond
 		for attempt := 0; ; attempt++ {
+			if st != nil {
+				st.stamp(fed, len(reqs))
+			}
 			t0 := time.Now()
 			o, err := cl.push(path, w)
 			if err != nil {
@@ -385,6 +453,105 @@ func runOverload(cl *client, trace []float64, sessions, batch int, alg, fleet st
 		if shed > 0 && sum.shedWithRA < shed {
 			log.Printf("WARNING: %d/%d shed responses missing Retry-After", shed-sum.shedWithRA, shed)
 		}
+	}
+}
+
+// streamTally is one session's SSE consumer: a goroutine reading the
+// advisory stream, matching each advisory event's id (the slot number)
+// against the slot's stamped send time. sendAt entries are atomics
+// because the pusher stamps while the consumer reads.
+type streamTally struct {
+	sendAt []int64 // unix nanos per slot, atomic
+	lats   []time.Duration
+	events int    // advisory frames seen (stamped or not)
+	reason string // the end event's reason
+	done   chan struct{}
+	err    error
+}
+
+func newStreamTally(slots int) *streamTally {
+	return &streamTally{sendAt: make([]int64, slots), done: make(chan struct{})}
+}
+
+// stamp records now as slots [first, first+n)'s send time; a retried
+// push re-stamps, so latency is measured from the attempt that served.
+func (st *streamTally) stamp(first, n int) {
+	now := time.Now().UnixNano()
+	for i := first; i < first+n && i < len(st.sendAt); i++ {
+		atomic.StoreInt64(&st.sendAt[i], now)
+	}
+}
+
+// start subscribes and spawns the reader; it returns once the server
+// has acknowledged the stream (HTTP 200), so advisories for pushes made
+// after start cannot be missed.
+func (st *streamTally) start(c *client, path string) error {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	go st.consume(resp.Body)
+	return nil
+}
+
+func (st *streamTally) consume(body io.ReadCloser) {
+	defer close(st.done)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var event, id, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary: dispatch what accumulated
+			switch event {
+			case "advisory":
+				st.events++
+				if slot, err := strconv.Atoi(id); err == nil && slot >= 0 && slot < len(st.sendAt) {
+					if ns := atomic.LoadInt64(&st.sendAt[slot]); ns > 0 {
+						st.lats = append(st.lats, time.Since(time.Unix(0, ns)))
+					}
+				}
+			case "end":
+				var eb struct {
+					Reason string `json:"reason"`
+				}
+				_ = json.Unmarshal([]byte(data), &eb)
+				st.reason = eb.Reason
+				return
+			}
+			event, id, data = "", "", ""
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+	st.err = sc.Err()
+	if st.err == nil {
+		st.err = fmt.Errorf("stream closed without an end event")
+	}
+}
+
+// wait blocks until the stream's end event (or reader failure), bounded
+// by timeout.
+func (st *streamTally) wait(timeout time.Duration) error {
+	select {
+	case <-st.done:
+		return st.err
+	case <-time.After(timeout):
+		return fmt.Errorf("stream still open %v after the session delete", timeout)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	           [-snapshot-dir DIR] [-workers N] [-shards N]
 //	           [-rate N] [-burst N] [-session-rate N] [-session-burst N]
 //	           [-max-inflight N] [-push-deadline D] [-drain-timeout 30s]
+//	           [-stream-buffer N] [-stream-heartbeat 15s]
 //
 // Endpoints (see the README's "Serving" section for curl examples):
 //
@@ -18,8 +19,19 @@
 //	POST   /v1/sessions/{id}/push       feed one slot {"lambda": 7.5} or a JSON array of slots
 //	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
 //	DELETE /v1/sessions/{id}            close the session
+//	GET    /v1/sessions/{id}/stream     live advisory stream (Server-Sent Events)
 //	GET    /v1/algs                     the algorithm registry
 //	GET    /v1/healthz                  liveness + aggregate counters
+//	GET    /metrics                     Prometheus text exposition
+//
+// The stream endpoint pushes every advisory the session decides as an
+// SSE event the moment it exists; -stream-buffer bounds each
+// subscriber's backlog (a consumer that falls further behind is
+// disconnected with an "end" event, reason "lagged") and
+// -stream-heartbeat paces comment keepalives through idle stretches.
+// /metrics exports the same counters as /v1/healthz plus per-shard
+// occupancy, stream subscriptions, solver memo hit rates, and the full
+// push-latency histogram; see the README's "Observability" section.
 //
 // Sessions idle longer than -idle-evict are checkpointed to the snapshot
 // store (-snapshot-dir for on-disk JSON, in-memory otherwise) and
@@ -67,6 +79,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "concurrent push budget, shed with 503 beyond (0 = unlimited)")
 	pushDeadline := flag.Duration("push-deadline", 0, "per-push deadline, answered with 504 past it (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "overall shutdown-drain deadline; stragglers are logged and abandoned (0 = wait forever)")
+	streamBuffer := flag.Int("stream-buffer", 0, "per-subscriber advisory backlog before a lagging stream is dropped (0 = 256)")
+	streamHeartbeat := flag.Duration("stream-heartbeat", 0, "SSE keepalive comment cadence on idle streams (0 = 15s)")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -74,6 +88,7 @@ func main() {
 		GlobalRate: *rate, GlobalBurst: *burst,
 		SessionRate: *sessionRate, SessionBurst: *sessionBurst,
 		MaxInFlight: *maxInflight, PushDeadline: *pushDeadline,
+		StreamBuffer: *streamBuffer, StreamHeartbeat: *streamHeartbeat,
 	}
 	if *snapshotDir != "" {
 		store, err := serve.NewDirStore(*snapshotDir)

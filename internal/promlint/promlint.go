@@ -1,0 +1,331 @@
+// Package promlint validates Prometheus text exposition (format 0.0.4)
+// without importing the prometheus client libraries. It checks what a
+// scraper would choke on plus the conventions the ecosystem expects:
+//
+//   - every sample line parses (name, optional {labels}, float value)
+//   - metric and label names match the prometheus grammar
+//   - a # TYPE line precedes its metric's samples, at most once, and
+//     samples of one metric are contiguous (no interleaving)
+//   - counters end in _total; histograms expose _bucket/_sum/_count,
+//     their buckets are cumulative, and the +Inf bucket is present and
+//     equals _count
+//
+// The serve tests lint every /metrics scrape through Lint, and
+// scripts/promcheck wraps it for CI's curl | promcheck step.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string // metric name as written (histogram suffixes included)
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// metricState tracks one metric family while linting.
+type metricState struct {
+	typ     string // from # TYPE; "" if untyped
+	done    bool   // a different family's samples have appeared since
+	samples []sample
+}
+
+// Lint reads one exposition from r and returns the first problem found,
+// or nil for a clean scrape.
+func Lint(r io.Reader) error {
+	families := map[string]*metricState{}
+	var order []string
+	var last string
+
+	base := func(name string) string {
+		// Histogram/summary series share a family under the base name.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				if st, exists := families[b]; exists && (st.typ == "histogram" || st.typ == "summary") {
+					return b
+				}
+			}
+		}
+		return name
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	sawAny := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			if !metricNameRe.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in # %s", lineNo, name, kind)
+			}
+			st := families[name]
+			if st == nil {
+				st = &metricState{}
+				families[name] = st
+				order = append(order, name)
+			}
+			if kind == "TYPE" {
+				if st.typ != "" {
+					return fmt.Errorf("line %d: second TYPE line for %q", lineNo, name)
+				}
+				if len(st.samples) > 0 {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					st.typ = rest
+				default:
+					return fmt.Errorf("line %d: unknown type %q for %q", lineNo, rest, name)
+				}
+			}
+			continue
+		}
+
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return err
+		}
+		sawAny = true
+		fam := base(s.name)
+		st := families[fam]
+		if st == nil {
+			st = &metricState{}
+			families[fam] = st
+			order = append(order, fam)
+		}
+		if st.done {
+			return fmt.Errorf("line %d: samples of %q are not contiguous", lineNo, fam)
+		}
+		if last != "" && last != fam {
+			families[last].done = true
+		}
+		last = fam
+		st.samples = append(st.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawAny {
+		return fmt.Errorf("no samples in exposition")
+	}
+
+	for _, name := range order {
+		if err := checkFamily(name, families[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # line into (HELP|TYPE, name, remainder); kind
+// is empty for ordinary comments.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// "# HELP name text..." -> ["", "HELP", "name", "text..."]
+	if len(fields) < 2 {
+		return "", "", "", nil
+	}
+	switch fields[1] {
+	case "HELP", "TYPE":
+		if len(fields) < 3 || fields[2] == "" {
+			return "", "", "", fmt.Errorf("malformed # %s line", fields[1])
+		}
+		kind, name = fields[1], fields[2]
+		if len(fields) == 4 {
+			rest = fields[3]
+		}
+		if kind == "TYPE" && rest == "" {
+			return "", "", "", fmt.Errorf("TYPE line for %q names no type", name)
+		}
+		return kind, name, rest, nil
+	default:
+		return "", "", "", nil
+	}
+}
+
+// parseSample parses `name{l="v",...} value` (timestamp tolerated).
+func parseSample(line string, lineNo int) (sample, error) {
+	s := sample{line: lineNo, labels: nil}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("line %d: no value on sample line %q", lineNo, line)
+	}
+	s.name = rest[:i]
+	if !metricNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set", lineNo)
+		}
+		var err error
+		if s.labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: want `value [timestamp]` after name, got %q", lineNo, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		// The text format spells specials Go's parser already accepts
+		// (+Inf, -Inf, NaN), so any failure is malformed.
+		return s, fmt.Errorf("line %d: bad sample value %q: %v", lineNo, fields[0], err)
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: bad timestamp %q", lineNo, fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no =", body)
+		}
+		name := body[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		body = body[eq+1:]
+		if body == "" || body[0] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		i := 1
+		for ; i < len(body); i++ {
+			if body[i] == '\\' {
+				i++
+				continue
+			}
+			if body[i] == '"' {
+				break
+			}
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("label %q value is unterminated", name)
+		}
+		val := body[1:i]
+		val = strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(val)
+		labels[name] = val
+		body = body[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return labels, nil
+}
+
+// checkFamily applies the per-type conventions.
+func checkFamily(name string, st *metricState) error {
+	if len(st.samples) == 0 {
+		return fmt.Errorf("metric %q has HELP/TYPE but no samples", name)
+	}
+	switch st.typ {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %q does not end in _total", name)
+		}
+		for _, s := range st.samples {
+			if s.value < 0 {
+				return fmt.Errorf("line %d: counter %q is negative", s.line, name)
+			}
+		}
+	case "histogram":
+		return checkHistogram(name, st)
+	}
+	return nil
+}
+
+func checkHistogram(name string, st *metricState) error {
+	var bucketVals []float64
+	var les []float64
+	sum, count := -1.0, -1.0
+	sawInf := false
+	for _, s := range st.samples {
+		switch s.name {
+		case name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket without le label", s.line, name)
+			}
+			if le == "+Inf" {
+				sawInf = true
+				les = append(les, 0)
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", s.line, le)
+				}
+				if sawInf {
+					return fmt.Errorf("line %d: bucket after +Inf", s.line)
+				}
+				les = append(les, v)
+			}
+			bucketVals = append(bucketVals, s.value)
+		case name + "_sum":
+			sum = s.value
+		case name + "_count":
+			count = s.value
+		default:
+			return fmt.Errorf("line %d: sample %q inside histogram %q", s.line, s.name, name)
+		}
+	}
+	if !sawInf {
+		return fmt.Errorf("histogram %q has no +Inf bucket", name)
+	}
+	if count < 0 {
+		return fmt.Errorf("histogram %q has no _count", name)
+	}
+	if sum < 0 && count > 0 {
+		return fmt.Errorf("histogram %q has no _sum", name)
+	}
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			return fmt.Errorf("histogram %q buckets are not cumulative (le=%v)", name, les[i])
+		}
+		if i < len(les) && les[i] != 0 && les[i] <= les[i-1] {
+			return fmt.Errorf("histogram %q le bounds are not increasing", name)
+		}
+	}
+	if inf := bucketVals[len(bucketVals)-1]; inf != count {
+		return fmt.Errorf("histogram %q +Inf bucket %v != _count %v", name, inf, count)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+const good = `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_live_things Things alive now.
+# TYPE app_live_things gauge
+app_live_things{shard="0"} 3
+app_live_things{shard="1"} 0
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.001"} 10
+app_latency_seconds_bucket{le="0.01"} 15
+app_latency_seconds_bucket{le="+Inf"} 20
+app_latency_seconds_sum 0.5
+app_latency_seconds_count 20
+`
+
+func TestLintAcceptsClean(t *testing.T) {
+	if err := Lint(strings.NewReader(good)); err != nil {
+		t.Fatalf("clean exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string // substring of the error
+	}{
+		"empty": {"", "no samples"},
+		"counter without _total": {
+			"# TYPE app_requests counter\napp_requests 1\n", "_total"},
+		"bad metric name": {
+			"app-requests 1\n", "invalid metric name"},
+		"bad value": {
+			"app_requests_total one\n", "bad sample value"},
+		"unterminated labels": {
+			"app_x{shard=\"0\" 1\n", "unterminated"},
+		"duplicate label": {
+			"app_x{a=\"1\",a=\"2\"} 1\n", "duplicate label"},
+		"second TYPE": {
+			"# TYPE app_x gauge\n# TYPE app_x counter\napp_x 1\n", "second TYPE"},
+		"type after samples": {
+			"app_x 1\n# TYPE app_x gauge\n", "after its samples"},
+		"interleaved families": {
+			"app_x 1\napp_y 2\napp_x 3\n", "not contiguous"},
+		"histogram missing +Inf": {
+			"# TYPE app_h histogram\napp_h_bucket{le=\"1\"} 1\napp_h_sum 1\napp_h_count 1\n",
+			"+Inf"},
+		"histogram not cumulative": {
+			"# TYPE app_h histogram\napp_h_bucket{le=\"1\"} 5\napp_h_bucket{le=\"2\"} 3\n" +
+				"app_h_bucket{le=\"+Inf\"} 5\napp_h_sum 1\napp_h_count 5\n",
+			"cumulative"},
+		"histogram inf != count": {
+			"# TYPE app_h histogram\napp_h_bucket{le=\"+Inf\"} 5\napp_h_sum 1\napp_h_count 7\n",
+			"_count"},
+		"histogram missing count": {
+			"# TYPE app_h histogram\napp_h_bucket{le=\"+Inf\"} 5\napp_h_sum 1\n",
+			"no _count"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := Lint(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("lint accepted:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

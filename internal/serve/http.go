@@ -11,41 +11,44 @@ import (
 	"time"
 
 	"repro/internal/engine"
-	"repro/internal/wire"
 )
 
-// The HTTP JSON API over a Manager:
+// The HTTP API over a Manager:
 //
 //	POST   /v1/sessions                 open (or resume from a client checkpoint)
 //	GET    /v1/sessions                 list live sessions
 //	GET    /v1/sessions/{id}            session state
 //	POST   /v1/sessions/{id}/push       feed one slot — or a JSON array of slots
+//	GET    /v1/sessions/{id}/stream     subscribe to the session's advisories (SSE)
 //	POST   /v1/sessions/{id}/checkpoint persist + return the session snapshot
 //	DELETE /v1/sessions/{id}            close the session (flushes semi-online tails)
 //	GET    /v1/algs                     the algorithm registry
 //	GET    /v1/healthz                  liveness + aggregate counters
+//	GET    /metrics                     Prometheus text exposition
 //
-// Every response is JSON; errors are {"error": "..."} with a status from
-// httpStatus. Request bodies are decoded strictly (unknown fields are
-// errors), so client typos fail loudly with 400 instead of serving with
-// defaults. The push endpoint's response shape mirrors the request: a
-// single slot object answers with a single result object, a slot array
-// with a result array (one entry per fed slot, in order). A mid-batch
-// per-slot error keeps the error status but carries the committed
-// slots' results in the body ({"error": ..., "results": [...]}) —
-// batch semantics are exactly those of pushing one at a time, where
-// each committed slot's advisory was delivered before the error.
+// The handlers here are the transport-agnostic core: they own the
+// request/response *semantics* — status codes, error taxonomy,
+// Retry-After, batch partial-commit behavior — and delegate framing to
+// the encoder seam in respond.go, which both the JSON API and the SSE
+// stream transport (sse.go) share. Every JSON response body is
+// identical under the two codecs; errors are {"error": "..."} with a
+// status from httpStatus. Request bodies are decoded strictly (unknown
+// fields are errors), so client typos fail loudly with 400 instead of
+// serving with defaults. The push endpoint's response shape mirrors
+// the request: a single slot object answers with a single result
+// object, a slot array with a result array (one entry per fed slot, in
+// order). A mid-batch per-slot error keeps the error status but
+// carries the committed slots' results in the body
+// ({"error": ..., "results": [...]}) — batch semantics are exactly
+// those of pushing one at a time, where each committed slot's advisory
+// was delivered before the error.
 //
 // Request body buffers and response encoders are pooled (sync.Pool),
 // and the hot path — push in both forms, session info, healthz — runs
-// on the zero-reflection internal/wire codec: the request is scanned in
-// place and the response is appended into a pooled byte slice, with no
-// encoding/json anywhere on a well-formed request. Malformed input
-// falls back to the strict reflection decoder so clients see
-// encoding/json's exact error prose; Options.ReflectCodec routes the
-// whole hot path back through encoding/json (the two are byte-for-byte
-// interchangeable — see internal/wire's package doc). Push bodies are
-// bounded by maxPushBody and answer 413 beyond it.
+// on the zero-reflection internal/wire codec unless Options.ReflectCodec
+// routes it back through encoding/json. Every request body is bounded:
+// pushes by maxPushBody, open/checkpoint-resume bodies by maxOpenBody,
+// both answering 413 beyond the cap.
 
 // maxPushBody bounds a push request body. The largest legitimate bodies
 // are batch pushes — a full 768-slot trace with per-slot counts is
@@ -54,192 +57,138 @@ import (
 // drops oversized ones rather than pinning them).
 const maxPushBody = 1 << 20
 
+// maxOpenBody bounds an open request body. Opens can carry a full
+// client-held checkpoint — a replay log on the order of 50 bytes per
+// slot once the numbers are printed — so the cap is deliberately wider
+// than the push cap: 16 MiB admits a ~300k-slot replay, far past any
+// real session, while still denying a hostile body the unbounded read
+// this path used to do.
+const maxOpenBody = 16 << 20
+
+// api is the transport-agnostic request core: a Manager plus the codec
+// chosen at construction. Handler methods never encode bytes
+// themselves — hot-path responses go through a.enc, cold ones through
+// the shared writeJSON.
+type api struct {
+	m   *Manager
+	enc encoder
+}
+
 // NewHandler wires a Manager into an http.Handler.
 func NewHandler(m *Manager) http.Handler {
-	reflectCodec := m.opts.ReflectCodec
+	a := &api{m: m, enc: codecFor(m.opts)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		var req OpenRequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		info, err := m.Open(req)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, info)
-	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Sessions []SessionInfo `json:"sessions"`
-		}{m.Sessions()})
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := m.Info(r.PathValue("id"))
-		if err != nil {
-			writePushError(w, err, reflectCodec)
-			return
-		}
-		if reflectCodec {
-			writeJSON(w, http.StatusOK, info)
-			return
-		}
-		bp := wireBuf()
-		b, werr := appendSessionInfo(*bp, &info)
-		*bp = b
-		writeWire(w, http.StatusOK, bp, werr)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/push", func(w http.ResponseWriter, r *http.Request) {
-		buf := bodyPool.Get().(*bytes.Buffer)
-		defer putBody(buf)
-		buf.Reset()
-		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxPushBody)); err != nil {
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				writeJSON(w, http.StatusRequestEntityTooLarge,
-					errorBody{fmt.Sprintf("request body exceeds %d bytes", maxPushBody)})
-				return
-			}
-			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
-			return
-		}
-		data := bytes.TrimLeft(buf.Bytes(), " \t\r\n")
-		if len(data) > 0 && data[0] == '[' {
-			// Batch form: an array of slots answers with an array of
-			// results, fed under one session acquire.
-			reqs, ok := decodePushBatch(w, data, reflectCodec)
-			if !ok {
-				return
-			}
-			res, err := m.PushBatchCtx(r.Context(), r.PathValue("id"), reqs)
-			if err != nil {
-				// A mid-batch per-slot error: the slots before it were
-				// committed exactly as repeated single pushes would have,
-				// so their results ride along with the error — the client
-				// must not lose advisories the session already accounted.
-				if len(res) > 0 {
-					if reflectCodec {
-						writeJSON(w, httpStatus(err), batchErrorBody{Error: err.Error(), Results: res})
-						return
-					}
-					bp := wireBuf()
-					b, werr := wire.AppendBatchError(*bp, err.Error(), res)
-					*bp = b
-					writeWire(w, httpStatus(err), bp, werr)
-					return
-				}
-				writePushError(w, err, reflectCodec)
-				return
-			}
-			if reflectCodec {
-				writeJSON(w, http.StatusOK, res)
-				return
-			}
-			bp := wireBuf()
-			b, werr := wire.AppendPushResults(*bp, res)
-			*bp = b
-			writeWire(w, http.StatusOK, bp, werr)
-			return
-		}
-		req, ok := decodePushOne(w, data, reflectCodec)
-		if !ok {
-			return
-		}
-		res, err := m.PushCtx(r.Context(), r.PathValue("id"), req)
-		if err != nil {
-			writePushError(w, err, reflectCodec)
-			return
-		}
-		if reflectCodec {
-			writeJSON(w, http.StatusOK, res)
-			return
-		}
-		bp := wireBuf()
-		b, werr := wire.AppendPushResult(*bp, &res)
-		*bp = b
-		writeWire(w, http.StatusOK, bp, werr)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		snap, err := m.Checkpoint(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, snap)
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		res, err := m.Delete(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("GET /v1/algs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Algorithms []AlgInfo `json:"algorithms"`
-		}{algInfos()})
-	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if reflectCodec {
-			writeJSON(w, http.StatusOK, struct {
-				OK      bool    `json:"ok"`
-				Metrics Metrics `json:"metrics"`
-			}{true, m.Metrics()})
-			return
-		}
-		mt := m.Metrics()
-		bp := wireBuf()
-		b, werr := appendHealthz(*bp, true, &mt)
-		*bp = b
-		writeWire(w, http.StatusOK, bp, werr)
-	})
+	mux.HandleFunc("POST /v1/sessions", a.open)
+	mux.HandleFunc("GET /v1/sessions", a.list)
+	mux.HandleFunc("GET /v1/sessions/{id}", a.info)
+	mux.HandleFunc("POST /v1/sessions/{id}/push", a.push)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", a.streamAdvisories)
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", a.checkpoint)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.delete)
+	mux.HandleFunc("GET /v1/algs", a.algs)
+	mux.HandleFunc("GET /v1/healthz", a.healthz)
+	mux.HandleFunc("GET /metrics", a.promMetrics)
 	return mux
 }
 
-// writePushError answers a manager error on the hot path under the
-// selected codec; both emit the identical {"error":"..."} body.
-func writePushError(w http.ResponseWriter, err error, reflectCodec bool) {
-	if reflectCodec {
+func (a *api) open(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := a.m.Open(req)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeWireError(w, err)
+	writeJSON(w, http.StatusCreated, info)
 }
 
-// decodePushOne decodes a single-slot push body: the wire scanner on
-// the happy path, with a fallback through the strict reflection decoder
-// when the scanner rejects — the input is already known malformed (the
-// codecs accept identical inputs), so the second pass exists purely to
-// reproduce encoding/json's error prose, and reflection cost is paid
-// only on bad requests. It returns by value with a wire-path-only local
-// so the happy path's target stays off the heap; the fallback declares
-// its own, which escapes into encoding/json's any but is reached only
-// on malformed input or under the reference codec.
-func decodePushOne(w http.ResponseWriter, data []byte, reflectCodec bool) (PushRequest, bool) {
-	if !reflectCodec {
-		var req PushRequest
-		if wire.DecodePushRequest(data, &req) == nil {
-			return req, true
-		}
-	}
-	var req PushRequest
-	ok := decodeStrict(w, data, &req)
-	return req, ok
+func (a *api) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}{a.m.Sessions()})
 }
 
-// decodePushBatch is decodePushOne's batch-form twin.
-func decodePushBatch(w http.ResponseWriter, data []byte, reflectCodec bool) ([]PushRequest, bool) {
-	if !reflectCodec {
-		var reqs []PushRequest
-		if wire.DecodePushRequests(data, &reqs) == nil {
-			return reqs, true
-		}
+func (a *api) info(w http.ResponseWriter, r *http.Request) {
+	info, err := a.m.Info(r.PathValue("id"))
+	if err != nil {
+		a.enc.writeErr(w, err)
+		return
 	}
-	var reqs []PushRequest
-	ok := decodeStrict(w, data, &reqs)
-	return reqs, ok
+	a.enc.writeSessionInfo(w, info)
+}
+
+func (a *api) push(w http.ResponseWriter, r *http.Request) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	defer putBody(buf)
+	buf.Reset()
+	if !readBounded(w, r, buf, maxPushBody) {
+		return
+	}
+	data := bytes.TrimLeft(buf.Bytes(), " \t\r\n")
+	if len(data) > 0 && data[0] == '[' {
+		// Batch form: an array of slots answers with an array of
+		// results, fed under one session acquire.
+		reqs, ok := a.enc.decodePushBatch(w, data)
+		if !ok {
+			return
+		}
+		res, err := a.m.PushBatchCtx(r.Context(), r.PathValue("id"), reqs)
+		if err != nil {
+			// A mid-batch per-slot error: the slots before it were
+			// committed exactly as repeated single pushes would have,
+			// so their results ride along with the error — the client
+			// must not lose advisories the session already accounted.
+			if len(res) > 0 {
+				a.enc.writeBatchError(w, err, res)
+				return
+			}
+			a.enc.writeErr(w, err)
+			return
+		}
+		a.enc.writePushResults(w, res)
+		return
+	}
+	req, ok := a.enc.decodePushOne(w, data)
+	if !ok {
+		return
+	}
+	res, err := a.m.PushCtx(r.Context(), r.PathValue("id"), req)
+	if err != nil {
+		a.enc.writeErr(w, err)
+		return
+	}
+	a.enc.writePushResult(w, res)
+}
+
+func (a *api) checkpoint(w http.ResponseWriter, r *http.Request) {
+	snap, err := a.m.Checkpoint(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (a *api) delete(w http.ResponseWriter, r *http.Request) {
+	res, err := a.m.Delete(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *api) algs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Algorithms []AlgInfo `json:"algorithms"`
+	}{algInfos()})
+}
+
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	mt := a.m.Metrics()
+	a.enc.writeHealthz(w, mt)
 }
 
 // AlgInfo is one registry entry as served by GET /v1/algs.
@@ -294,8 +243,10 @@ func httpStatus(err error) int {
 // up to whole seconds — the header's granularity, so never below 1 —
 // or a fixed 1 on the session-cap 429 (ErrSessionLimit), whose true
 // wait depends on another client's delete or the idle janitor and
-// cannot be computed. Both codec paths run through it, so the header
-// set is identical under wire and reflect encoding.
+// cannot be computed. Every error-writing path — writeError,
+// writeWireError, both writeBatchError implementations — runs through
+// it, so the header set is identical under wire and reflect encoding
+// and survives batch partial commits.
 func setRetryAfter(w http.ResponseWriter, err error) {
 	var secs int64
 	if d, ok := RetryAfter(err); ok {
@@ -335,14 +286,31 @@ var encPool = sync.Pool{New: func() any {
 	return e
 }}
 
-// decodeBody strictly decodes a JSON request body, answering 400 itself
-// when it cannot; the caller proceeds only on true.
+// readBounded reads a request body into buf with a hard cap, answering
+// 413 past the cap and 400 on any other read failure; the caller
+// proceeds only on true.
+func readBounded(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, limit int64) bool {
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{fmt.Sprintf("request body exceeds %d bytes", limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// decodeBody strictly decodes a JSON request body — bounded by
+// maxOpenBody — answering 400/413 itself when it cannot; the caller
+// proceeds only on true.
 func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	buf := bodyPool.Get().(*bytes.Buffer)
 	defer putBody(buf)
 	buf.Reset()
-	if _, err := buf.ReadFrom(r.Body); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request body: %v", err)})
+	if !readBounded(w, r, buf, maxOpenBody) {
 		return false
 	}
 	return decodeStrict(w, buf.Bytes(), into)
@@ -380,10 +348,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	e := encPool.Get().(*pooledEncoder)
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
-		// Encoding failed before anything was written: answer a plain 500
+		// Encoding failed before anything was written: answer a clean 500
 		// instead of a torn body.
 		encPool.Put(e)
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		encodeFailure(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -113,6 +113,17 @@ type Options struct {
 	// default 5ms); StoreBackoffCap caps it (default 80ms).
 	StoreBackoff    time.Duration
 	StoreBackoffCap time.Duration
+
+	// StreamBuffer is each advisory subscription's channel capacity —
+	// the slack between the push path producing advisories and an SSE
+	// consumer draining them. A subscriber that falls this far behind
+	// is disconnected (end reason "lagged") rather than allowed to
+	// block or slow pushes. <= 0 means 256.
+	StreamBuffer int
+	// StreamHeartbeat is the cadence of SSE keep-alive comments on an
+	// otherwise idle stream, so proxies and clients can tell a quiet
+	// session from a dead connection; <= 0 means 15s.
+	StreamHeartbeat time.Duration
 }
 
 // OpenRequest describes a session to open. It doubles as the POST
@@ -179,6 +190,11 @@ type liveSession struct {
 	sess     *stream.Session
 	lastUsed time.Time
 	gone     bool
+	// subs are the session's live advisory subscriptions (see
+	// subscribe.go); guarded by mu like the session itself, and always
+	// emptied — every subscriber ended with a reason — before the
+	// session goes away.
+	subs []*Subscriber
 }
 
 // infoLocked snapshots the session's state; callers hold ls.mu (or own
@@ -224,10 +240,11 @@ type Manager struct {
 	// flag — read by every acquire — does not ride the cache line that
 	// liveN write traffic (opens, evictions, deletes, resumes)
 	// invalidates.
-	liveN  atomic.Int64  // resident sessions across all shards (vs MaxSessions)
-	seq    atomic.Uint64 // generated-id sequence
-	_      [48]byte
-	closed atomic.Bool
+	liveN      atomic.Int64  // resident sessions across all shards (vs MaxSessions)
+	seq        atomic.Uint64 // generated-id sequence
+	streamSubs atomic.Int64  // live advisory subscriptions (gauge)
+	_          [40]byte
+	closed     atomic.Bool
 
 	// met is striped in lockstep with shards (see counterStripe).
 	met counters
@@ -257,6 +274,12 @@ func NewManager(opts Options) *Manager {
 	}
 	if opts.StoreBackoffCap <= 0 {
 		opts.StoreBackoffCap = 80 * time.Millisecond
+	}
+	if opts.StreamBuffer <= 0 {
+		opts.StreamBuffer = 256
+	}
+	if opts.StreamHeartbeat <= 0 {
+		opts.StreamHeartbeat = 15 * time.Second
 	}
 	m := &Manager{
 		opts:    opts,
@@ -383,6 +406,7 @@ func (m *Manager) insert(id string, ls *liveSession) error {
 				ls.id = id
 				ls.lastUsed = now
 				sh.live[id] = ls
+				m.stripeFor(id).live.Add(1)
 			}
 		}
 		sh.mu.Unlock()
@@ -441,6 +465,7 @@ func (m *Manager) unlink(ls *liveSession) {
 	if sh.live[ls.id] == ls {
 		delete(sh.live, ls.id)
 		m.liveN.Add(-1)
+		m.stripeFor(ls.id).live.Add(-1)
 	}
 	sh.mu.Unlock()
 }
@@ -552,6 +577,7 @@ func (m *Manager) acquire(ctx context.Context, id string) (*liveSession, error) 
 	ls := &liveSession{id: id}
 	ls.mu.Lock()
 	sh.live[id] = ls
+	m.stripeFor(id).live.Add(1)
 	sh.mu.Unlock()
 
 	sess, snap, types, err := m.resumeFromStore(ctx, id)
@@ -663,6 +689,7 @@ func (m *Manager) pushLocked(ls *liveSession, req PushRequest, res *PushResult) 
 	res.Decided = decided
 	if decided {
 		res.Advisory = adv
+		m.publishLocked(ls, adv)
 	}
 	return nil
 }
@@ -714,7 +741,7 @@ func (m *Manager) PushCtx(ctx context.Context, id string, req PushRequest) (Push
 		return PushResult{}, m.countPushErr(met, err)
 	}
 	met.pushes.Add(1)
-	met.lat.observe(m.nowFn().Sub(start))
+	met.observe(m.nowFn().Sub(start))
 	return res, nil
 }
 
@@ -791,7 +818,7 @@ func (m *Manager) PushBatchCtx(ctx context.Context, id string, reqs []PushReques
 		return out, m.countPushErr(met, perr)
 	}
 	if len(reqs) > 0 {
-		met.lat.observe(m.nowFn().Sub(start))
+		met.observe(m.nowFn().Sub(start))
 	}
 	return out, nil
 }
@@ -853,8 +880,14 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 			continue
 		}
 		advs, cerr := ls.sess.Close()
+		// Subscribers get the flushed semi-online tail — the same
+		// advisories the delete response carries — before the stream ends.
+		for i := range advs {
+			m.publishLocked(ls, &advs[i])
+		}
 		info := ls.infoLocked()
 		ls.gone = true
+		m.closeSubsLocked(ls, StreamEndDeleted)
 		ls.mu.Unlock()
 
 		m.unlink(ls)
@@ -931,6 +964,7 @@ func (m *Manager) evictHoldingBoth(sh *shard, ls *liveSession) error {
 	err := m.saveWithRetry(snap)
 	if err == nil {
 		ls.gone = true
+		m.closeSubsLocked(ls, StreamEndEvicted)
 	}
 	ls.mu.Unlock()
 	if err != nil {
@@ -1090,6 +1124,7 @@ func (m *Manager) Close() error {
 				}
 				ls.gone = true
 			}
+			m.closeSubsLocked(ls, StreamEndDrain)
 			ls.mu.Unlock()
 			m.unlink(ls)
 		}

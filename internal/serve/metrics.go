@@ -38,7 +38,7 @@ type counters struct {
 	stripes []counterStripe
 }
 
-// counterStripe is one registry shard's counter block. The nine hot
+// counterStripe is one registry shard's counter block. The eleven hot
 // words are padded out to whole cache lines before the histogram so the
 // stripe occupies a whole number of lines and adjacent stripes never
 // false-share; TestCounterStripePadding asserts the layout.
@@ -52,8 +52,25 @@ type counterStripe struct {
 	shed    atomic.Uint64
 	timeout atomic.Uint64
 	retries atomic.Uint64
-	_       [56]byte // 72 bytes of counters -> two full 64-byte lines
-	lat     latencyHist
+	// live is this shard's session occupancy, maintained at insert/unlink
+	// so a /metrics scrape can report per-shard gauges without touching
+	// any shard lock.
+	live atomic.Int64
+	// latSumNs accumulates observed push latency for the prometheus
+	// histogram's _sum series; the bucket counts live in lat.
+	latSumNs atomic.Int64
+	_        [40]byte // 88 bytes of counters -> two full 64-byte lines
+	lat      latencyHist
+}
+
+// observe records one push latency on this stripe: the histogram bucket
+// and the running sum, both wait-free.
+func (s *counterStripe) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.latSumNs.Add(int64(d))
+	s.lat.observe(d)
 }
 
 func newCounters(stripes int) counters {

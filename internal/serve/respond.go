@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// encoder is the codec seam between the API core and the bytes on the
+// socket. The handlers in http.go (and the SSE transport in sse.go)
+// decide *what* to answer — status, error taxonomy, Retry-After,
+// response shape — and delegate *how* it is framed to one of the two
+// implementations below. wireEncoder runs the zero-reflection
+// internal/wire codec; reflectEncoder is the encoding/json reference
+// path selected by Options.ReflectCodec. The two are byte-for-byte
+// interchangeable (see internal/wire's package doc); the differential
+// tests run the full API — streams included — under both.
+//
+// Hot-path responses (push in both forms, session info, healthz, SSE
+// data frames) go through the codec-specific methods. Cold responses
+// (open, list, checkpoint, delete, algs) stay on the shared writeJSON,
+// where reflection cost is irrelevant.
+type encoder interface {
+	// writeErr answers a manager error: {"error":"..."} with the
+	// httpStatus mapping and Retry-After on shed responses.
+	writeErr(w http.ResponseWriter, err error)
+	// writeBatchError answers a failed batch push whose leading slots
+	// were committed: the error plus their results, keeping the error's
+	// status — and, like every shed response, its Retry-After header.
+	writeBatchError(w http.ResponseWriter, err error, res []PushResult)
+	// The hot-path single results are passed BY VALUE across this
+	// interface on purpose: a pointer argument to an interface method
+	// cannot be proven non-escaping at the call site, so &local here
+	// would heap-allocate every push/status/healthz — the exact alloc
+	// the wire codec exists to avoid. The copies are small structs.
+	writePushResult(w http.ResponseWriter, res PushResult)
+	writePushResults(w http.ResponseWriter, res []PushResult)
+	writeSessionInfo(w http.ResponseWriter, info SessionInfo)
+	writeHealthz(w http.ResponseWriter, mt Metrics)
+	// appendAdvisory appends one advisory's JSON object (no trailing
+	// newline) — the payload of an SSE data frame.
+	appendAdvisory(dst []byte, adv *stream.Advisory) ([]byte, error)
+	// decodePushOne decodes a single-slot push body, answering the 400
+	// itself on failure; the caller proceeds only on true.
+	decodePushOne(w http.ResponseWriter, data []byte) (PushRequest, bool)
+	// decodePushBatch is decodePushOne's batch-form twin.
+	decodePushBatch(w http.ResponseWriter, data []byte) ([]PushRequest, bool)
+}
+
+// codecFor selects the session's encoder.
+func codecFor(opts Options) encoder {
+	if opts.ReflectCodec {
+		return reflectEncoder{}
+	}
+	return wireEncoder{}
+}
+
+// encodeFailure answers the encode-failed 500. The body is a JSON
+// error object like every other error response, so the Content-Type
+// must say so — http.Error (the previous fallback) stamped text/plain
+// on it, and clients keying dispatch on the header saw a JSON body they
+// were told not to parse.
+func encodeFailure(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = io.WriteString(w, "{\"error\":\"response encoding failed\"}\n")
+}
+
+// wireEncoder frames responses with the zero-reflection appenders:
+// pooled byte slices, no encoding/json anywhere on a well-formed
+// request. Malformed push input falls back to the strict reflection
+// decoder so clients see encoding/json's exact error prose; the
+// reflection cost is paid only on bad requests.
+type wireEncoder struct{}
+
+func (wireEncoder) writeErr(w http.ResponseWriter, err error) {
+	writeWireError(w, err)
+}
+
+func (wireEncoder) writeBatchError(w http.ResponseWriter, err error, res []PushResult) {
+	setRetryAfter(w, err)
+	bp := wireBuf()
+	b, werr := wire.AppendBatchError(*bp, err.Error(), res)
+	*bp = b
+	writeWire(w, httpStatus(err), bp, werr)
+}
+
+func (wireEncoder) writePushResult(w http.ResponseWriter, res PushResult) {
+	bp := wireBuf()
+	b, werr := wire.AppendPushResult(*bp, &res)
+	*bp = b
+	writeWire(w, http.StatusOK, bp, werr)
+}
+
+func (wireEncoder) writePushResults(w http.ResponseWriter, res []PushResult) {
+	bp := wireBuf()
+	b, werr := wire.AppendPushResults(*bp, res)
+	*bp = b
+	writeWire(w, http.StatusOK, bp, werr)
+}
+
+func (wireEncoder) writeSessionInfo(w http.ResponseWriter, info SessionInfo) {
+	bp := wireBuf()
+	b, werr := appendSessionInfo(*bp, &info)
+	*bp = b
+	writeWire(w, http.StatusOK, bp, werr)
+}
+
+func (wireEncoder) writeHealthz(w http.ResponseWriter, mt Metrics) {
+	bp := wireBuf()
+	b, werr := appendHealthz(*bp, true, &mt)
+	*bp = b
+	writeWire(w, http.StatusOK, bp, werr)
+}
+
+func (wireEncoder) appendAdvisory(dst []byte, adv *stream.Advisory) ([]byte, error) {
+	return wire.AppendAdvisory(dst, adv)
+}
+
+// decodePushOne decodes with the wire scanner on the happy path and
+// falls back through the strict reflection decoder when the scanner
+// rejects — the input is already known malformed (the codecs accept
+// identical inputs), so the second pass exists purely to reproduce
+// encoding/json's error prose. It returns by value with a
+// wire-path-only local so the happy path's target stays off the heap;
+// the fallback declares its own, which escapes into encoding/json's
+// any but is reached only on malformed input.
+func (wireEncoder) decodePushOne(w http.ResponseWriter, data []byte) (PushRequest, bool) {
+	var req PushRequest
+	if wire.DecodePushRequest(data, &req) == nil {
+		return req, true
+	}
+	var slow PushRequest
+	ok := decodeStrict(w, data, &slow)
+	return slow, ok
+}
+
+func (wireEncoder) decodePushBatch(w http.ResponseWriter, data []byte) ([]PushRequest, bool) {
+	var reqs []PushRequest
+	if wire.DecodePushRequests(data, &reqs) == nil {
+		return reqs, true
+	}
+	var slow []PushRequest
+	ok := decodeStrict(w, data, &slow)
+	return slow, ok
+}
+
+// reflectEncoder is the encoding/json reference implementation.
+type reflectEncoder struct{}
+
+func (reflectEncoder) writeErr(w http.ResponseWriter, err error) {
+	writeError(w, err)
+}
+
+func (reflectEncoder) writeBatchError(w http.ResponseWriter, err error, res []PushResult) {
+	setRetryAfter(w, err)
+	writeJSON(w, httpStatus(err), batchErrorBody{Error: err.Error(), Results: res})
+}
+
+func (reflectEncoder) writePushResult(w http.ResponseWriter, res PushResult) {
+	writeJSON(w, http.StatusOK, &res)
+}
+
+func (reflectEncoder) writePushResults(w http.ResponseWriter, res []PushResult) {
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (reflectEncoder) writeSessionInfo(w http.ResponseWriter, info SessionInfo) {
+	writeJSON(w, http.StatusOK, &info)
+}
+
+func (reflectEncoder) writeHealthz(w http.ResponseWriter, mt Metrics) {
+	writeJSON(w, http.StatusOK, struct {
+		OK      bool    `json:"ok"`
+		Metrics Metrics `json:"metrics"`
+	}{true, mt})
+}
+
+func (reflectEncoder) appendAdvisory(dst []byte, adv *stream.Advisory) ([]byte, error) {
+	b, err := json.Marshal(adv)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+func (reflectEncoder) decodePushOne(w http.ResponseWriter, data []byte) (PushRequest, bool) {
+	var req PushRequest
+	ok := decodeStrict(w, data, &req)
+	return req, ok
+}
+
+func (reflectEncoder) decodePushBatch(w http.ResponseWriter, data []byte) ([]PushRequest, bool) {
+	var reqs []PushRequest
+	ok := decodeStrict(w, data, &reqs)
+	return reqs, ok
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"repro/internal/stream"
+)
+
+// Advisory subscriptions: the server-push counterpart of polling push
+// responses. A Subscriber is registered on a live session (resuming it
+// from the store first if needed, exactly like a push) and receives
+// every advisory the session decides from that point on, in decision
+// order — the same *stream.Advisory values the push responses carry,
+// so a subscribed client and a polling client see bit-identical
+// advisories (the SSE differential test proves it).
+//
+// Delivery is strictly non-blocking for the push path: pushLocked
+// hands the advisory to each subscriber's buffered channel under the
+// session lock it already holds, and a subscriber whose buffer is full
+// is disconnected (reason "lagged") instead of ever making a push
+// wait. Subscriptions end exactly once, with a reason, whenever the
+// session stops being resident: eviction ("evicted" — the client
+// reconnects and the resume is transparent), deletion ("deleted",
+// after the flushed semi-online tail advisories are delivered), and
+// manager shutdown ("drain").
+
+// Stream end reasons, as reported in the SSE end frame.
+const (
+	StreamEndEvicted = "evicted" // checkpointed to the store; reconnect resumes
+	StreamEndDeleted = "deleted" // session closed; tail advisories were delivered
+	StreamEndDrain   = "drain"   // manager shutting down
+	StreamEndLagged  = "lagged"  // subscriber fell StreamBuffer behind
+	StreamEndClient  = "unsubscribed"
+)
+
+// Subscriber is one live advisory subscription.
+type Subscriber struct {
+	// C delivers the session's advisories in decision order. It is
+	// closed when the subscription ends; Reason then says why.
+	C <-chan *stream.Advisory
+
+	ch     chan *stream.Advisory
+	ls     *liveSession
+	reason string // written under ls.mu before ch is closed
+	closed bool   // guarded by ls.mu
+}
+
+// Reason reports why the subscription ended. Valid only after C is
+// closed (the close is the synchronization point that publishes it).
+func (s *Subscriber) Reason() string { return s.reason }
+
+// Subscribe registers a subscriber on the session, transparently
+// resuming it from the store like any push would. Unknown ids fail
+// with ErrUnknownSession; the session-cap and closed-manager errors
+// are the same as a push's.
+func (m *Manager) Subscribe(id string) (*Subscriber, error) {
+	var sub *Subscriber
+	err := m.withSession(id, func(ls *liveSession) {
+		ch := make(chan *stream.Advisory, m.opts.StreamBuffer)
+		sub = &Subscriber{C: ch, ch: ch, ls: ls}
+		ls.subs = append(ls.subs, sub)
+		m.streamSubs.Add(1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Unsubscribe ends a subscription from the consumer side (client
+// disconnect). Safe to call after the subscription already ended for
+// another reason — ending is exactly-once.
+func (m *Manager) Unsubscribe(sub *Subscriber) {
+	ls := sub.ls
+	ls.mu.Lock()
+	if !sub.closed {
+		sub.endLocked(m, StreamEndClient)
+		for i, s := range ls.subs {
+			if s == sub {
+				last := len(ls.subs) - 1
+				ls.subs[i] = ls.subs[last]
+				ls.subs[last] = nil
+				ls.subs = ls.subs[:last]
+				break
+			}
+		}
+	}
+	ls.mu.Unlock()
+}
+
+// endLocked ends the subscription exactly once: reason first, then the
+// channel close that publishes it. Callers hold ls.mu.
+func (s *Subscriber) endLocked(m *Manager, reason string) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.reason = reason
+	close(s.ch)
+	m.streamSubs.Add(-1)
+}
+
+// publishLocked fans one decided advisory out to the session's
+// subscribers. Callers hold ls.mu. The send never blocks: a full
+// buffer disconnects that subscriber ("lagged") so a stalled consumer
+// costs itself, not the push path or the other subscribers.
+func (m *Manager) publishLocked(ls *liveSession, adv *stream.Advisory) {
+	if len(ls.subs) == 0 {
+		return
+	}
+	keep := ls.subs[:0]
+	for _, sub := range ls.subs {
+		select {
+		case sub.ch <- adv:
+			keep = append(keep, sub)
+		default:
+			sub.endLocked(m, StreamEndLagged)
+		}
+	}
+	for i := len(keep); i < len(ls.subs); i++ {
+		ls.subs[i] = nil
+	}
+	ls.subs = keep
+}
+
+// closeSubsLocked ends every subscription on the session with one
+// reason. Callers hold ls.mu; the teardown paths (evict, delete,
+// drain) run it before the session pointer goes stale so no subscriber
+// is ever left on a dead session.
+func (m *Manager) closeSubsLocked(ls *liveSession, reason string) {
+	for i, sub := range ls.subs {
+		sub.endLocked(m, reason)
+		ls.subs[i] = nil
+	}
+	ls.subs = ls.subs[:0]
+}

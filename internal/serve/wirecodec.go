@@ -36,12 +36,12 @@ func putWireBuf(bp *[]byte) {
 // writeWire finishes a response whose body was wire-encoded into *bp,
 // appending the trailing newline json.Encoder emits so the two codecs
 // stay byte-identical on the socket. err is the encode error, if any;
-// it answers the same plain 500 as writeJSON's encode-failure path.
+// it answers the same JSON 500 as writeJSON's encode-failure path.
 // The buffer is recycled in all cases.
 func writeWire(w http.ResponseWriter, status int, bp *[]byte, err error) {
 	if err != nil {
 		putWireBuf(bp)
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		encodeFailure(w)
 		return
 	}
 	*bp = append(*bp, '\n')

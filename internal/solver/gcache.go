@@ -80,11 +80,25 @@ type gcacheShard struct {
 	_             [16]byte // 48 bytes of fields -> one full cache line
 }
 
+// gcacheStats is one shard's hit/miss tally, padded to a whole cache
+// line: the counters are written on every lookup, so if they shared a
+// line with a neighbouring shard's counters (or with the read-hot
+// generation pointer) the write traffic would reintroduce exactly the
+// cross-core sharing the sharded memo exists to avoid. They live in a
+// parallel array, not inside gcacheShard, so the shard's generation
+// pointer stays on a line that hit-path writes never touch.
+type gcacheStats struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	_      [48]byte // 16 bytes of counters -> one full 64-byte line
+}
+
 // gMemo is the sharded layer memo. The zero shard count is invalid; use
 // newGMemo. Shard selection reuses the signature's FNV-1a digest: the
 // digest's low bits pick the stripe, the full digest keys the map inside.
 type gMemo struct {
 	shards []gcacheShard
+	stats  []gcacheStats // indexed in lockstep with shards
 	mask   uint64
 	budget int // per-shard float budget
 }
@@ -98,6 +112,7 @@ type gMemo struct {
 func newGMemo(shards, totalFloats int) *gMemo {
 	return &gMemo{
 		shards: make([]gcacheShard, shards),
+		stats:  make([]gcacheStats, shards),
 		mask:   uint64(shards - 1),
 		budget: totalFloats / shards,
 	}
@@ -252,9 +267,11 @@ func gcacheGet(sig *gcacheSig) ([]float64, bool) {
 
 func (c *gMemo) get(sig *gcacheSig) ([]float64, bool) {
 	sh := &c.shards[sig.hash&c.mask]
+	st := &c.stats[sig.hash&c.mask]
 	if gen := sh.cur.Load(); gen != nil {
 		for e := gen.m[sig.hash]; e != nil; e = e.next {
 			if e.sig.equal(sig) {
+				st.hits.Add(1)
 				return e.g, true
 			}
 		}
@@ -264,11 +281,29 @@ func (c *gMemo) get(sig *gcacheSig) ([]float64, bool) {
 		if e.sig.hash == sig.hash && e.sig.equal(sig) {
 			g := e.g
 			sh.mu.Unlock()
+			st.hits.Add(1)
 			return g, true
 		}
 	}
 	sh.mu.Unlock()
+	st.misses.Add(1)
 	return nil, false
+}
+
+// MemoStats reports the process-global layer memo's lifetime lookup
+// tally: hits (the layer vector was served from cache) and misses (it
+// had to be computed; unmemoisable slots — custom cost-function
+// implementations — are not lookups and count in neither). The counters
+// are striped with the memo's shards and read without locks, so a
+// metrics scrape never contends with the DP hot path. Serving-tier
+// exporters (internal/serve's /metrics endpoint) surface these.
+func MemoStats() (hits, misses uint64) {
+	c := gcache
+	for i := range c.stats {
+		hits += c.stats[i].hits.Load()
+		misses += c.stats[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // gcachePut stores a layer under sig, copying the key material and the

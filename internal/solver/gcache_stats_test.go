@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/costfn"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// The stats stripes must stay whole cache lines (the same false-sharing
+// argument as the shards themselves; see gcacheStats).
+func TestGCacheStatsPadding(t *testing.T) {
+	if s := unsafe.Sizeof(gcacheStats{}); s%64 != 0 {
+		t.Errorf("gcacheStats is %d bytes, not a multiple of the 64-byte cache line", s)
+	}
+}
+
+// MemoStats counts every memoisable lookup exactly once: a cold solve of
+// a periodic trace records misses for the distinct layers and hits for
+// the repeats, and a second identical solve is all hits. The tally must
+// track the swapped memo instance, not a stale one.
+func TestMemoStats(t *testing.T) {
+	swapGcache(t, gcacheShards, gcacheMaxFloats)
+
+	ins := &model.Instance{
+		Types: []model.ServerType{
+			{Name: "a", Count: 6, SwitchCost: 2, MaxLoad: 1,
+				Cost: model.Static{F: costfn.Power{Idle: 1, Coef: 0.5, Exp: 2}}},
+			{Name: "b", Count: 3, SwitchCost: 8, MaxLoad: 4,
+				Cost: model.Static{F: costfn.Affine{Idle: 3, Rate: 0.4}}},
+		},
+		Lambda: workload.Diurnal(24, 2, 10, 8, 0),
+	}
+	h0, m0 := MemoStats()
+	if h0 != 0 || m0 != 0 {
+		t.Fatalf("fresh memo reports hits=%d misses=%d, want 0, 0", h0, m0)
+	}
+
+	if _, err := Solve(ins, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := MemoStats()
+	if m1 == 0 {
+		t.Fatalf("cold solve recorded no misses (hits=%d misses=%d)", h1, m1)
+	}
+	if h1+m1 < 24 {
+		t.Fatalf("24-slot solve recorded only %d lookups", h1+m1)
+	}
+	if h1 == 0 {
+		t.Fatalf("periodic trace recorded no hits (misses=%d); layer reuse is broken", m1)
+	}
+
+	if _, err := Solve(ins, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := MemoStats()
+	if m2 != m1 {
+		t.Errorf("warm solve recorded %d new misses, want 0", m2-m1)
+	}
+	if h2 <= h1 {
+		t.Errorf("warm solve recorded no hits (hits %d -> %d)", h1, h2)
+	}
+}

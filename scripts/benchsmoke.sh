@@ -202,6 +202,37 @@ if [ "$acur_allocs" -gt 0 ]; then
   exit 1
 fi
 
+# ---- /metrics scrape (lock-free exporter) ----
+# Like the admission accept path, the exporter is gated on allocations
+# at exactly 0, not a ratio: appendPromText writes into the caller's
+# reused buffer from atomic loads only, so any allocation means the
+# exporter grew per-scrape intermediate state. ns/op is additionally
+# gated at the coarse 2x — the scrape runs on every prometheus poll and
+# must stay microseconds even with all 256 histogram buckets folded.
+mout="$(go test -run '^$' -bench 'BenchmarkMetricsScrape$' -benchtime 10000x -benchmem ./internal/serve )"
+echo "$mout"
+
+mcur_ns="$(echo "$mout" | awk '/^BenchmarkMetricsScrape(-[0-9]+)? / {print int($3)}')"
+mcur_allocs="$(echo "$mout" | awk '/^BenchmarkMetricsScrape(-[0-9]+)? / {print int($7)}')"
+if [ -z "$mcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkMetricsScrape output" >&2
+  exit 1
+fi
+
+mbase_ns="$(baseline BENCH_serve.json BenchmarkMetricsScrape ns_per_op)"
+
+echo "benchsmoke: metrics-scrape ns/op current=$mcur_ns baseline=$mbase_ns (limit 2x)"
+echo "benchsmoke: metrics-scrape allocs/op current=$mcur_allocs (limit: exactly 0)"
+
+if [ "$mcur_ns" -gt "$((mbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — /metrics scrape regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$mcur_allocs" -gt 0 ]; then
+  echo "benchsmoke: FAIL — /metrics scrape allocates ($mcur_allocs allocs/op, must be 0)" >&2
+  exit 1
+fi
+
 # ---- solver layer-eval microbench (recorded, informational) ----
 lout="$(go test -run '^$' -bench 'BenchmarkLayerEval' -benchtime 10x -benchmem ./internal/solver )"
 echo "$lout"

@@ -1,0 +1,24 @@
+// Command promcheck lints a Prometheus text exposition read from stdin
+// (internal/promlint's checks: parseable samples, naming conventions,
+// typed families, cumulative histograms). CI pipes the daemon demo's
+// /metrics scrape through it:
+//
+//	curl -sf http://localhost:8080/metrics | go run ./scripts/promcheck
+//
+// Exit status 0 means clean; 1 prints the first problem found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/promlint"
+)
+
+func main() {
+	if err := promlint.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: exposition OK")
+}
