@@ -6,7 +6,7 @@
 //
 //	loadgen [-url http://127.0.0.1:8080] [-sessions 16] [-slots 512]
 //	        [-batch 1] [-alg alg-b] [-fleet quickstart] [-seed 1]
-//	        [-retries 8] [-subscribe]
+//	        [-retries 8] [-subscribe] [-ack-file FILE]
 //	        [-overload] [-offered 2000] [-steps 5] [-step 2s]
 //
 // One goroutine per session opens a fresh session, pushes -slots demand
@@ -36,6 +36,15 @@
 // delivery" line with event counts and p50/p90/p99, and every stream
 // must terminate with the server's end event (reason "deleted", fired
 // by the session delete) or the run reports it.
+//
+// -ack-file turns loadgen into the load half of a crash harness (see
+// the README's "Durability" section): every session's acknowledged
+// (2xx) slot count is written to FILE as "id count" lines, sessions are
+// left open instead of deleted, and the daemon dying mid-push — the
+// whole point of a kill test — ends the run cleanly instead of
+// aborting it. After restarting the daemon, compare each session's
+// recovered fed count against the file: with -wal-sync always, fed must
+// be at least the acknowledged count for every session.
 //
 // -overload switches to the saturation probe: instead of a fixed slot
 // budget it paces an aggregate offered load starting at -offered
@@ -91,6 +100,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "scenario seed")
 	retries := flag.Int("retries", 8, "retry budget per push for shed (429/503) and timed-out (504) responses")
 	subscribe := flag.Bool("subscribe", false, "attach one SSE advisory consumer per session and report delivery latency")
+	ackFile := flag.String("ack-file", "", "crash-harness mode: record per-session acked slot counts here, keep sessions open, tolerate daemon death")
 	overload := flag.Bool("overload", false, "saturation probe: pace offered load past the knee instead of pushing a slot budget")
 	offered := flag.Float64("offered", 2000, "overload mode: first step's offered load, slots/sec")
 	steps := flag.Int("steps", 5, "overload mode: number of load-doubling steps")
@@ -98,6 +108,9 @@ func main() {
 	flag.Parse()
 	if *sessions < 1 || *slots < 1 || *batch < 1 {
 		log.Fatal("-sessions, -slots and -batch must all be >= 1")
+	}
+	if *ackFile != "" && (*subscribe || *overload) {
+		log.Fatal("-ack-file is a crash harness; it does not combine with -subscribe or -overload")
 	}
 
 	sc, ok := rightsizing.LookupScenario(*fleet)
@@ -127,6 +140,10 @@ func main() {
 			subs[i] = newStreamTally(*slots)
 		}
 	}
+	ids := make([]string, *sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i)
+	}
 	var wg sync.WaitGroup
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -139,7 +156,7 @@ func main() {
 			if subs != nil {
 				st = subs[i]
 			}
-			results[i] = driveSession(cl, fmt.Sprintf("loadgen-%d-%03d", os.Getpid(), i), *alg, *fleet, *seed, trace, *slots, *batch, *retries, st)
+			results[i] = driveSession(cl, ids[i], *alg, *fleet, *seed, trace, *slots, *batch, *retries, st, *ackFile != "")
 		}(i)
 	}
 	wg.Wait()
@@ -148,11 +165,32 @@ func main() {
 	runtime.ReadMemStats(&after)
 
 	var sum tally
+	interrupted := 0
 	for i := range results {
 		if results[i].err != nil {
 			log.Fatalf("session %d: %v", i, results[i].err)
 		}
+		if results[i].interrupted {
+			interrupted++
+		}
 		sum.add(&results[i])
+	}
+	// The ack file is the durability ledger: write it before any summary
+	// so a crash-harness checker always finds it, even if the run was
+	// cut short enough that the statistics below have nothing to say.
+	if *ackFile != "" {
+		var ledger strings.Builder
+		for i := range ids {
+			fmt.Fprintf(&ledger, "%s %d\n", ids[i], results[i].acked)
+		}
+		if err := os.WriteFile(*ackFile, []byte(ledger.String()), 0o644); err != nil {
+			log.Fatalf("writing -ack-file: %v", err)
+		}
+		fmt.Printf("acked %d slots across %d sessions (%d interrupted by daemon death) -> %s\n",
+			sum.acked, *sessions, interrupted, *ackFile)
+		if len(sum.lats) == 0 {
+			return
+		}
 	}
 	sort.Slice(sum.lats, func(i, j int) bool { return sum.lats[i] < sum.lats[j] })
 	q := func(p float64) time.Duration {
@@ -163,6 +201,9 @@ func main() {
 		return sum.lats[i]
 	}
 	total := *sessions * *slots
+	if *ackFile != "" {
+		total = sum.acked // an interrupted run pushed only what was acked
+	}
 	fmt.Printf("sessions=%d slots/session=%d batch=%d\n", *sessions, *slots, *batch)
 	fmt.Printf("pushed %d slots in %v: %.0f slots/sec aggregate (%d served HTTP pushes)\n",
 		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(), len(sum.lats))
@@ -214,17 +255,20 @@ func main() {
 
 // tally is one worker's (or the aggregate) outcome breakdown.
 type tally struct {
-	lats       []time.Duration // served pushes only
-	throttled  int             // 429 responses
-	overloaded int             // 503 responses
-	shedWithRA int             // shed responses that carried Retry-After
-	timeouts   int             // 504 responses
-	retried    int             // total retry attempts
-	err        error
+	lats        []time.Duration // served pushes only
+	acked       int             // slots acknowledged with 2xx
+	throttled   int             // 429 responses
+	overloaded  int             // 503 responses
+	shedWithRA  int             // shed responses that carried Retry-After
+	timeouts    int             // 504 responses
+	retried     int             // total retry attempts
+	interrupted bool            // the daemon died under us (-ack-file mode only)
+	err         error
 }
 
 func (t *tally) add(o *tally) {
 	t.lats = append(t.lats, o.lats...)
+	t.acked += o.acked
 	t.throttled += o.throttled
 	t.overloaded += o.overloaded
 	t.shedWithRA += o.shedWithRA
@@ -265,7 +309,7 @@ func (t *tally) classify(o pushOutcome) (retryable bool) {
 // open and before the first push — a subscription only sees advisories
 // published after it exists — and every push attempt stamps its slots'
 // send times so the consumer can measure delivery latency.
-func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch, retries int, st *streamTally) (res tally) {
+func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64, slots, batch, retries int, st *streamTally, keep bool) (res tally) {
 	open := serve.OpenRequest{ID: id, Alg: alg}
 	open.Fleet.Scenario = fleet
 	open.Fleet.Seed = seed
@@ -273,11 +317,13 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 		res.err = err
 		return
 	}
-	defer func() {
-		if err := cl.call("DELETE", "/v1/sessions/"+id, nil, nil); err != nil && res.err == nil {
-			res.err = err
-		}
-	}()
+	if !keep {
+		defer func() {
+			if err := cl.call("DELETE", "/v1/sessions/"+id, nil, nil); err != nil && res.err == nil {
+				res.err = err
+			}
+		}()
+	}
 	if st != nil {
 		if err := st.start(cl, "/v1/sessions/"+id+"/stream"); err != nil {
 			res.err = err
@@ -314,11 +360,20 @@ func driveSession(cl *client, id, alg, fleet string, seed int64, trace []float64
 			t0 := time.Now()
 			o, err := cl.push(path, w)
 			if err != nil {
+				// A transport error is the daemon gone mid-request. In
+				// crash-harness mode that is the experiment, not a failure:
+				// the push was never acknowledged, so it simply isn't
+				// counted, and the run ends here for this session.
+				if keep {
+					res.interrupted = true
+					return
+				}
 				res.err = err
 				return
 			}
 			if o.status < 300 {
 				res.lats = append(res.lats, time.Since(t0))
+				res.acked += len(reqs)
 				break
 			}
 			if !res.classify(o) || attempt >= retries {

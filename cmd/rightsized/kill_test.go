@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// TestKillRecovery is the real-process crash test: it builds the
+// rightsized binary, runs it with -wal-dir and -wal-sync always, drives
+// HTTP sessions while counting every acknowledged (2xx) push, SIGKILLs
+// the daemon mid-load, restarts it over the same directories, and
+// asserts the durability contract the flags advertise — no acknowledged
+// slot is lost, and every recovered session continues bit-identically
+// to an uninterrupted serial feed.
+func TestKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real daemon process")
+	}
+	bin := buildDaemon(t)
+	work := t.TempDir()
+	snapDir := filepath.Join(work, "snaps")
+	walDir := filepath.Join(work, "wal")
+
+	const sessions = 3
+	sc, ok := engine.Lookup("quickstart")
+	if !ok {
+		t.Fatal("quickstart scenario missing")
+	}
+	ins := sc.Instance(1)
+
+	d := startDaemon(t, bin, snapDir, walDir)
+
+	// One pusher per session feeds slots one at a time, counting each
+	// 2xx ack. A transport error is the daemon dying underneath us —
+	// expected, that is the test — so the pusher just stops.
+	ids := make([]string, sessions)
+	var acked [sessions]atomic.Int64
+	var wg sync.WaitGroup
+	var totalAcked atomic.Int64
+	for i := 0; i < sessions; i++ {
+		ids[i] = fmt.Sprintf("kill-%d", i)
+		openSession(t, d.url, ids[i])
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for slot := 0; ; slot++ {
+				lam := ins.Lambda[slot%len(ins.Lambda)]
+				body, _ := json.Marshal(serve.PushRequest{Lambda: lam})
+				resp, err := http.Post(d.url+"/v1/sessions/"+ids[i]+"/push", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // daemon is gone
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 300 {
+					t.Errorf("session %s push %d: HTTP %d", ids[i], slot+1, resp.StatusCode)
+					return
+				}
+				acked[i].Add(1)
+				totalAcked.Add(1)
+			}
+		}(i)
+	}
+
+	// Let every session bank some acknowledged slots, then kill the
+	// process dead — no drain, no checkpoint, the hard-stop a power cut
+	// or OOM kill delivers.
+	deadline := time.Now().Add(20 * time.Second)
+	for totalAcked.Load() < sessions*5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d slots acked before deadline", totalAcked.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	wg.Wait()
+	err := d.cmd.Wait()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("daemon exit = %v, want SIGKILL", err)
+	}
+	if t.Failed() {
+		t.Fatalf("pushes failed before the kill\ndaemon log:\n%s", d.logs())
+	}
+
+	// Restart over the same dirs: startup recovery folds each WAL into
+	// the snapshot store before traffic is served.
+	d2 := startDaemon(t, bin, snapDir, walDir)
+	for i := 0; i < sessions; i++ {
+		var info serve.SessionInfo
+		getJSON(t, d2.url+"/v1/sessions/"+ids[i], &info)
+		want := int(acked[i].Load())
+		if info.Fed < want {
+			t.Fatalf("session %s recovered with fed=%d, lost %d acknowledged slot(s)\nrecovery log:\n%s",
+				ids[i], info.Fed, want-info.Fed, d2.logs())
+		}
+		// fed may exceed acked by the in-flight push the kill cut off —
+		// it reached the WAL, its ack did not reach us. Never by more.
+		if info.Fed > want+1 {
+			t.Fatalf("session %s recovered with fed=%d, acked only %d", ids[i], info.Fed, want)
+		}
+
+		// Bit-identical continuation: an uninterrupted serial session fed
+		// the same prefix agrees exactly on decided count and cumulative
+		// cost, and the recovered session keeps accepting from fed+1.
+		ref, err := engine.OpenSession("alg-b", ins.Types, stream.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var adv stream.Advisory
+		for s := 0; s < info.Fed; s++ {
+			if _, err := ref.Push(model.SlotInput{Lambda: ins.Lambda[s%len(ins.Lambda)]}, &adv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if info.Decided != ref.Decided() || info.CumCost != ref.CumCost() {
+			t.Fatalf("session %s recovered at decided=%d cost=%v, serial feed of %d slots gives decided=%d cost=%v",
+				ids[i], info.Decided, info.CumCost, info.Fed, ref.Decided(), ref.CumCost())
+		}
+		next := serve.PushRequest{Lambda: ins.Lambda[info.Fed%len(ins.Lambda)]}
+		body, _ := json.Marshal(next)
+		resp, err := http.Post(d2.url+"/v1/sessions/"+ids[i]+"/push", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			t.Fatalf("session %s push after recovery: HTTP %d", ids[i], resp.StatusCode)
+		}
+	}
+	if !strings.Contains(d2.logs(), "wal recovery: recovered") {
+		t.Fatalf("restart did not log a recovery report:\n%s", d2.logs())
+	}
+	d2.stop(t)
+}
+
+// daemon is one running rightsized process under test.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+	out *lockedBuf
+}
+
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func (d *daemon) logs() string { return d.out.String() }
+
+// stop shuts the daemon down gracefully and waits for it.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v\n%s", err, d.logs())
+	}
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rightsized")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on a fresh loopback port with the WAL
+// at full durability and waits until /v1/healthz answers.
+func startDaemon(t *testing.T, bin, snapDir, walDir string) *daemon {
+	t.Helper()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-snapshot-dir", snapDir,
+		"-wal-dir", walDir,
+		"-wal-sync", "always",
+		"-idle-evict", "0",
+		"-drain-timeout", "5s",
+	)
+	out := &lockedBuf{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	d := &daemon{cmd: cmd, url: "http://" + addr, out: out}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(d.url + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy at %s:\n%s", addr, d.logs())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// freePort grabs an ephemeral loopback port and releases it for the
+// daemon to bind. The tiny reuse race is acceptable in a test.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+func openSession(t *testing.T, url, id string) {
+	t.Helper()
+	open := serve.OpenRequest{ID: id, Alg: "alg-b"}
+	open.Fleet.Scenario = "quickstart"
+	open.Fleet.Seed = 1
+	body, _ := json.Marshal(open)
+	resp, err := http.Post(url+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("open %s: HTTP %d", id, resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

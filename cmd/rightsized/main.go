@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rightsized [-addr :8080] [-max-sessions 256] [-idle-evict 10m]
-//	           [-snapshot-dir DIR] [-workers N] [-shards N]
+//	           [-snapshot-dir DIR] [-wal-dir DIR] [-wal-sync always]
+//	           [-wal-sync-interval 100ms] [-workers N] [-shards N]
 //	           [-rate N] [-burst N] [-session-rate N] [-session-burst N]
 //	           [-max-inflight N] [-push-deadline D] [-drain-timeout 30s]
 //	           [-stream-buffer N] [-stream-heartbeat 15s]
@@ -41,6 +42,15 @@
 // bounds the whole drain, abandoning stragglers rather than hanging
 // shutdown on a wedged store.
 //
+// -wal-dir additionally write-ahead-logs every accepted slot before the
+// algorithm sees it, closing the crash window a graceful drain cannot:
+// after a SIGKILL or power cut the next start scans the WAL dir, rebuilds
+// each session as snapshot + log delta, and re-checkpoints it — with
+// -wal-sync always, no acknowledged slot is ever lost. -wal-sync interval
+// groups fsyncs at -wal-sync-interval; -wal-sync never leaves durability
+// to the page cache (survives process death, not power loss). See the
+// README's "Durability" section for the full survives-what matrix.
+//
 // Overload control (see the README's "Reliability" section): -rate/-burst
 // bound admitted slots/sec globally, -session-rate/-session-burst per
 // session, and -max-inflight caps concurrent pushes. Requests beyond a
@@ -60,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -70,6 +81,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 256, "live session limit (evicted snapshots don't count)")
 	idleEvict := flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables the janitor)")
 	snapshotDir := flag.String("snapshot-dir", "", "persist evicted sessions as JSON here (default: in-memory)")
+	walDir := flag.String("wal-dir", "", "write-ahead-log every accepted slot here; recovered on startup (default: off)")
+	walSync := flag.String("wal-sync", "always", "WAL append durability: always | interval | never")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "fsync cadence for -wal-sync interval (0 = 100ms)")
 	workers := flag.Int("workers", 0, "per-session solver worker pool size (0 = serial)")
 	shards := flag.Int("shards", 0, "session registry lock stripes, rounded up to a power of two (0 = one per CPU)")
 	rate := flag.Float64("rate", 0, "admitted slots/sec across all sessions, shed with 429 beyond (0 = unlimited)")
@@ -97,7 +111,34 @@ func main() {
 		}
 		opts.Store = store
 	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opts.WALDir = *walDir
+		opts.WALSync = policy
+		opts.WALSyncInterval = *walSyncInterval
+	}
 	m := serve.NewManager(opts)
+
+	// Fold crash residue back into the snapshot store before any traffic:
+	// every leftover WAL becomes a resumable snapshot (or is quarantined).
+	if *walDir != "" {
+		rep, err := m.RecoverWAL()
+		if err != nil {
+			log.Fatalf("wal recovery: %v", err)
+		}
+		if rep.Sessions > 0 || rep.Corrupt > 0 || rep.TornTails > 0 || len(rep.Failed) > 0 {
+			log.Printf("wal recovery: %s", rep)
+		}
+		for _, id := range rep.Failed {
+			log.Printf("wal recovery: session %q failed; log kept for the next start", id)
+		}
+	}
 
 	// The janitor turns the idle-evict policy into store traffic: every
 	// quarter period it sheds sessions whose last push is at least one

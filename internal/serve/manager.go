@@ -38,6 +38,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/stream"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,24 @@ type Options struct {
 	// default 5ms); StoreBackoffCap caps it (default 80ms).
 	StoreBackoff    time.Duration
 	StoreBackoffCap time.Duration
+
+	// WALDir enables the per-session write-ahead log: every accepted
+	// slot is appended (length- and CRC-framed) to <WALDir>/<id>.wal
+	// before the algorithm steps, so a crash loses at most the appends
+	// the sync policy had not yet made durable. A successful snapshot
+	// save (eviction, checkpoint, drain) compacts the log. Empty
+	// disables the WAL.
+	WALDir string
+	// WALSync is the append durability policy: wal.SyncAlways (the zero
+	// value — every append fsynced before the push is acknowledged),
+	// wal.SyncInterval (group fsync on a timer) or wal.SyncNever (page
+	// cache only; durability against process death, not power loss).
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is SyncInterval's cadence; <= 0 means 100ms.
+	WALSyncInterval time.Duration
+	// WALOpenFile overrides how WAL files are opened — the fault
+	// injection seam (see wal.FaultFS); nil means the real filesystem.
+	WALOpenFile func(path string) (wal.File, error)
 
 	// StreamBuffer is each advisory subscription's channel capacity —
 	// the slack between the push path producing advisories and an SSE
@@ -190,6 +209,10 @@ type liveSession struct {
 	sess     *stream.Session
 	lastUsed time.Time
 	gone     bool
+	// wal is the session's write-ahead log (nil when disabled); guarded
+	// by mu like the session, appended before every algorithm step and
+	// compacted whenever a snapshot save succeeds.
+	wal *wal.Log
 	// subs are the session's live advisory subscriptions (see
 	// subscribe.go); guarded by mu like the session itself, and always
 	// emptied — every subscriber ended with a reason — before the
@@ -368,16 +391,35 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 	}
 
 	ls := &liveSession{alg: alg, fleet: req.Fleet, types: types, sess: sess, bucket: m.newSessionBucket()}
+	// Hold the session lock across the insert so the WAL attaches before
+	// any concurrent pusher can reach the session — otherwise a push
+	// could race in unlogged. Safe against the lock-ordering discipline:
+	// ls is unpublished until the insert, so no other goroutine can hold
+	// or want ls.mu, and every shard-lock holder only TryLocks sessions.
+	ls.mu.Lock()
 	if err := m.insert(req.ID, ls); err != nil {
+		ls.mu.Unlock()
 		return SessionInfo{}, err
 	}
+	if _, err := m.attachWAL(ls, true); err != nil {
+		ls.gone = true
+		ls.mu.Unlock()
+		m.unlink(ls)
+		return SessionInfo{}, fmt.Errorf("%w: wal: %v", ErrStore, err)
+	}
+	// A checkpoint-opened session already holds slots the WAL will never
+	// see; persist them now so a crash recovers snapshot + WAL delta, not
+	// a session missing its imported prefix.
+	if m.walEnabled() && req.Checkpoint != nil {
+		if err := m.store.Save(&Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: sess.Checkpoint()}); err != nil {
+			ls.gone = true
+			ls.closeWALLocked()
+			ls.mu.Unlock()
+			m.unlink(ls)
+			return SessionInfo{}, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
 	m.stripeFor(ls.id).opened.Add(1)
-	// ls is published, but infoLocked needs no lock here: the fields it
-	// reads are immutable once inserted except through ls.mu, and no
-	// other goroutine has pushed yet within this call's happens-before
-	// edge. Take the lock anyway — it is uncontended and keeps the
-	// invariant trivially true.
-	ls.mu.Lock()
 	info := ls.infoLocked()
 	ls.mu.Unlock()
 	return info, nil
@@ -427,7 +469,7 @@ func (m *Manager) insertableLocked(sh *shard, id string) error {
 	if _, live := sh.live[id]; live {
 		return fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
-	if _, ok, err := m.store.Load(id); err != nil {
+	if _, ok, err := m.mapCorrupt(id)(m.store.Load(id)); err != nil {
 		return fmt.Errorf("%w: %v", ErrStore, err)
 	} else if ok {
 		return fmt.Errorf("%w: %q", ErrSessionExists, id)
@@ -483,7 +525,7 @@ func deadlineErr(ctx context.Context) error {
 // a buffered channel whenever the store does return).
 func (m *Manager) loadCtx(ctx context.Context, id string) (*Snapshot, bool, error) {
 	if ctx.Done() == nil {
-		return m.store.Load(id)
+		return m.mapCorrupt(id)(m.store.Load(id))
 	}
 	type loadResult struct {
 		snap *Snapshot
@@ -497,9 +539,23 @@ func (m *Manager) loadCtx(ctx context.Context, id string) (*Snapshot, bool, erro
 	}()
 	select {
 	case r := <-ch:
-		return r.snap, r.ok, r.err
+		return m.mapCorrupt(id)(r.snap, r.ok, r.err)
 	case <-ctx.Done():
 		return nil, false, deadlineErr(ctx)
+	}
+}
+
+// mapCorrupt converts a quarantined-snapshot load (ErrSnapshotCorrupt)
+// into a clean miss: the store already moved the file aside, so the id
+// reads as unknown — a 404, not a wedged 5xx — and the event is counted
+// once on the id's stripe.
+func (m *Manager) mapCorrupt(id string) func(*Snapshot, bool, error) (*Snapshot, bool, error) {
+	return func(snap *Snapshot, ok bool, err error) (*Snapshot, bool, error) {
+		if err != nil && errors.Is(err, ErrSnapshotCorrupt) {
+			m.stripeFor(id).snapCorrupt.Add(1)
+			return nil, false, nil
+		}
+		return snap, ok, err
 	}
 }
 
@@ -596,6 +652,21 @@ func (m *Manager) acquire(ctx context.Context, id string) (*liveSession, error) 
 	ls.sess = sess
 	ls.bucket = m.newSessionBucket()
 	ls.lastUsed = m.nowFn()
+	// Attach the session's WAL and replay any delta it holds beyond the
+	// snapshot — slots that were acknowledged after the last save. A
+	// header mismatch (stale incarnation) already dropped the records
+	// inside Open; a torn tail was truncated and is counted here.
+	stats, werr := m.attachWAL(ls, false)
+	if werr != nil {
+		ls.gone = true
+		ls.mu.Unlock()
+		m.unlink(ls)
+		return nil, fmt.Errorf("%w: wal: %v", ErrStore, werr)
+	}
+	if stats.Torn {
+		m.stripeFor(id).walTorn.Add(1)
+	}
+	replayWALLocked(ls, stats.Records)
 	ls.mu.Unlock()
 	m.stripeFor(id).resumed.Add(1)
 	return ls, nil
@@ -677,7 +748,24 @@ func (m *Manager) pushContext(ctx context.Context) (context.Context, context.Can
 }
 
 // pushLocked feeds one slot to a held session, classifying the error.
-func (m *Manager) pushLocked(ls *liveSession, req PushRequest, res *PushResult) error {
+// With a WAL attached the slot is appended (and made as durable as the
+// sync policy promises) before the algorithm sees it: an append or sync
+// failure fails the push with nothing fed, and the failed append was
+// rolled back — a retry appends the same slot index again, and replay
+// deduplicates if the rollback itself could not truncate. Slots the
+// algorithm then rejects (validation) stay in the log as orphans; replay
+// skips them the same way the live path did.
+func (m *Manager) pushLocked(ls *liveSession, met *counterStripe, req PushRequest, res *PushResult) error {
+	if ls.wal != nil && ls.sess.Err() == nil {
+		synced, werr := ls.wal.Append(wal.Record{T: ls.sess.Fed() + 1, Lambda: req.Lambda, Counts: req.Counts})
+		if werr != nil {
+			return fmt.Errorf("%w: wal: %v", ErrStore, werr)
+		}
+		met.walAppends.Add(1)
+		if synced {
+			met.walFsyncs.Add(1)
+		}
+	}
 	adv := &stream.Advisory{}
 	decided, perr := ls.sess.Push(model.SlotInput{Lambda: req.Lambda, Counts: req.Counts}, adv)
 	if perr != nil {
@@ -731,7 +819,7 @@ func (m *Manager) PushCtx(ctx context.Context, id string, req PushRequest) (Push
 			perr = deadlineErr(ctx)
 			return
 		}
-		perr = m.pushLocked(ls, req, &res)
+		perr = m.pushLocked(ls, met, req, &res)
 		ls.lastUsed = m.nowFn()
 	})
 	if err == nil {
@@ -803,7 +891,7 @@ func (m *Manager) PushBatchCtx(ctx context.Context, id string, reqs []PushReques
 		}
 		for i := range reqs {
 			var res PushResult
-			if perr = m.pushLocked(ls, reqs[i], &res); perr != nil {
+			if perr = m.pushLocked(ls, met, reqs[i], &res); perr != nil {
 				break
 			}
 			out = append(out, res)
@@ -849,6 +937,9 @@ func (m *Manager) Checkpoint(id string) (*Snapshot, error) {
 	err := m.withSession(id, func(ls *liveSession) {
 		snap = &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
 		serr = m.store.Save(snap)
+		if serr == nil {
+			ls.compactWALLocked()
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -887,6 +978,7 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 		}
 		info := ls.infoLocked()
 		ls.gone = true
+		ls.closeWALLocked()
 		m.closeSubsLocked(ls, StreamEndDeleted)
 		ls.mu.Unlock()
 
@@ -894,6 +986,7 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 		if err := m.store.Delete(id); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrStore, err)
 		}
+		m.removeWAL(id)
 		m.stripeFor(id).deleted.Add(1)
 		if cerr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSessionFailed, cerr)
@@ -905,7 +998,7 @@ func (m *Manager) Delete(id string) (*CloseResult, error) {
 // deleteSnapshot removes an evicted session without replaying it; a
 // semi-online tail (if any) is discarded with it.
 func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
-	snap, ok, err := m.store.Load(id)
+	snap, ok, err := m.mapCorrupt(id)(m.store.Load(id))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
@@ -915,6 +1008,7 @@ func (m *Manager) deleteSnapshot(id string) (*CloseResult, error) {
 	if err := m.store.Delete(id); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	m.removeWAL(id)
 	m.stripeFor(id).deleted.Add(1)
 	info := SessionInfo{ID: id}
 	if snap.Checkpoint != nil {
@@ -964,6 +1058,8 @@ func (m *Manager) evictHoldingBoth(sh *shard, ls *liveSession) error {
 	err := m.saveWithRetry(snap)
 	if err == nil {
 		ls.gone = true
+		ls.compactWALLocked()
+		ls.closeWALLocked()
 		m.closeSubsLocked(ls, StreamEndEvicted)
 	}
 	ls.mu.Unlock()
@@ -1119,11 +1215,14 @@ func (m *Manager) Close() error {
 			ls.mu.Lock() // blocks until any in-flight push completes
 			if !ls.gone && ls.sess != nil {
 				snap := &Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: ls.sess.Checkpoint()}
-				if err := m.saveWithRetry(snap); err != nil && firstErr == nil {
+				if err := m.saveWithRetry(snap); err == nil {
+					ls.compactWALLocked()
+				} else if firstErr == nil {
 					firstErr = fmt.Errorf("%w: %v", ErrStore, err)
 				}
 				ls.gone = true
 			}
+			ls.closeWALLocked()
 			m.closeSubsLocked(ls, StreamEndDrain)
 			ls.mu.Unlock()
 			m.unlink(ls)

@@ -11,16 +11,26 @@ import (
 // log-bucketed histogram over all observations (one observation per
 // Push, one per PushBatch) and are 0 until the first observation.
 type Metrics struct {
-	LiveSessions    int     `json:"live_sessions"`
-	SessionsOpened  uint64  `json:"sessions_opened"`
-	SessionsResumed uint64  `json:"sessions_resumed"`
-	SessionsEvicted uint64  `json:"sessions_evicted"`
-	SessionsDeleted uint64  `json:"sessions_deleted"`
-	SlotsPushed     uint64  `json:"slots_pushed"`
-	PushErrors      uint64  `json:"push_errors"`
-	PushesShed      uint64  `json:"pushes_shed"`
-	PushTimeouts    uint64  `json:"push_timeouts"`
-	StoreRetries    uint64  `json:"store_retries"`
+	LiveSessions    int    `json:"live_sessions"`
+	SessionsOpened  uint64 `json:"sessions_opened"`
+	SessionsResumed uint64 `json:"sessions_resumed"`
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	SessionsDeleted uint64 `json:"sessions_deleted"`
+	SlotsPushed     uint64 `json:"slots_pushed"`
+	PushErrors      uint64 `json:"push_errors"`
+	PushesShed      uint64 `json:"pushes_shed"`
+	PushTimeouts    uint64 `json:"push_timeouts"`
+	StoreRetries    uint64 `json:"store_retries"`
+	// The write-ahead-log family (0 unless Options.WALDir is set):
+	// appends, fsyncs those appends performed, sessions rebuilt by the
+	// startup recovery scan, and torn tails truncated on log open.
+	WALAppends           uint64 `json:"wal_appends"`
+	WALFsyncs            uint64 `json:"wal_fsyncs"`
+	WALRecoveredSessions uint64 `json:"wal_recovered_sessions"`
+	WALTornTails         uint64 `json:"wal_torn_tails"`
+	// SnapshotCorrupt counts corrupt snapshot or WAL files quarantined
+	// (renamed to <name>.corrupt) instead of wedging their session id.
+	SnapshotCorrupt uint64  `json:"snapshot_corrupt"`
 	PushP50Micros   float64 `json:"push_p50_us"`
 	PushP99Micros   float64 `json:"push_p99_us"`
 }
@@ -38,9 +48,9 @@ type counters struct {
 	stripes []counterStripe
 }
 
-// counterStripe is one registry shard's counter block. The eleven hot
-// words are padded out to whole cache lines before the histogram so the
-// stripe occupies a whole number of lines and adjacent stripes never
+// counterStripe is one registry shard's counter block. The sixteen hot
+// words fill exactly two 64-byte cache lines before the histogram, so
+// the stripe occupies a whole number of lines and adjacent stripes never
 // false-share; TestCounterStripePadding asserts the layout.
 type counterStripe struct {
 	opened  atomic.Uint64
@@ -59,8 +69,15 @@ type counterStripe struct {
 	// latSumNs accumulates observed push latency for the prometheus
 	// histogram's _sum series; the bucket counts live in lat.
 	latSumNs atomic.Int64
-	_        [40]byte // 88 bytes of counters -> two full 64-byte lines
-	lat      latencyHist
+	// The WAL family: appends logged, fsyncs issued for them, sessions
+	// rebuilt by recovery, torn tails truncated on open — plus corrupt
+	// snapshot/WAL files quarantined.
+	walAppends   atomic.Uint64
+	walFsyncs    atomic.Uint64
+	walRecovered atomic.Uint64
+	walTorn      atomic.Uint64
+	snapCorrupt  atomic.Uint64
+	lat          latencyHist
 }
 
 // observe records one push latency on this stripe: the histogram bucket
@@ -92,6 +109,11 @@ func (c *counters) snapshot(live int) Metrics {
 		m.PushesShed += s.shed.Load()
 		m.PushTimeouts += s.timeout.Load()
 		m.StoreRetries += s.retries.Load()
+		m.WALAppends += s.walAppends.Load()
+		m.WALFsyncs += s.walFsyncs.Load()
+		m.WALRecoveredSessions += s.walRecovered.Load()
+		m.WALTornTails += s.walTorn.Load()
+		m.SnapshotCorrupt += s.snapCorrupt.Load()
 		for b := range snap {
 			v := s.lat.buckets[b].Load()
 			snap[b] += v

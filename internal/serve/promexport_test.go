@@ -88,15 +88,20 @@ func TestPromExposition(t *testing.T) {
 	body := scrapeMetrics(t, srv.URL)
 
 	counters := map[string]uint64{
-		"rightsized_sessions_opened_total":  health.Metrics.SessionsOpened,
-		"rightsized_sessions_resumed_total": health.Metrics.SessionsResumed,
-		"rightsized_sessions_evicted_total": health.Metrics.SessionsEvicted,
-		"rightsized_sessions_deleted_total": health.Metrics.SessionsDeleted,
-		"rightsized_slots_pushed_total":     health.Metrics.SlotsPushed,
-		"rightsized_push_errors_total":      health.Metrics.PushErrors,
-		"rightsized_pushes_shed_total":      health.Metrics.PushesShed,
-		"rightsized_push_timeouts_total":    health.Metrics.PushTimeouts,
-		"rightsized_store_retries_total":    health.Metrics.StoreRetries,
+		"rightsized_sessions_opened_total":        health.Metrics.SessionsOpened,
+		"rightsized_sessions_resumed_total":       health.Metrics.SessionsResumed,
+		"rightsized_sessions_evicted_total":       health.Metrics.SessionsEvicted,
+		"rightsized_sessions_deleted_total":       health.Metrics.SessionsDeleted,
+		"rightsized_slots_pushed_total":           health.Metrics.SlotsPushed,
+		"rightsized_push_errors_total":            health.Metrics.PushErrors,
+		"rightsized_pushes_shed_total":            health.Metrics.PushesShed,
+		"rightsized_push_timeouts_total":          health.Metrics.PushTimeouts,
+		"rightsized_store_retries_total":          health.Metrics.StoreRetries,
+		"rightsized_wal_appends_total":            health.Metrics.WALAppends,
+		"rightsized_wal_fsyncs_total":             health.Metrics.WALFsyncs,
+		"rightsized_wal_recovered_sessions_total": health.Metrics.WALRecoveredSessions,
+		"rightsized_wal_torn_tails_total":         health.Metrics.WALTornTails,
+		"rightsized_snapshot_corrupt_total":       health.Metrics.SnapshotCorrupt,
 	}
 	for series, want := range counters {
 		if got := promValue(t, body, series); got != float64(want) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,12 @@ import (
 	"repro/internal/model"
 	"repro/internal/stream"
 )
+
+// ErrSnapshotCorrupt marks a snapshot file that existed but did not
+// decode. DirStore quarantines the file (renames it to <name>.corrupt)
+// before returning this, so the id is immediately reusable; the manager
+// converts the error into a clean miss and counts it.
+var ErrSnapshotCorrupt = errors.New("serve: snapshot corrupt")
 
 // FleetJSON is the portable fleet descriptor of a served session: either a
 // registered scenario's fleet (by name and seed) or an inline list of
@@ -108,17 +115,50 @@ func (s *MemStore) Delete(id string) error {
 }
 
 // DirStore persists snapshots as one JSON file per session under a
-// directory, so an idle-evicted session survives a daemon restart.
+// directory, so an idle-evicted session survives a daemon restart — and,
+// because every save fsyncs the data before the rename and the directory
+// after it, survives a power cut too, not just a process crash.
 type DirStore struct {
 	dir string
+	// trace, when set, observes each step of the save sequence
+	// (write-temp, sync-temp, close-temp, rename, sync-dir) so tests can
+	// assert the durability ordering without instrumenting the kernel.
+	trace func(op, path string)
 }
 
-// NewDirStore creates the directory if needed and returns the store.
+// NewDirStore creates the directory if needed, fsyncs its parent so the
+// creation itself is durable, and returns the store.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
 	return &DirStore{dir: dir}, nil
+}
+
+// syncDir fsyncs a directory so entries renamed or created in it are on
+// disk, not just in the page cache.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *DirStore) traceOp(op, path string) {
+	if s.trace != nil {
+		s.trace(op, path)
+	}
 }
 
 // path maps a session id onto a file name. Ids are restricted to a safe
@@ -127,8 +167,11 @@ func (s *DirStore) path(id string) string {
 	return filepath.Join(s.dir, id+".json")
 }
 
-// Save implements SnapshotStore with a write-then-rename so a crashed
-// daemon never leaves a torn snapshot behind.
+// Save implements SnapshotStore with write → fsync → rename → fsync-dir,
+// so a crashed daemon never leaves a torn snapshot behind and a power
+// cut after Save returns cannot roll the rename back. Without the data
+// fsync before the rename, a crash could durably commit the new name to
+// an empty file — atomic, but atomically wrong.
 func (s *DirStore) Save(snap *Snapshot) error {
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
@@ -143,14 +186,33 @@ func (s *DirStore) Save(snap *Snapshot) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	s.traceOp("write-temp", tmp.Name())
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.traceOp("sync-temp", tmp.Name())
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), s.path(snap.ID))
+	s.traceOp("close-temp", tmp.Name())
+	if err := os.Rename(tmp.Name(), s.path(snap.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.traceOp("rename", s.path(snap.ID))
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.traceOp("sync-dir", s.dir)
+	return nil
 }
 
-// Load implements SnapshotStore.
+// Load implements SnapshotStore. A file that exists but does not decode
+// is quarantined — renamed to <name>.corrupt so it never wedges its id —
+// and reported as ErrSnapshotCorrupt.
 func (s *DirStore) Load(id string) (*Snapshot, bool, error) {
 	data, err := os.ReadFile(s.path(id))
 	if os.IsNotExist(err) {
@@ -161,9 +223,18 @@ func (s *DirStore) Load(id string) (*Snapshot, bool, error) {
 	}
 	var snap Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, false, fmt.Errorf("serve: snapshot %s: %w", id, err)
+		if qerr := quarantine(s.path(id)); qerr != nil {
+			return nil, false, fmt.Errorf("serve: snapshot %s: %v (quarantine failed: %v)", id, err, qerr)
+		}
+		return nil, false, fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, id, err)
 	}
 	return &snap, true, nil
+}
+
+// quarantine moves a corrupt file aside to <name>.corrupt, clobbering
+// any previous quarantine of the same name.
+func quarantine(path string) error {
+	return os.Rename(path, path+".corrupt")
 }
 
 // Delete implements SnapshotStore.

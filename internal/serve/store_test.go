@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// The save path must hit its durability points in order: data written
+// and fsynced before the rename publishes the name, the directory
+// fsynced after. Any other order has a crash window where the rename is
+// durable but the bytes are not — an atomically-committed empty file.
+func TestDirStoreSaveSyncSequence(t *testing.T) {
+	store, err := NewDirStore(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	store.trace = func(op, path string) { ops = append(ops, op) }
+	snap := &Snapshot{ID: "seq", Fleet: quickstartFleet(), Checkpoint: &stream.Checkpoint{Alg: "alg-b"}}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"write-temp", "sync-temp", "close-temp", "rename", "sync-dir"}
+	if len(ops) != len(want) {
+		t.Fatalf("save traced %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("save step %d is %q, want %q (full trace %v)", i, ops[i], want[i], ops)
+		}
+	}
+	if _, ok, err := store.Load("seq"); err != nil || !ok {
+		t.Fatalf("Load after traced save: ok=%v err=%v", ok, err)
+	}
+}
+
+// A snapshot file that exists but does not decode is quarantined to
+// <name>.corrupt on first load: the load reports ErrSnapshotCorrupt
+// once, subsequent loads are clean misses, and the id is immediately
+// reusable for a fresh save.
+func TestDirStoreQuarantinesCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"id":"bad","fleet":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ok, err := store.Load("bad")
+	if ok || !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("Load(corrupt) = ok=%v err=%v, want ErrSnapshotCorrupt", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still at %s after quarantine", path)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+
+	if _, ok, err := store.Load("bad"); ok || err != nil {
+		t.Fatalf("second Load = ok=%v err=%v, want clean miss", ok, err)
+	}
+	snap := &Snapshot{ID: "bad", Fleet: quickstartFleet(), Checkpoint: &stream.Checkpoint{Alg: "alg-b"}}
+	if err := store.Save(snap); err != nil {
+		t.Fatalf("Save over quarantined id: %v", err)
+	}
+	if _, ok, err := store.Load("bad"); err != nil || !ok {
+		t.Fatalf("Load after re-save: ok=%v err=%v", ok, err)
+	}
+}
+
+// Through the manager a corrupt snapshot reads as an unknown session —
+// a clean 404-shaped error, not a wedged 5xx — the event is counted,
+// and the id can be opened fresh.
+func TestManagerCorruptSnapshotCleanMiss(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hurt.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{Store: store})
+	defer m.Close()
+
+	if _, err := m.Info("hurt"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Info over corrupt snapshot err = %v, want ErrUnknownSession", err)
+	}
+	if got := m.Metrics().SnapshotCorrupt; got != 1 {
+		t.Fatalf("snapshot_corrupt = %d, want 1", got)
+	}
+	if _, err := m.Open(OpenRequest{ID: "hurt", Alg: "alg-b", Fleet: quickstartFleet()}); err != nil {
+		t.Fatalf("Open over quarantined id: %v", err)
+	}
+	if _, err := m.Push("hurt", PushRequest{Lambda: 2}); err != nil {
+		t.Fatalf("push to reopened id: %v", err)
+	}
+}

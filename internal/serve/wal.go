@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/stream"
+	"repro/internal/wal"
+)
+
+// walHeader is the identity frame at the start of every session WAL:
+// enough to rebuild the session from nothing (algorithm plus fleet
+// descriptor) when the snapshot store has no record of it. It is
+// encoded with encoding/json — the header is written once per log, so
+// the hand-rolled codec buys nothing here.
+type walHeader struct {
+	Alg   string    `json:"alg"`
+	Fleet FleetJSON `json:"fleet"`
+}
+
+func (m *Manager) walEnabled() bool { return m.opts.WALDir != "" }
+
+// walPath maps a session id onto its log file. Ids pass validID before
+// they reach here, so the id is safe as a file name.
+func (m *Manager) walPath(id string) string {
+	return filepath.Join(m.opts.WALDir, id+".wal")
+}
+
+func (m *Manager) walOptions() wal.Options {
+	return wal.Options{
+		Sync:         m.opts.WALSync,
+		SyncInterval: m.opts.WALSyncInterval,
+		Now:          m.nowFn,
+		OpenFile:     m.opts.WALOpenFile,
+	}
+}
+
+// attachWAL opens (creating if needed) the session's write-ahead log and
+// hangs it on ls; the caller holds ls.mu. fresh marks a newly opened
+// session id: leftover records from a previous incarnation of the id are
+// truncated rather than kept — the snapshot store has already verified
+// the id is unused, so such records belong to a deleted session whose
+// WAL removal did not complete. A no-op when the WAL is disabled.
+func (m *Manager) attachWAL(ls *liveSession, fresh bool) (wal.ScanStats, error) {
+	if !m.walEnabled() {
+		return wal.ScanStats{}, nil
+	}
+	hdr, err := json.Marshal(walHeader{Alg: ls.alg, Fleet: ls.fleet})
+	if err != nil {
+		return wal.ScanStats{}, err
+	}
+	l, stats, err := wal.Open(m.walPath(ls.id), hdr, m.walOptions())
+	if err != nil {
+		return stats, err
+	}
+	if fresh && len(stats.Records) > 0 {
+		if err := l.Reset(); err != nil {
+			l.Close()
+			return stats, err
+		}
+		stats.Records = nil
+	}
+	ls.wal = l
+	return stats, nil
+}
+
+// replayWALLocked replays a resumed session's WAL delta — the slots
+// appended after the snapshot it was just rebuilt from. Replay is
+// tolerant (duplicates skip, validation-rejected orphans skip) and a
+// replay error leaves the applied prefix standing: the session is then
+// exactly as far as the log could carry it, and a sticky algorithm
+// failure surfaces to the client the same way it would have live.
+func replayWALLocked(ls *liveSession, recs []wal.Record) int {
+	if len(recs) == 0 || ls.sess == nil {
+		return 0
+	}
+	delta := make([]stream.DeltaRecord, len(recs))
+	for i, r := range recs {
+		delta[i] = stream.DeltaRecord{T: r.T, Lambda: r.Lambda, Counts: r.Counts}
+	}
+	applied, _ := ls.sess.ReplayDelta(delta)
+	return applied
+}
+
+// compactWALLocked truncates the session's log after a successful
+// snapshot save: everything in it is now covered by the snapshot. A
+// failed truncate is ignored — stale records are skipped on replay, so
+// the log is merely larger than it needs to be.
+func (ls *liveSession) compactWALLocked() {
+	if ls.wal != nil {
+		ls.wal.Reset()
+	}
+}
+
+// closeWALLocked releases the session's log handle (the file stays).
+func (ls *liveSession) closeWALLocked() {
+	if ls.wal != nil {
+		ls.wal.Close()
+		ls.wal = nil
+	}
+}
+
+// removeWAL deletes a session's log file, for the delete path — the id
+// is gone, so its history must not resurrect it.
+func (m *Manager) removeWAL(id string) {
+	if m.walEnabled() {
+		os.Remove(m.walPath(id))
+	}
+}

@@ -113,6 +113,16 @@ func appendHealthz(dst []byte, ok bool, mt *Metrics) ([]byte, error) {
 	dst = wire.AppendUint(dst, mt.PushTimeouts)
 	dst = append(dst, `,"store_retries":`...)
 	dst = wire.AppendUint(dst, mt.StoreRetries)
+	dst = append(dst, `,"wal_appends":`...)
+	dst = wire.AppendUint(dst, mt.WALAppends)
+	dst = append(dst, `,"wal_fsyncs":`...)
+	dst = wire.AppendUint(dst, mt.WALFsyncs)
+	dst = append(dst, `,"wal_recovered_sessions":`...)
+	dst = wire.AppendUint(dst, mt.WALRecoveredSessions)
+	dst = append(dst, `,"wal_torn_tails":`...)
+	dst = wire.AppendUint(dst, mt.WALTornTails)
+	dst = append(dst, `,"snapshot_corrupt":`...)
+	dst = wire.AppendUint(dst, mt.SnapshotCorrupt)
 	var err error
 	dst = append(dst, `,"push_p50_us":`...)
 	if dst, err = wire.AppendFloat(dst, mt.PushP50Micros); err != nil {

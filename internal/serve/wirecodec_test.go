@@ -37,9 +37,12 @@ func TestServeWireEncoders(t *testing.T) {
 		{LiveSessions: 3, SessionsOpened: 100, SessionsResumed: 2, SessionsEvicted: 2,
 			SessionsDeleted: 97, SlotsPushed: 4800, PushErrors: 1,
 			PushesShed: 12, PushTimeouts: 3, StoreRetries: 5,
+			WALAppends: 4800, WALFsyncs: 4795, WALRecoveredSessions: 2,
+			WALTornTails: 1, SnapshotCorrupt: 1,
 			PushP50Micros: 812.5, PushP99Micros: 1514.2265625},
 		{SlotsPushed: math.MaxUint64, PushP50Micros: 1e-7},
-		{PushesShed: math.MaxUint64, PushTimeouts: 1, StoreRetries: math.MaxUint64},
+		{PushesShed: math.MaxUint64, PushTimeouts: 1, StoreRetries: math.MaxUint64,
+			WALAppends: math.MaxUint64, SnapshotCorrupt: math.MaxUint64},
 	}
 	for _, mt := range metrics {
 		got, err := appendHealthz(nil, true, &mt)

@@ -371,6 +371,49 @@ func (s *Session) Checkpoint() *Checkpoint {
 	return cp
 }
 
+// DeltaRecord is one entry of an external replay log (internal/wal): a
+// slot input with the absolute 1-based index it was assigned when first
+// fed. Unlike SlotRecord, the index travels with the record so replay
+// can skip entries a snapshot already covers.
+type DeltaRecord struct {
+	T      int
+	Lambda float64
+	Counts []int
+}
+
+// ReplayDelta is the crash-recovery seam: it feeds a write-ahead log's
+// delta records into a session resumed from the newest snapshot,
+// tolerating exactly the artifacts a WAL accumulates in normal
+// operation. Records at or below the session's fed count are skipped
+// (duplicates from a crash between snapshot save and log compaction, or
+// from a client retry after a failed fsync); records the session's
+// validation rejects are skipped too (orphans whose original push was
+// logged but then failed the algorithm step — replay fails them
+// deterministically again). A record past the next expected slot means
+// the log lost its middle, and a sticky algorithm failure means the
+// session cannot advance: both stop the replay, returning what was
+// applied. The replayed advisories are discarded — they were emitted
+// before the crash.
+func (s *Session) ReplayDelta(recs []DeltaRecord) (applied int, err error) {
+	for _, rec := range recs {
+		if rec.T <= s.fed {
+			continue
+		}
+		if rec.T != s.fed+1 {
+			return applied, fmt.Errorf("stream: replay gap: record %d after slot %d", rec.T, s.fed)
+		}
+		in := model.SlotInput{T: rec.T, Lambda: rec.Lambda, Counts: rec.Counts}
+		if _, err := s.Feed(in); err != nil {
+			if s.failed != nil {
+				return applied, err
+			}
+			continue
+		}
+		applied++
+	}
+	return applied, nil
+}
+
 // Resume rebuilds a session from a checkpoint by replaying its log into a
 // freshly constructed (never stepped) algorithm. The replayed advisories
 // are discarded — they were already emitted by the original session — and

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAppendWALRecordMatchesJSON(t *testing.T) {
+	recs := []WALRecord{
+		{},
+		{T: 1, Lambda: 3.5},
+		{T: 48, Lambda: 0.3333333333333333, Counts: []int{2, 0, 1}},
+		{T: 1 << 40, Lambda: 1e21, Counts: []int{}},
+		{T: -7, Lambda: 5e-324, Counts: []int{1}},
+		{T: math.MaxInt64, Lambda: -1e-9, Counts: []int{9, 9, 9, 9}},
+	}
+	for _, rec := range recs {
+		got, err := AppendWALRecord(nil, &rec)
+		checkEncode(t, "AppendWALRecord", got, err, rec)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := AppendWALRecord(nil, &WALRecord{Lambda: bad}); err == nil {
+			t.Fatalf("AppendWALRecord(lambda=%v): expected error", bad)
+		}
+	}
+}
+
+func TestDecodeWALRecordMatchesJSON(t *testing.T) {
+	inputs := []string{
+		`{}`, `null`, `{"t":3,"lambda":1.5}`,
+		`{"t":3,"lambda":1.5,"counts":[4,0,2]}`,
+		`{"counts":[],"t":0,"lambda":0}`,
+		`{"T":12,"LAMBDA":2.5,"Counts":[1]}`,
+		`{"t":5,"lambda":1e2}`,
+		`{"t":null,"lambda":null,"counts":null}`,
+		`{"t":1,"t":2}`,
+		`{"counts":[9],"counts":[null,3]}`,
+		`  { "t" : 7 , "lambda" : -0.25 } trailing`,
+		`{"t":1.5}`, `{"t":1e3}`, `{"lambda":1e309}`, `{"lambda":1e-999}`,
+		`{"t":9223372036854775808}`, `{"t":-9223372036854775808}`,
+		`{"unknown":1}`, `{"t":}`, `{"t"`, `{`, ``, `[1]`, `truex`,
+		`{"t":01}`, `{"counts":[1,]}`, `{"counts":{"a":1}}`,
+	}
+	for _, in := range inputs {
+		got := WALRecord{T: 99, Lambda: -1, Counts: []int{8, 8}}
+		want := got
+		gotErr := DecodeWALRecord([]byte(in), &got)
+		wantErr := refDecode([]byte(in), &want)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("DecodeWALRecord(%q): wire err=%v, json err=%v", in, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("DecodeWALRecord(%q): wire %+v != json %+v", in, got, want)
+		}
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []WALRecord{
+		{T: 1, Lambda: 4.5, Counts: []int{3, 1}},
+		{T: 2, Lambda: 0},
+	}
+	for _, rec := range recs {
+		buf, err := AppendWALRecord(nil, &rec)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+		var back WALRecord
+		if err := DecodeWALRecord(buf, &back); err != nil {
+			t.Fatalf("decode %q: %v", buf, err)
+		}
+		if back.T != rec.T || back.Lambda != rec.Lambda ||
+			!reflect.DeepEqual(back.Counts, rec.Counts) {
+			t.Fatalf("round trip %+v != %+v", back, rec)
+		}
+	}
+}

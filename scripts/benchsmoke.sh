@@ -233,6 +233,37 @@ if [ "$mcur_allocs" -gt 0 ]; then
   exit 1
 fi
 
+# ---- WAL append hot path (sync=never) ----
+# The write-ahead path runs under every accepted slot of a WAL-enabled
+# session, so like the admission gate it is held at exactly 0 allocs/op:
+# the frame is encoded into the log's reused buffer and written in one
+# call. ns/op gets the coarse 2x (it is a page-cache write plus the
+# encode). sync=always is re-run for the record but not gated — that
+# figure is the rig's fsync latency, not code cost.
+wout="$(go test -run '^$' -bench 'BenchmarkWALAppend' -benchtime 10000x -benchmem ./internal/wal )"
+echo "$wout"
+
+wcur_ns="$(echo "$wout" | awk '/^BenchmarkWALAppend\/sync=never[- ]/ {print int($3)}')"
+wcur_allocs="$(echo "$wout" | awk '/^BenchmarkWALAppend\/sync=never[- ]/ {print int($7)}')"
+if [ -z "$wcur_ns" ]; then
+  echo "benchsmoke: could not parse BenchmarkWALAppend/sync=never output" >&2
+  exit 1
+fi
+
+wbase_ns="$(baseline BENCH_serve.json 'BenchmarkWALAppend/sync=never' ns_per_op)"
+
+echo "benchsmoke: wal-append ns/op current=$wcur_ns baseline=$wbase_ns (limit 2x)"
+echo "benchsmoke: wal-append allocs/op current=$wcur_allocs (limit: exactly 0)"
+
+if [ "$wcur_ns" -gt "$((wbase_ns * 2))" ]; then
+  echo "benchsmoke: FAIL — WAL append regressed more than 2x vs BENCH_serve.json" >&2
+  exit 1
+fi
+if [ "$wcur_allocs" -gt 0 ]; then
+  echo "benchsmoke: FAIL — WAL append hot path allocates ($wcur_allocs allocs/op, must be 0)" >&2
+  exit 1
+fi
+
 # ---- solver layer-eval microbench (recorded, informational) ----
 lout="$(go test -run '^$' -bench 'BenchmarkLayerEval' -benchtime 10x -benchmem ./internal/solver )"
 echo "$lout"
