@@ -164,6 +164,32 @@ func main() {
 		}()
 	}
 
+	// The WAL flusher makes the interval policy's loss bound hold on idle
+	// sessions: Append only fsyncs when appends arrive, so without a
+	// background sweep a session whose pushes stop would keep its
+	// unsynced tail dirty indefinitely.
+	stopFlusher := make(chan struct{})
+	if opts.WALDir != "" && opts.WALSync == wal.SyncInterval {
+		cadence := opts.WALSyncInterval
+		if cadence <= 0 {
+			cadence = 100 * time.Millisecond
+		}
+		go func() {
+			tick := time.NewTicker(cadence)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopFlusher:
+					return
+				case <-tick.C:
+					if _, err := m.SyncWALs(); err != nil {
+						log.Printf("wal flush: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(m)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -180,6 +206,7 @@ func main() {
 
 	log.Print("shutting down")
 	close(stopJanitor)
+	close(stopFlusher)
 
 	// One deadline bounds the whole drain — in-flight HTTP requests plus
 	// the checkpoint of every live session. Without it a single wedged

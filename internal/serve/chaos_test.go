@@ -146,10 +146,11 @@ func TestChaosDifferential(t *testing.T) {
 					got = append(got, *res.Advisory)
 				}
 				if ts%7 == 3 {
-					// Force an eviction: ErrBusy (janitor races) and ErrStore
-					// (injected save failure after retries) are both fine —
-					// the session must stay live in the latter case.
-					if err := m.Evict(jb.id); err != nil && !errors.Is(err, ErrBusy) && !errors.Is(err, ErrStore) {
+					// Force an eviction: ErrBusy (janitor races), ErrStore
+					// (injected save failure after retries — the session must
+					// stay live) and ErrUnknownSession (the janitor evicted it
+					// first; the next push resumes it) are all fine.
+					if err := m.Evict(jb.id); err != nil && !errors.Is(err, ErrBusy) && !errors.Is(err, ErrStore) && !errors.Is(err, ErrUnknownSession) {
 						errs <- fmt.Errorf("%s: evict at %d: %w", jb.id, ts, err)
 						return
 					}

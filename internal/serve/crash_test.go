@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -363,5 +364,88 @@ func TestWALTornWriteConsistentPrefix(t *testing.T) {
 	full := append(append([]stream.Advisory{}, post...), res.Advisories...)
 	if !reflect.DeepEqual(full, want[info.Decided:]) {
 		t.Fatalf("continuation after torn-write recovery diverged (fed=%d decided=%d)", info.Fed, info.Decided)
+	}
+}
+
+// A quarantined snapshot leaves the WAL delta starting past slot 1:
+// replay onto the fresh session gaps. Recovery must quarantine the log —
+// the only remaining record of the session's slots — rather than save a
+// near-empty snapshot under the id and delete it.
+func TestRecoverReplayGapQuarantinesWAL(t *testing.T) {
+	jb := crashJobs(t, 7)[0]
+
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(dir, "snaps")
+	store1, err := NewDirStore(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewManager(Options{Store: store1, WALDir: walDir, WALSync: wal.SyncNever})
+	if _, err := m1.Open(OpenRequest{ID: jb.id, Alg: jb.spec.Key, Fleet: FleetJSON{Scenario: jb.sc, Seed: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint after slot 3 compacts the log, so the surviving delta
+	// starts at slot 4 — replayable only on top of the snapshot.
+	feedSlots(t, m1, jb, 1, 6, 3)
+	// Hard stop; the snapshot rots on disk.
+	snapPath := filepath.Join(snapDir, jb.id+".json")
+	if err := os.WriteFile(snapPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewDirStore(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(Options{Store: store2, WALDir: walDir, WALSync: wal.SyncNever})
+	defer m2.Close()
+	rep, err := m2.RecoverWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 0 || rep.Corrupt != 1 || len(rep.Failed) != 0 {
+		t.Fatalf("recovery report %+v, want the gapped log quarantined and no session rebuilt", rep)
+	}
+	walPath := filepath.Join(walDir, jb.id+".wal")
+	if _, err := os.Stat(walPath + ".corrupt"); err != nil {
+		t.Fatalf("gapped WAL not quarantined: %v", err)
+	}
+	if _, err := os.Stat(walPath); !os.IsNotExist(err) {
+		t.Fatalf("original WAL still present: %v", err)
+	}
+	// The id must read as unknown, not as a silently empty session.
+	if _, err := m2.Info(jb.id); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Info after gap recovery = %v, want ErrUnknownSession", err)
+	}
+}
+
+// SyncWALs flushes the dirty tail of idle interval-policy logs: the
+// bounded-loss promise must not depend on a steady append stream.
+func TestSyncWALsFlushesIdleIntervalLog(t *testing.T) {
+	jb := crashJobs(t, 7)[0]
+	walDir := t.TempDir()
+	m := NewManager(Options{WALDir: walDir, WALSync: wal.SyncInterval, WALSyncInterval: time.Hour})
+	defer m.Close()
+	if _, err := m.Open(OpenRequest{ID: jb.id, Alg: jb.spec.Key, Fleet: FleetJSON{Scenario: jb.sc, Seed: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	feedSlots(t, m, jb, 1, 2, 0)
+	if got := m.Metrics().WALFsyncs; got != 0 {
+		t.Fatalf("appends under a 1h interval fsynced %d times", got)
+	}
+	n, err := m.SyncWALs()
+	if err != nil || n != 1 {
+		t.Fatalf("SyncWALs = (%d, %v), want one dirty log flushed", n, err)
+	}
+	if got := m.Metrics().WALFsyncs; got != 1 {
+		t.Fatalf("wal_fsyncs = %d after the sweep, want 1", got)
+	}
+	// Nothing dirty left: the sweep is idempotent between pushes.
+	if n, err := m.SyncWALs(); err != nil || n != 0 {
+		t.Fatalf("second SyncWALs = (%d, %v), want a no-op", n, err)
 	}
 }

@@ -411,7 +411,7 @@ func (m *Manager) Open(req OpenRequest) (SessionInfo, error) {
 	// see; persist them now so a crash recovers snapshot + WAL delta, not
 	// a session missing its imported prefix.
 	if m.walEnabled() && req.Checkpoint != nil {
-		if err := m.store.Save(&Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: sess.Checkpoint()}); err != nil {
+		if err := m.saveWithRetry(&Snapshot{ID: ls.id, Fleet: ls.fleet, Checkpoint: sess.Checkpoint()}); err != nil {
 			ls.gone = true
 			ls.closeWALLocked()
 			ls.mu.Unlock()
@@ -750,9 +750,11 @@ func (m *Manager) pushContext(ctx context.Context) (context.Context, context.Can
 // pushLocked feeds one slot to a held session, classifying the error.
 // With a WAL attached the slot is appended (and made as durable as the
 // sync policy promises) before the algorithm sees it: an append or sync
-// failure fails the push with nothing fed, and the failed append was
-// rolled back — a retry appends the same slot index again, and replay
-// deduplicates if the rollback itself could not truncate. Slots the
+// failure fails the push with nothing fed, and the frame was rolled back
+// — a retry appends the same slot index afresh, so replay never sees a
+// failed push's payload shadowing an acknowledged one. If the rollback
+// itself could not truncate, the log is sticky-broken and every later
+// push fails rather than risking an inconsistent tail. Slots the
 // algorithm then rejects (validation) stay in the log as orphans; replay
 // skips them the same way the live path did.
 func (m *Manager) pushLocked(ls *liveSession, met *counterStripe, req PushRequest, res *PushResult) error {

@@ -110,7 +110,7 @@ func (m *Manager) appendPromText(dst []byte) []byte {
 	dst = promCounter(dst, "rightsized_push_timeouts_total", "Pushes that hit the push deadline having fed nothing.", agg.PushTimeouts)
 	dst = promCounter(dst, "rightsized_store_retries_total", "Snapshot store save retries.", agg.StoreRetries)
 	dst = promCounter(dst, "rightsized_wal_appends_total", "Slot records appended to per-session write-ahead logs.", agg.WALAppends)
-	dst = promCounter(dst, "rightsized_wal_fsyncs_total", "fsyncs issued by the WAL append path.", agg.WALFsyncs)
+	dst = promCounter(dst, "rightsized_wal_fsyncs_total", "fsyncs issued by the WAL append path and the background flush sweep.", agg.WALFsyncs)
 	dst = promCounter(dst, "rightsized_wal_recovered_sessions_total", "Sessions rebuilt from snapshot plus WAL replay at startup.", agg.WALRecoveredSessions)
 	dst = promCounter(dst, "rightsized_wal_torn_tails_total", "Torn WAL tails truncated to the last whole record on open.", agg.WALTornTails)
 	dst = promCounter(dst, "rightsized_snapshot_corrupt_total", "Corrupt snapshot or WAL files quarantined to <name>.corrupt.", agg.SnapshotCorrupt)

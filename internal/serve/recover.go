@@ -136,7 +136,29 @@ func (m *Manager) recoverOne(path string, rep *RecoverReport) {
 	for i, r := range recs {
 		delta[i] = stream.DeltaRecord{T: r.T, Lambda: r.Lambda, Counts: r.Counts}
 	}
-	applied, _ := sess.ReplayDelta(delta)
+	applied, rerr := sess.ReplayDelta(delta)
+	if rerr != nil && sess.Err() == nil {
+		// A replay gap: the log does not continue the state we rebuilt —
+		// typically the snapshot was quarantined as corrupt (so the load
+		// read as a clean miss) and the delta starts past slot 1. Saving
+		// the rebuilt session would overwrite the id with a near-empty
+		// snapshot, and removing the log would destroy the only remaining
+		// record of its slots. Persist whatever prefix did replay, then
+		// quarantine the log for inspection. (A sticky algorithm failure
+		// is different — rerr with sess.Err() set: the failing record is
+		// the unacknowledged orphan tail, so the applied prefix below is
+		// exactly the acknowledged stream and the normal path is right.)
+		if applied > 0 {
+			merged := &Snapshot{ID: id, Fleet: fleet, Checkpoint: sess.Checkpoint()}
+			if err := m.saveWithRetry(merged); err != nil {
+				rep.Failed = append(rep.Failed, id)
+				return
+			}
+			rep.Slots += applied
+		}
+		m.quarantineWAL(path, id, rep)
+		return
+	}
 
 	merged := &Snapshot{ID: id, Fleet: fleet, Checkpoint: sess.Checkpoint()}
 	if err := m.saveWithRetry(merged); err != nil {

@@ -101,6 +101,49 @@ func (ls *liveSession) closeWALLocked() {
 	}
 }
 
+// SyncWALs fsyncs every live session's dirty log, regardless of sync
+// policy. Append only fsyncs when appends arrive, so without this sweep
+// an idle session under SyncInterval would keep its unsynced tail dirty
+// indefinitely and the policy's bounded-loss promise would only hold
+// under a steady push stream; the daemon runs it on the interval
+// cadence. Sessions mid-push are skipped — their own append path syncs
+// by policy, and the next sweep retries. Returns how many logs were
+// fsynced and the first sync error.
+func (m *Manager) SyncWALs() (int, error) {
+	if !m.walEnabled() {
+		return 0, nil
+	}
+	synced := 0
+	var firstErr error
+	var cands []*liveSession
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		cands = cands[:0]
+		for _, ls := range sh.live {
+			cands = append(cands, ls)
+		}
+		sh.mu.Unlock()
+		for _, ls := range cands {
+			if !ls.mu.TryLock() {
+				continue
+			}
+			if !ls.gone && ls.wal != nil && ls.wal.Dirty() {
+				if err := ls.wal.Sync(); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					m.stripeFor(ls.id).walFsyncs.Add(1)
+					synced++
+				}
+			}
+			ls.mu.Unlock()
+		}
+	}
+	return synced, firstErr
+}
+
 // removeWAL deletes a session's log file, for the delete path — the id
 // is gone, so its history must not resurrect it.
 func (m *Manager) removeWAL(id string) {

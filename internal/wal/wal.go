@@ -45,6 +45,9 @@ const (
 	SyncAlways SyncPolicy = iota
 	// SyncInterval fsyncs at most once per interval: bounded loss
 	// (everything since the last sync) at near-SyncNever append cost.
+	// Append only checks the clock when called, so the time bound holds
+	// on an idle log only if something sweeps it — the serving layer
+	// flushes dirty logs on the same cadence (Manager.SyncWALs).
 	SyncInterval
 	// SyncNever writes without ever fsyncing: survives process death
 	// (the page cache persists) but not kernel panic or power loss.
@@ -184,6 +187,12 @@ type Log struct {
 // header and the stale records are dropped (ScanStats.Rewritten).
 func Open(path string, header []byte, opts Options) (*Log, ScanStats, error) {
 	var stats ScanStats
+	// A header frame over maxFrameLen would write fine but be rejected by
+	// nextFrame on the next Open: the log would read as headerless and be
+	// silently reset, dropping every record. Refuse it up front instead.
+	if len(header)+1 > maxFrameLen {
+		return nil, stats, fmt.Errorf("wal: header for %s is %d bytes; the frame limit is %d", path, len(header), maxFrameLen-1)
+	}
 	f, err := opts.open(path)
 	if err != nil {
 		return nil, stats, fmt.Errorf("wal: open %s: %w", path, err)
@@ -232,9 +241,10 @@ func (l *Log) Size() int64 { return l.size }
 
 // Append logs one slot record, then fsyncs according to the sync
 // policy; synced reports whether this append hit the disk. On a failed
-// write the partial frame is rolled back by truncation so the log stays
-// valid; if even the rollback fails, the log turns sticky-broken and
-// every later Append fails with ErrLogBroken.
+// write or a failed fsync the frame is rolled back by truncation so the
+// log stays valid and never retains a record whose push was not
+// acknowledged; if the rollback itself fails, the log turns
+// sticky-broken and every later Append fails with ErrLogBroken.
 func (l *Log) Append(rec Record) (synced bool, err error) {
 	if l.broken != nil {
 		return false, l.broken
@@ -248,6 +258,7 @@ func (l *Log) Append(rec Record) (synced bool, err error) {
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-frameHeaderLen))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[frameHeaderLen:], castagnoli))
+	prev := l.size
 	if err := l.write(buf); err != nil {
 		return false, fmt.Errorf("wal: append record %d: %w", rec.T, err)
 	}
@@ -262,10 +273,18 @@ func (l *Log) Append(rec Record) (synced bool, err error) {
 		}
 	}
 	if err != nil {
-		// The record is written but not durably: the push must fail.
-		// The log itself stays consistent — a client retry appends a
-		// duplicate slot index that replay skips.
-		return synced, fmt.Errorf("wal: sync record %d: %w", rec.T, err)
+		// The record is written but not durable, so the push must fail —
+		// and the frame must not outlive the failure. The slot index is
+		// server-assigned, so the next acknowledged push reuses it, and
+		// replay is first-wins on duplicate indices: a leftover unacked
+		// frame would shadow the acked one after a crash whenever the
+		// retry carried different data. Roll it back like a failed write.
+		if terr := l.f.Truncate(prev); terr != nil {
+			l.broken = fmt.Errorf("%w (sync: %v, rollback: %v)", ErrLogBroken, err, terr)
+			return false, l.broken
+		}
+		l.size = prev
+		return false, fmt.Errorf("wal: sync record %d: %w", rec.T, err)
 	}
 	return synced, nil
 }
@@ -287,6 +306,9 @@ func (l *Log) write(buf []byte) error {
 	l.dirty = true
 	return nil
 }
+
+// Dirty reports whether the log holds written bytes not yet fsynced.
+func (l *Log) Dirty() bool { return l.dirty }
 
 // Sync fsyncs outstanding writes regardless of policy.
 func (l *Log) Sync() error {

@@ -342,20 +342,29 @@ func TestTornWriteSurfacesOnReopen(t *testing.T) {
 	}
 }
 
-func TestSyncErrFailsAppendButKeepsLogValid(t *testing.T) {
+func TestSyncErrRollsBackRecord(t *testing.T) {
 	fs := NewFaultFS(FaultConfig{Seed: 11})
 	path := filepath.Join(t.TempDir(), "syncerr.wal")
 	l, _ := mustOpen(t, path, []byte("h"), Options{Sync: SyncAlways, OpenFile: fs.Open})
 	appendAll(t, l, testRecords(2))
+	size := l.Size()
 	fs.mu.Lock()
 	fs.cfg.SyncErrRate = 1
 	fs.mu.Unlock()
 	if _, err := l.Append(Record{T: 3, Lambda: 5}); err == nil {
 		t.Fatal("expected injected sync failure")
 	}
+	// The unacknowledged frame must not survive the failure: the slot
+	// index is server-assigned, so the next acknowledged push reuses it,
+	// and replay is first-wins on duplicates — a leftover frame would
+	// shadow the acked payload after a crash.
+	if l.Size() != size {
+		t.Fatalf("failed sync left the log at %d bytes, want rollback to %d", l.Size(), size)
+	}
 	fs.Disarm()
-	// The client retries the same slot; replay dedups by T.
-	if _, err := l.Append(Record{T: 3, Lambda: 5}); err != nil {
+	// The retry carries different data (the client recomputed the slot);
+	// the retried payload, not the failed one, must be what replay sees.
+	if _, err := l.Append(Record{T: 3, Lambda: 7}); err != nil {
 		t.Fatalf("retry after sync failure: %v", err)
 	}
 	l.Close()
@@ -363,8 +372,25 @@ func TestSyncErrFailsAppendButKeepsLogValid(t *testing.T) {
 	if err != nil || torn {
 		t.Fatalf("err=%v torn=%v", err, torn)
 	}
-	if len(recs) != 4 || recs[2].T != 3 || recs[3].T != 3 {
-		t.Fatalf("expected duplicate T=3 records, got %+v", recs)
+	if len(recs) != 3 || recs[2].T != 3 || recs[2].Lambda != 7 {
+		t.Fatalf("expected exactly one T=3 record with the retried payload, got %+v", recs)
+	}
+}
+
+func TestOversizedHeaderRejectedAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bighdr.wal")
+	hdr := make([]byte, maxFrameLen) // +1 type byte pushes the frame past the limit
+	if _, _, err := Open(path, hdr, Options{Sync: SyncNever}); err == nil {
+		t.Fatal("an over-limit header must be rejected at Open, not silently dropped on the next reopen")
+	}
+	// At the limit it round-trips.
+	hdr = hdr[:maxFrameLen-1]
+	l, _ := mustOpen(t, path, hdr, Options{Sync: SyncNever})
+	appendAll(t, l, testRecords(1))
+	l.Close()
+	got, recs, torn, err := Read(path)
+	if err != nil || torn || len(got) != len(hdr) || len(recs) != 1 {
+		t.Fatalf("limit-sized header did not survive reopen: hdr=%d recs=%d torn=%v err=%v", len(got), len(recs), torn, err)
 	}
 }
 
